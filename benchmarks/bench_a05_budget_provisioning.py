@@ -1,0 +1,64 @@
+"""A5 (ablation): what a fixed bank-time budget buys, per ECC strength.
+
+Provisioning view of the whole design space: grant the scrubber a slice
+of bank time, solve for the fastest affordable interval per code (the
+stronger code's rarer decodes and write-backs buy a faster scan for the
+same budget - but its longer sustainable interval means it does not need
+one), and report the reliability each configuration achieves.  The
+dominance of strong codes is starkest exactly where budgets are tightest.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core.budgeted import reliability_at_budget
+from repro.params import CellSpec
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+
+LINES_PER_BANK = 1 << 22  # 256 MiB bank
+BUDGETS = [1e-3, 1e-4, 3e-5, 1e-5]
+STRENGTHS = [1, 2, 4, 8]
+
+
+def compute() -> list[list[object]]:
+    model = AnalyticModel(CrossingDistribution(CellSpec()), 256)
+    rows = []
+    for budget in BUDGETS:
+        for strength in STRENGTHS:
+            try:
+                interval, failure = reliability_at_budget(
+                    model, LINES_PER_BANK, budget, strength
+                )
+                rows.append(
+                    [
+                        f"{budget:.0e}",
+                        f"bch{strength}",
+                        units.format_seconds(interval),
+                        f"{failure:.3e}",
+                    ]
+                )
+            except ValueError:
+                rows.append([f"{budget:.0e}", f"bch{strength}", "infeasible", "-"])
+    return rows
+
+
+def test_a05_budget_provisioning(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "a05_budget_provisioning",
+        format_table(
+            ["bank budget", "code", "affordable interval", "P(UE per visit)"],
+            rows,
+            title=(
+                "A5: reliability a fixed bank-time budget buys "
+                f"({LINES_PER_BANK} lines/bank)"
+            ),
+        ),
+    )
+    # At the tightest budget, only strong codes keep failure low.
+    tight = {row[1]: row[3] for row in rows if row[0] == "1e-05"}
+    assert tight["bch8"] != "-"
+    weak = float(tight["bch1"]) if tight["bch1"] != "-" else 1.0
+    strong = float(tight["bch8"])
+    assert strong < weak / 100 or weak > 1e-4

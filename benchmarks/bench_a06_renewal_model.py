@@ -1,0 +1,72 @@
+"""A6 (ablation/validation): renewal-theory model vs Monte Carlo.
+
+The threshold-scrub renewal solver predicts steady-state scrub-write
+rates, UE rates, and decode fractions in microseconds per design point;
+this bench lines its predictions up against the population engine across
+a threshold sweep.  Agreement here means the expensive Monte-Carlo sweeps
+elsewhere could be pre-screened analytically - and it is an independent
+second implementation of the whole error-accumulation process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import threshold_scrub
+from repro.params import CellSpec
+from repro.sim import SimulationConfig, run_experiment
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.renewal import RenewalModel
+
+CONFIG = SimulationConfig(
+    num_lines=8192, region_size=1024, horizon=14 * units.DAY, endurance=None
+)
+INTERVAL = units.HOUR
+SWEEP = [(4, 1), (4, 2), (4, 3), (8, 6)]
+
+
+def compute() -> list[list[object]]:
+    model = RenewalModel(CrossingDistribution(CellSpec()), CONFIG.cells_per_line)
+    rows = []
+    for strength, theta in SWEEP:
+        solution = model.solve(INTERVAL, t_ecc=strength, threshold=theta)
+        result = run_experiment(
+            threshold_scrub(INTERVAL, strength, threshold=theta), CONFIG
+        )
+        line_seconds = CONFIG.num_lines * CONFIG.horizon
+        rows.append(
+            [
+                f"bch{strength}/theta={theta}",
+                f"{solution.write_rate:.3e}",
+                f"{result.scrub_writes / line_seconds:.3e}",
+                f"{solution.ue_rate:.3e}",
+                f"{result.uncorrectable / line_seconds:.3e}",
+                f"{solution.error_visit_fraction:.3f}",
+                f"{result.stats.scrub_decodes / result.stats.visits:.3f}",
+            ]
+        )
+    return rows
+
+
+def test_a06_renewal_model(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "a06_renewal_model",
+        format_table(
+            ["config", "write rate (renewal)", "write rate (MC)",
+             "UE rate (renewal)", "UE rate (MC)",
+             "decode frac (renewal)", "decode frac (MC)"],
+            rows,
+            title=(
+                "A6: renewal-theory predictions vs population Monte Carlo "
+                f"(per line per second, interval {units.format_seconds(INTERVAL)})"
+            ),
+        ),
+    )
+    for row in rows:
+        renewal_writes, mc_writes = float(row[1]), float(row[2])
+        assert mc_writes == pytest.approx(renewal_writes, rel=0.15)
+        renewal_frac, mc_frac = float(row[5]), float(row[6])
+        assert mc_frac == pytest.approx(renewal_frac, rel=0.15)

@@ -1,0 +1,73 @@
+"""A7 (ablation): density vs drift vulnerability - 1/2/3 bits per cell.
+
+The reason the paper exists in one chart: packing more levels into the
+same resistance window halves every guard band per extra bit, so drift
+error rates jump by orders of magnitude while storage density grows
+linearly.  Generated from the generalized MLC constructor over a fixed
+3-decade window, reporting the worst-level error probability at three
+ages plus the scrub interval each geometry sustains under BCH-4.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.pcm.drift import DriftModel
+from repro.pcm.mlc import make_mlc_spec
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+
+BITS = [1, 2, 3]
+TARGET = 1e-9
+
+
+def compute() -> list[list[object]]:
+    rows = []
+    for bits in BITS:
+        spec = make_mlc_spec(bits)
+        model = DriftModel(spec)
+        worst_hour = max(
+            model.error_probability(level, units.HOUR)
+            for level in range(spec.num_levels)
+        )
+        worst_day = max(
+            model.error_probability(level, units.DAY)
+            for level in range(spec.num_levels)
+        )
+        # Cells per 64-byte line shrinks as density rises.
+        cells = 512 // bits
+        analytic = AnalyticModel(
+            CrossingDistribution(spec), cells_per_line=cells
+        )
+        try:
+            interval = analytic.required_interval(4, TARGET)
+            interval_text = units.format_seconds(interval)
+        except ValueError:
+            interval_text = "< 0.1s"
+        rows.append(
+            [
+                bits,
+                spec.num_levels,
+                cells,
+                f"{worst_hour:.3e}",
+                f"{worst_day:.3e}",
+                interval_text,
+            ]
+        )
+    return rows
+
+
+def test_a07_bits_per_cell(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "a07_bits_per_cell",
+        format_table(
+            ["bits/cell", "levels", "cells/line", "worst P(err,1h)",
+             "worst P(err,1d)", "bch4 interval @1e-9"],
+            rows,
+            title="A7: storage density vs drift vulnerability (fixed 3-decade window)",
+        ),
+    )
+    hour = [float(row[3]) for row in rows]
+    # SLC is effectively immune; every extra bit costs orders of magnitude.
+    assert hour[0] < 1e-12
+    assert hour[2] > 10 * hour[1] > 0

@@ -1,0 +1,80 @@
+"""A11 (ablation): cell-selective (partial) write-back.
+
+PCM programs cells individually, so a scrub write-back need only touch
+the drifted cells.  Three effects stack:
+
+* **energy** - write energy scales with the handful of corrected cells
+  instead of the whole 284-cell line;
+* **wear** - per-cell write counts drop by the same factor;
+* **selection** - the untouched cells are the proven-slow ones (their
+  drift exponents persist until re-programmed), so lines harden over
+  successive partial write-backs and even the *event* count falls.
+
+Modelling note: a re-programmed cell redraws its drift exponent (each
+programming pulse creates a fresh amorphous configuration); a surviving
+cell keeps its clock exactly.  Both follow from the power-law model.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import partial_scrub, threshold_scrub
+from repro.sim import SimulationConfig, run_experiment
+
+CONFIG = SimulationConfig(
+    num_lines=8192, region_size=1024, horizon=14 * units.DAY, endurance=None
+)
+INTERVAL = units.HOUR
+SWEEP = [(4, 3), (8, 6)]
+
+
+def compute() -> list[list[object]]:
+    rows = []
+    for strength, theta in SWEEP:
+        full = run_experiment(
+            threshold_scrub(INTERVAL, strength, threshold=theta), CONFIG
+        )
+        partial = run_experiment(
+            partial_scrub(INTERVAL, strength, threshold=theta), CONFIG
+        )
+        for label, result in (("full", full), ("partial", partial)):
+            rows.append(
+                [
+                    f"bch{strength}/theta={theta}",
+                    label,
+                    result.scrub_writes,
+                    result.stats.partial_cells,
+                    f"{result.stats.energy_breakdown()['write'] * 1e6:.1f}uJ",
+                    f"{result.mean_writes_per_line:.2f}",
+                    result.uncorrectable,
+                ]
+            )
+    return rows
+
+
+def test_a11_partial_writeback(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "a11_partial_writeback",
+        format_table(
+            ["config", "writeback", "events", "cells", "write energy",
+             "writes/line", "UE"],
+            rows,
+            title=(
+                "A11: full vs cell-selective write-back "
+                f"({CONFIG.num_lines} lines, {units.format_seconds(INTERVAL)})"
+            ),
+        ),
+    )
+    for i in range(0, len(rows), 2):
+        full, partial = rows[i], rows[i + 1]
+        # Event count falls (selection effect), energy collapses, and
+        # wear follows the cell count.
+        assert partial[2] < full[2]
+        full_energy = float(full[4].rstrip("uJ"))
+        partial_energy = float(partial[4].rstrip("uJ"))
+        assert partial_energy < full_energy / 10
+        assert float(partial[5]) < float(full[5])
+        # Protection stays in the same class.
+        assert partial[6] <= 3 * max(full[6], 10)

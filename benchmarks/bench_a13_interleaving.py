@@ -1,0 +1,79 @@
+"""A13 (ablation): address interleaving vs per-region adaptive scrub.
+
+Performance-oriented address maps rotate consecutive lines across banks
+(LINE_INTERLEAVED), which spreads a logical hotspot's demand writes over
+every bank - destroying exactly the region-level heterogeneity that
+adaptive scrub exploits.  Row-major mapping keeps the hotspot in a few
+banks; the adaptive scrubber relaxes the rest.  Same workload, same
+policy, two address maps: a system-level interaction neither the memory
+mapping nor the scrub papers usually model together.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import combined_scrub
+from repro.mem.geometry import Interleaving, MemoryGeometry
+from repro.sim import SimulationConfig, run_experiment
+from repro.workloads.generators import hotspot_rates, remap_rates
+
+GEOMETRY_KW = dict(channels=2, banks_per_channel=4, rows_per_bank=32, lines_per_row=32)
+NUM_LINES = MemoryGeometry(**GEOMETRY_KW).num_lines  # 8192
+CONFIG = SimulationConfig(
+    num_lines=NUM_LINES,
+    region_size=MemoryGeometry(**GEOMETRY_KW).lines_per_bank,
+    horizon=14 * units.DAY,
+    endurance=None,
+)
+INTERVAL = units.HOUR
+
+
+def compute() -> list[list[object]]:
+    logical = hotspot_rates(
+        NUM_LINES,
+        total_write_rate=NUM_LINES / (10 * units.MINUTE),
+        hot_fraction=0.25,
+        hot_share=0.99,
+    )
+    rows = []
+    for interleaving in (Interleaving.ROW_MAJOR, Interleaving.LINE_INTERLEAVED):
+        geometry = MemoryGeometry(**GEOMETRY_KW, interleaving=interleaving)
+        rates = remap_rates(logical, geometry.bank_major_map())
+        result = run_experiment(combined_scrub(INTERVAL), CONFIG, rates)
+        rows.append(
+            [
+                interleaving.value,
+                result.stats.visits,
+                result.scrub_writes,
+                result.uncorrectable,
+                units.format_energy(result.scrub_energy),
+            ]
+        )
+    return rows
+
+
+def test_a13_interleaving(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "a13_interleaving",
+        format_table(
+            ["address map", "scrub visits", "scrub writes", "UE", "scrub E"],
+            rows,
+            title=(
+                "A13: the same logical hotspot under two address maps "
+                "(combined scrub; regions = banks)"
+            ),
+        ),
+    )
+    by_map = {row[0]: row for row in rows}
+    row_major_visits = by_map["row_major"][1]
+    interleaved_visits = by_map["line_interleaved"][1]
+    # Row-major preserves bank-level heterogeneity: the two hot banks relax
+    # to the interval ceiling and all but vanish from the visit count,
+    # while under interleaving every bank stays cold-line-limited.  The
+    # total is dominated by the 6 cold banks either way, so the aggregate
+    # gap is bounded by the hot fraction (~8% here) - asserted directional.
+    assert row_major_visits < 0.95 * interleaved_visits
+    # Protection equivalent either way.
+    assert abs(by_map["row_major"][3] - by_map["line_interleaved"][3]) <= 10

@@ -1,0 +1,51 @@
+"""E1 (figure): per-level drift soft-error probability vs time since write.
+
+The device-level curve that motivates everything: the two intermediate
+levels of a 4-level cell drift toward their upper read boundaries, so
+their misread probability climbs from negligible (seconds) to severe
+(days) - while the fully crystalline and fully amorphous levels stay safe.
+Regenerated from the closed-form model; E2 validates it against Monte
+Carlo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_series
+from repro.params import CellSpec
+from repro.pcm.drift import DriftModel
+
+POINTS = 13
+
+
+def compute_series() -> tuple[list[str], dict[str, list[float]]]:
+    model = DriftModel(CellSpec())
+    times = np.logspace(0, 7.5, POINTS)  # 1 s .. ~1 yr
+    labels = [units.format_seconds(t) for t in times]
+    series = {
+        f"P(err) L{level}": [model.error_probability(level, t) for t in times]
+        for level in range(4)
+    }
+    return labels, series
+
+
+def test_e01_drift_error_vs_time(benchmark, emit):
+    labels, series = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+    emit(
+        "e01_drift_error_vs_time",
+        format_series(
+            "age",
+            labels,
+            series,
+            title="E1: per-level drift error probability vs time since write",
+        ),
+    )
+    l2 = series["P(err) L2"]
+    # The motivating shape: monotone growth spanning many decades, with the
+    # intermediate level far worse than the extremes.
+    assert l2 == sorted(l2)
+    assert l2[-1] > 0.1
+    assert series["P(err) L3"][-1] == 0.0
+    assert series["P(err) L0"][-1] < 1e-6

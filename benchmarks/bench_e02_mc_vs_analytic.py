@@ -1,0 +1,75 @@
+"""E2 (figure): Monte-Carlo engines vs the closed-form model (validation).
+
+Three independent implementations of the same physics - the analytic
+integral, the order-statistics population sampler, and the bit-exact cell
+array - must agree on the per-cell error probability.  This is the
+methodological check that licenses using the fast engine for every other
+experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_series
+from repro.params import CellSpec
+from repro.pcm.array import LineArray
+from repro.pcm.variation import VariationSpec
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.population import LinePopulation
+
+POPULATION_LINES = 8192
+BITEXACT_LINES = 48
+AGES = [units.HOUR, 6 * units.HOUR, units.DAY, 3 * units.DAY, units.WEEK]
+
+
+def compute() -> dict:
+    distribution = CrossingDistribution(CellSpec())
+    population = LinePopulation(
+        num_lines=POPULATION_LINES,
+        cells_per_line=256,
+        distribution=distribution,
+        rng=np.random.default_rng(20),
+    )
+    array = LineArray(
+        BITEXACT_LINES,
+        256,
+        rng=np.random.default_rng(21),
+        variation=VariationSpec(0.0, 0.0),
+        endurance=None,
+    )
+    array.write_random(0.0)
+
+    idx = np.arange(POPULATION_LINES)
+    rows = {"analytic": [], "population MC": [], "bit-exact": []}
+    for age in AGES:
+        rows["analytic"].append(float(distribution.cdf(age)))
+        rows["population MC"].append(
+            population.error_counts(idx, age).sum() / (POPULATION_LINES * 256)
+        )
+        rows["bit-exact"].append(
+            array.total_errors(age) / (BITEXACT_LINES * 256)
+        )
+    return rows
+
+
+def test_e02_mc_vs_analytic(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "e02_mc_vs_analytic",
+        format_series(
+            "age",
+            [units.format_seconds(a) for a in AGES],
+            rows,
+            title="E2: per-cell error probability - three engines (validation)",
+        ),
+    )
+    for analytic, mc, exact in zip(
+        rows["analytic"], rows["population MC"], rows["bit-exact"]
+    ):
+        # Population engine: millions of cells, tight agreement.
+        np.testing.assert_allclose(mc, analytic, rtol=0.1, atol=2e-5)
+        # Bit-exact: ~12k cells, looser Poisson bounds.
+        sigma = np.sqrt(max(analytic, 1e-9) / (BITEXACT_LINES * 256))
+        assert abs(exact - analytic) < 5 * sigma + 3e-4

@@ -1,0 +1,58 @@
+"""E3 (table): ECC storage overhead and decode cost vs correction strength.
+
+The storage argument for strong ECC: a shortened BCH over GF(2^10) pays
+~10 check bits per corrected error on a 512-bit line, so even BCH-6
+(60 bits, corrects 6) undercuts DRAM-style per-word SECDED (64 bits,
+corrects 1 per word).  Decode cost is what grows - which is exactly what
+the lightweight-detection mechanism then removes from the common path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.ecc.schemes import get_scheme, secded_scheme
+from repro.params import EnergySpec, LineSpec
+from repro.pcm.energy import OperationCosts
+
+SCHEME_NAMES = ["secded", "bch1", "bch2", "bch3", "bch4", "bch6", "bch8", "bch8+crc"]
+
+
+def compute_rows() -> list[list[object]]:
+    energy = EnergySpec()
+    line = LineSpec()
+    rows = []
+    for name in SCHEME_NAMES:
+        scheme = get_scheme(name)
+        costs = OperationCosts.for_line(
+            energy, line, scheme.total_overhead_bits, scheme.t
+        )
+        rows.append(
+            [
+                scheme.name,
+                scheme.t,
+                scheme.check_bits,
+                scheme.detector_bits,
+                f"{scheme.overhead_fraction(512):.1%}",
+                f"{costs.decode_energy * 1e12:.1f}pJ",
+                f"{costs.decode_latency * 1e9:.0f}ns",
+            ]
+        )
+    return rows
+
+
+def test_e03_ecc_overhead(benchmark, emit):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    emit(
+        "e03_ecc_overhead",
+        format_table(
+            ["scheme", "t", "check bits", "detect bits", "overhead", "decode E", "decode lat"],
+            rows,
+            title="E3: per-line ECC overhead and decode cost (512-bit lines)",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    # BCH-6 corrects 6x more than SECDED in fewer bits.
+    assert by_name["bch6"][2] < by_name["secded"][2]
+    assert secded_scheme().t == 1
+    # Check-bit growth is ~10 bits per unit of t.
+    assert by_name["bch8"][2] == 80

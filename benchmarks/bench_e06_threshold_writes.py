@@ -1,0 +1,60 @@
+"""E6 (figure): scrub writes saved by threshold write-back (theta sweep).
+
+The second cost mechanism: a correctable line need not be written back
+until its error count approaches the code's limit.  Sweeping the
+write-back threshold for BCH-4 and BCH-8 shows the writes/UE trade-off
+knob: each unit of theta defers write-backs by roughly the time the line
+takes to accumulate one more error.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import threshold_scrub
+from repro.sim import SimulationConfig, run_experiment
+
+CONFIG = SimulationConfig(
+    num_lines=8192, region_size=1024, horizon=14 * units.DAY, endurance=None
+)
+INTERVAL = units.HOUR
+SWEEP = [(4, 1), (4, 2), (4, 3), (8, 1), (8, 4), (8, 6), (8, 7)]
+
+
+def compute() -> list[list[object]]:
+    rows = []
+    for strength, theta in SWEEP:
+        result = run_experiment(
+            threshold_scrub(INTERVAL, strength, threshold=theta), CONFIG
+        )
+        rows.append(
+            [
+                f"bch{strength}",
+                theta,
+                result.scrub_writes,
+                result.uncorrectable,
+                units.format_energy(result.scrub_energy),
+            ]
+        )
+    return rows
+
+
+def test_e06_threshold_writes(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "e06_threshold_writes",
+        format_table(
+            ["code", "theta", "scrub writes", "UE", "scrub energy"],
+            rows,
+            title=(
+                f"E6: write-back threshold sweep @ {units.format_seconds(INTERVAL)} "
+                "(writes fall as theta rises; UE creeps toward the limit)"
+            ),
+        ),
+    )
+    writes = {(row[0], row[1]): row[2] for row in rows}
+    # Writes strictly fall with theta within each code.
+    assert writes[("bch4", 1)] > writes[("bch4", 2)] > writes[("bch4", 3)]
+    assert writes[("bch8", 1)] > writes[("bch8", 4)] > writes[("bch8", 6)]
+    # The strong code at high theta saves an order of magnitude.
+    assert writes[("bch8", 6)] < writes[("bch8", 1)] / 8

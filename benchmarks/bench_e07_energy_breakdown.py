@@ -1,0 +1,77 @@
+"""E7 (figure): scrub energy breakdown (read/detect/decode/write) per scheme.
+
+Where each mechanism's energy goes: the baseline spends most of its scrub
+energy on write-backs; strong ECC adds decode energy; the detector removes
+almost all decodes; the threshold removes almost all writes - leaving the
+combined scheme paying little beyond the mandatory array reads.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import (
+    basic_scrub,
+    combined_scrub,
+    light_scrub,
+    strong_ecc_scrub,
+    threshold_scrub,
+)
+from repro.sim import SimulationConfig, run_experiment
+
+CONFIG = SimulationConfig(
+    num_lines=8192, region_size=1024, horizon=14 * units.DAY, endurance=None
+)
+INTERVAL = units.HOUR
+
+
+def policies():
+    return [
+        basic_scrub(INTERVAL),
+        strong_ecc_scrub(INTERVAL, 4),
+        light_scrub(INTERVAL, 4),
+        threshold_scrub(INTERVAL, 4),
+        combined_scrub(INTERVAL),
+    ]
+
+
+def compute() -> list[list[object]]:
+    rows = []
+    for policy in policies():
+        result = run_experiment(policy, CONFIG)
+        breakdown = result.stats.energy_breakdown()
+        total = result.scrub_energy
+        rows.append(
+            [
+                result.policy_name,
+                units.format_energy(total),
+                *(f"{breakdown[k] / total:.1%}" for k in ("read", "detect", "decode", "write")),
+                result.uncorrectable,
+            ]
+        )
+    return rows
+
+
+def test_e07_energy_breakdown(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "e07_energy_breakdown",
+        format_table(
+            ["policy", "scrub E", "read", "detect", "decode", "write", "UE"],
+            rows,
+            title=f"E7: scrub energy breakdown @ {units.format_seconds(INTERVAL)}",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+
+    def write_share(name):
+        return float(by_name[name][5].rstrip("%")) / 100
+
+    def decode_share(name):
+        return float(by_name[name][4].rstrip("%")) / 100
+
+    # Baseline: write-back dominated.  Combined: read dominated.
+    assert write_share("basic(secded)") > 0.3
+    assert write_share("combined(t=8,theta=6)") < 0.35
+    # The detector removes nearly all decode energy relative to strong.
+    assert decode_share("light(bch4+crc)") < 0.5 * decode_share("strong(bch4)")

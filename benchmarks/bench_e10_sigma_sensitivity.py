@@ -1,0 +1,60 @@
+"""E10 (figure): sensitivity to the drift-exponent spread sigma_nu.
+
+Drift errors are a tail phenomenon: the mean drift exponent would take
+weeks to cross a guard band, but cells drawn a few sigma high cross in
+hours.  Scaling sigma_nu/nu-bar shows error probability is dominated by
+the spread - the reason the paper's mechanisms must handle per-cell
+variation rather than worst-case-design the guard bands.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.tables import format_series
+from repro.params import CellSpec, DriftParams, replace
+from repro.pcm.drift import DriftModel
+
+SIGMA_RATIOS = [0.2, 0.3, 0.4, 0.5, 0.6]
+AGES = [units.HOUR, units.DAY, units.WEEK]
+
+
+def spec_with_sigma_ratio(ratio: float) -> CellSpec:
+    base = CellSpec()
+    return replace(
+        base,
+        drift=tuple(
+            DriftParams(d.nu_mean, d.nu_mean * ratio) for d in base.drift
+        ),
+    )
+
+
+def compute() -> dict[str, list[float]]:
+    series: dict[str, list[float]] = {
+        units.format_seconds(age): [] for age in AGES
+    }
+    for ratio in SIGMA_RATIOS:
+        model = DriftModel(spec_with_sigma_ratio(ratio))
+        for age in AGES:
+            # L2 is the vulnerable level; report its error probability.
+            series[units.format_seconds(age)].append(
+                model.error_probability(2, age)
+            )
+    return series
+
+
+def test_e10_sigma_sensitivity(benchmark, emit):
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "e10_sigma_sensitivity",
+        format_series(
+            "sigma/nu",
+            [f"{r:.1f}" for r in SIGMA_RATIOS],
+            series,
+            title="E10: L2 drift error probability vs drift-exponent spread",
+        ),
+    )
+    # Error probability at short ages is driven by the tail: strongly
+    # increasing in sigma.
+    hour = series[units.format_seconds(units.HOUR)]
+    assert hour == sorted(hour)
+    assert hour[-1] > 50 * max(hour[0], 1e-12)

@@ -1,0 +1,79 @@
+"""E11 (figure): temperature sensitivity of drift errors and scrub demands.
+
+Structural relaxation accelerates with temperature (Arrhenius), so a
+server running its memory at 330-360 K needs substantially faster scrub
+than a 300 K part for the same reliability.  Reported two ways: the raw
+error-probability shift, and the scrub interval each temperature sustains
+at a fixed per-visit failure budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import units
+from repro.analysis.tables import format_series, format_table
+from repro.core import strong_ecc_scrub
+from repro.params import CellSpec
+from repro.sim import SimulationConfig, run_experiment
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+
+TEMPERATURES = [300.0, 315.0, 330.0, 345.0, 360.0]
+TARGET = 1e-9
+MC_CONFIG = SimulationConfig(
+    num_lines=4096, region_size=512, horizon=7 * units.DAY, endurance=None
+)
+
+
+def compute():
+    prob_series = {"P(err,L2,1h)": [], "P(err,L2,1d)": []}
+    interval_rows = []
+    mc_rows = []
+    for temperature in TEMPERATURES:
+        distribution = CrossingDistribution(CellSpec(), temperature_k=temperature)
+        prob_series["P(err,L2,1h)"].append(
+            float(distribution.level_cdf(2, units.HOUR))
+        )
+        prob_series["P(err,L2,1d)"].append(
+            float(distribution.level_cdf(2, units.DAY))
+        )
+        model = AnalyticModel(distribution, 256)
+        interval_rows.append(
+            [f"{temperature:.0f}K",
+             units.format_seconds(model.required_interval(4, TARGET))]
+        )
+        config = dataclasses.replace(MC_CONFIG, temperature_k=temperature)
+        result = run_experiment(strong_ecc_scrub(units.HOUR, 4), config)
+        mc_rows.append([f"{temperature:.0f}K", result.uncorrectable,
+                        result.scrub_writes])
+    return prob_series, interval_rows, mc_rows
+
+
+def test_e11_temperature(benchmark, emit):
+    probs, intervals, mc = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_series(
+        "T",
+        [f"{t:.0f}K" for t in TEMPERATURES],
+        probs,
+        title="E11: L2 error probability vs operating temperature",
+    )
+    text += "\n\n" + format_table(
+        ["T", f"max bch4 interval @ P<={TARGET:g}"],
+        intervals,
+        title="E11b: sustainable scrub interval vs temperature",
+    )
+    text += "\n\n" + format_table(
+        ["T", "UE (bch4 @1h)", "scrub writes"],
+        mc,
+        title="E11c: population Monte Carlo across temperature",
+    )
+    emit("e11_temperature", text)
+
+    hour = probs["P(err,L2,1h)"]
+    assert hour == sorted(hour)
+    assert hour[-1] > 3 * hour[0]
+    # Hotter parts need shorter intervals (tolerate equal as grid quantizes).
+    seconds = [row[1] for row in intervals]
+    assert seconds[0] != seconds[-1]
+    # Monte-Carlo write volume grows with temperature (more error lines).
+    assert mc[-1][2] > mc[0][2]

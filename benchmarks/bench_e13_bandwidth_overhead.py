@@ -1,0 +1,114 @@
+"""E13 (table): scrub bandwidth / bank-occupancy overhead per mechanism.
+
+The fair comparison is at *equal reliability*: each mechanism runs at the
+longest interval meeting the same per-visit line-failure budget (from the
+analytic model, as in E4b).  SECDED must rescan every line in minutes;
+BCH-8 sustains hours - so at equal protection the baseline occupies the
+banks for one to two orders of magnitude more time.  Occupancy is scaled
+to a realistic bank (2^22 64-byte lines = 256 MiB); write volumes come
+from population Monte Carlo at the chosen intervals.
+
+A companion queueing study pushes each mechanism's honest per-bank
+operation rates through the low-priority bank queue model under heavy
+demand to show the bank-share and demand-latency ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import basic_scrub, combined_scrub, strong_ecc_scrub
+from repro.mem.controller import BankQueueModel, ScrubTraffic
+from repro.mem.geometry import MemoryGeometry
+from repro.params import CellSpec
+from repro.sim import SimulationConfig, run_experiment
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+from repro.sim.runner import build_stats
+from repro.workloads.generators import uniform_rates
+from repro.workloads.trace import trace_from_rates
+
+CONFIG = SimulationConfig(
+    num_lines=8192, region_size=1024, horizon=7 * units.DAY, endurance=None
+)
+#: Per-visit line-failure budget all mechanisms are held to.
+TARGET = 1e-9
+#: Realistic bank: 2^22 64-byte lines (256 MiB).
+REAL_LINES_PER_BANK = 1 << 22
+GEOMETRY = MemoryGeometry(channels=1, banks_per_channel=8,
+                          rows_per_bank=32, lines_per_row=32)
+QUEUE_WINDOW = 2.0
+
+
+def mechanisms(model: AnalyticModel):
+    return [
+        ("basic(secded)", basic_scrub, model.required_interval(1, TARGET)),
+        ("strong(bch4)", lambda T: strong_ecc_scrub(T, 4),
+         model.required_interval(4, TARGET)),
+        ("combined(bch8)", combined_scrub, model.required_interval(8, TARGET)),
+    ]
+
+
+def compute() -> list[list[object]]:
+    model = AnalyticModel(
+        CrossingDistribution(CellSpec()), CONFIG.cells_per_line
+    )
+    demand = uniform_rates(GEOMETRY.num_lines, total_write_rate=20_000.0,
+                           read_write_ratio=3.0)
+    trace = trace_from_rates(demand, QUEUE_WINDOW, np.random.default_rng(31))
+    rows = []
+    for name, factory, interval in mechanisms(model):
+        policy = factory(interval)
+        result = run_experiment(policy, CONFIG)
+        stats = result.stats
+        # Writes per line-visit, measured; reads are one per line-visit.
+        writes_per_visit = stats.scrub_writes / stats.visits
+        decodes_per_visit = stats.scrub_decodes / stats.visits
+        # Busy seconds per real bank per second of wall clock.
+        visits_per_second = REAL_LINES_PER_BANK / interval
+        busy = visits_per_second * (
+            stats.costs.read_latency
+            + decodes_per_visit * stats.costs.decode_latency
+            + writes_per_visit * stats.costs.write_latency
+        )
+        queue_stats = build_stats(policy, CONFIG)
+        queue_model = BankQueueModel(GEOMETRY, queue_stats.costs)
+        # Honest per-real-bank operation rates feed the queue study.
+        scrub = ScrubTraffic(
+            reads_per_second=visits_per_second,
+            writes_per_second=visits_per_second * writes_per_visit,
+        )
+        report = queue_model.simulate(trace, scrub, QUEUE_WINDOW,
+                                      np.random.default_rng(32))
+        rows.append(
+            [
+                name,
+                units.format_seconds(interval),
+                f"{busy:.3%}",
+                f"{writes_per_visit:.4f}",
+                f"{report.scrub_share:.2%}",
+                f"{report.mean_read_latency * 1e9:.0f}ns",
+            ]
+        )
+    return rows
+
+
+def test_e13_bandwidth_overhead(benchmark, emit):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        "e13_bandwidth_overhead",
+        format_table(
+            ["mechanism", f"interval @P<={TARGET:g}", "bank busy",
+             "writes/visit", "scrub bank share (queue)", "demand read lat"],
+            rows,
+            title=(
+                "E13: bank time each mechanism costs at EQUAL reliability "
+                "(256 MiB banks, honest rates)"
+            ),
+        ),
+    )
+    busy = [float(row[2].rstrip("%")) for row in rows]
+    # At equal protection the baseline occupies banks >=10x more.
+    assert busy[0] > 10 * busy[2]
+    assert busy[0] > busy[1] > busy[2]

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every experiment (E1..E14 in DESIGN.md) is a pytest-benchmark test that
+
+* times its core computation once (``rounds=1`` - these are simulations,
+  not microbenchmarks, and their *output tables* are the deliverable),
+* renders the reproduced table/figure through ``repro.analysis.tables``,
+* prints it and writes it to ``benchmarks/out/<experiment>.txt`` so the
+  artifacts survive the run.
+
+Benchmark scale is chosen so the full suite finishes in a few minutes;
+every experiment accepts larger populations/horizons by editing one
+module-level constant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(artifact_dir, capsys):
+    """Print a rendered experiment block and persist it to disk."""
+
+    def _emit(name: str, text: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit

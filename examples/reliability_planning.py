@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""A reliability engineer's planning session, in closed form.
+
+No Monte Carlo in this example - the analytic stack (crossing mixture,
+binomial line failure, renewal steady state, lognormal wear-out) answers
+the deployment questions directly:
+
+1. how fast must each code be scrubbed for a target UE budget?
+2. what does a fixed bank-time budget buy?
+3. how many years until scrub-induced wear eats the spare budget?
+4. how much of all that does a drift-compensated read reference change?
+
+    python examples/reliability_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import format_table
+from repro.core.budgeted import reliability_at_budget
+from repro.params import CellSpec, EnduranceSpec
+from repro.pcm.reference import CompensatedSensing
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+from repro.sim.lifetime import project_lifetime
+from repro.sim.renewal import RenewalModel
+
+TARGET = 1e-9
+LINES_PER_BANK = 1 << 22
+
+
+def question_1(model: AnalyticModel) -> None:
+    print("Q1: scrub interval per code at P(UE per visit) <= 1e-9")
+    for t in (1, 2, 4, 8):
+        interval = model.required_interval(t, TARGET)
+        print(f"  ECC-{t}: {units.format_seconds(interval)}")
+    print()
+
+
+def question_2(model: AnalyticModel) -> None:
+    print("Q2: what a bank-time budget buys (256 MiB banks)")
+    rows = []
+    for budget in (1e-3, 1e-4, 1e-5):
+        for t in (1, 8):
+            try:
+                interval, failure = reliability_at_budget(
+                    model, LINES_PER_BANK, budget, t
+                )
+                rows.append(
+                    [f"{budget:.0e}", f"bch{t}",
+                     units.format_seconds(interval), f"{failure:.2e}"]
+                )
+            except ValueError:
+                rows.append([f"{budget:.0e}", f"bch{t}", "infeasible", "-"])
+    print(format_table(["budget", "code", "interval", "P(UE/visit)"], rows))
+    print()
+
+
+def question_3(renewal: RenewalModel) -> None:
+    print("Q3: years to wear-out (1e8 endurance, 1 demand write/line/h)")
+    for strength, theta in [(4, 1), (8, 6)]:
+        report = project_lifetime(
+            renewal, units.HOUR, strength, theta, EnduranceSpec(),
+            demand_write_rate=1.0 / units.HOUR,
+        )
+        print(
+            f"  bch{strength} theta={theta}: "
+            f"{report.years_to_wearout:,.0f} years "
+            f"(scrub {report.scrub_write_rate:.1e} wr/line/s)"
+        )
+    print()
+
+
+def question_4() -> None:
+    print("Q4: drift-compensated read references")
+    plain = AnalyticModel(CrossingDistribution(CellSpec()), 256)
+    compensated = AnalyticModel(
+        CrossingDistribution(model=CompensatedSensing(CellSpec())), 256
+    )
+    intervals = np.array(
+        [10 * units.MINUTE, units.HOUR, 6 * units.HOUR, units.DAY, units.WEEK]
+    )
+    series = {
+        "plain t=4": [plain.line_failure_probability(T, 4) for T in intervals],
+        "compensated t=4": [
+            compensated.line_failure_probability(T, 4) for T in intervals
+        ],
+    }
+    print(
+        ascii_chart(
+            [units.format_seconds(T) for T in intervals],
+            series,
+            height=10,
+            title="P(line uncorrectable within one interval)",
+        )
+    )
+    print()
+    for name, model in [("plain", plain), ("compensated", compensated)]:
+        print(
+            f"  {name}: bch4 sustains "
+            f"{units.format_seconds(model.required_interval(4, TARGET))}"
+        )
+
+
+def main() -> None:
+    model = AnalyticModel(CrossingDistribution(CellSpec()), 256)
+    renewal = RenewalModel(CrossingDistribution(CellSpec()), 256)
+    question_1(model)
+    question_2(model)
+    question_3(renewal)
+    question_4()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Operating-conditions walkthrough: thermal cycling and read traffic.
+
+Two deployment realities the base experiments idealize away, modelled
+exactly by the engine extensions:
+
+* the machine room cycles between day and night temperatures
+  (``ThermalProfile``: drift accelerates Arrhenius-style in hot phases);
+* the workload *reads* constantly, and every read already pays for an ECC
+  decode - so read-triggered refresh turns that traffic into free scrub
+  coverage (``read_refresh=True``).
+
+    python examples/thermal_and_reads.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import units
+from repro.analysis.tables import format_table
+from repro.core import threshold_scrub
+from repro.pcm.thermal import ThermalPhase, ThermalProfile
+from repro.sim import SimulationConfig, run_experiment
+from repro.workloads.generators import DemandRates
+
+BASE = SimulationConfig(
+    num_lines=4096, region_size=512, horizon=14 * units.DAY, endurance=None
+)
+
+
+def diurnal() -> ThermalProfile:
+    return ThermalProfile(
+        [
+            ThermalPhase(12 * units.HOUR, 330.0),  # daytime load
+            ThermalPhase(12 * units.HOUR, 305.0),  # night setback
+        ]
+    )
+
+
+def read_heavy(reads_per_line_per_hour: float) -> DemandRates:
+    return DemandRates(
+        write_rate=np.zeros(BASE.num_lines),
+        read_rate=np.full(BASE.num_lines, reads_per_line_per_hour / units.HOUR),
+        name=f"reads({reads_per_line_per_hour:g}/h)",
+    )
+
+
+def main() -> None:
+    policy = lambda: threshold_scrub(4 * units.HOUR, strength=4, threshold=3)
+
+    scenarios = [
+        ("300K constant, no reads", BASE, None),
+        ("diurnal 305/330K, no reads",
+         dataclasses.replace(BASE, thermal_profile=diurnal()), None),
+        ("diurnal + 1 read/line/h (ignored)",
+         dataclasses.replace(BASE, thermal_profile=diurnal()),
+         read_heavy(1.0)),
+        ("diurnal + 1 read/line/h + read refresh",
+         dataclasses.replace(BASE, thermal_profile=diurnal(), read_refresh=True),
+         read_heavy(1.0)),
+    ]
+
+    rows = []
+    for name, config, rates in scenarios:
+        result = run_experiment(policy(), config, rates)
+        rows.append(
+            [
+                name,
+                result.uncorrectable,
+                result.scrub_writes,
+                units.format_energy(result.scrub_energy),
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "UE", "scrub writes", "scrub energy"],
+            rows,
+            title=(
+                "Operating conditions vs scrub outcomes "
+                "(threshold bch4, 4h interval, 2 weeks)"
+            ),
+        )
+    )
+    print(
+        "\nreading guide: heat multiplies drift errors; read traffic alone "
+        "does nothing; letting the read path trigger refreshes claws most "
+        "of the loss back without touching the scrub rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Analysis helpers: sweeps, statistics, and table rendering.
+
+Every benchmark builds its output through this package so all reproduced
+tables and series share one look: :mod:`repro.analysis.tables` renders
+fixed-width tables and x/y series, :mod:`repro.analysis.sweeps` runs
+parameter sweeps over the experiment runner, and
+:mod:`repro.analysis.stats` provides the summary statistics (means,
+Poisson confidence intervals) the reported numbers carry.
+"""
+
+from __future__ import annotations
+
+from .stats import mean_confidence_interval, poisson_interval, summarize
+from .sweeps import sweep_intervals, sweep_policies
+from .tables import format_series, format_table
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "mean_confidence_interval",
+    "poisson_interval",
+    "summarize",
+    "sweep_intervals",
+    "sweep_policies",
+]

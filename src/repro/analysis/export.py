@@ -1,0 +1,73 @@
+"""Result export: CSV and JSON-lines for downstream analysis.
+
+Benchmarks print human tables; sweeps that feed plotting pipelines or
+regression dashboards want machine-readable rows.  One row per
+:class:`~repro.sim.results.RunResult`, flat columns, stable ordering.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+
+from ..sim.results import RunResult
+
+#: Flat columns exported for every run, in order.
+RESULT_COLUMNS = (
+    "policy",
+    "workload",
+    "num_lines",
+    "horizon_s",
+    "seed",
+    "temperature_k",
+    "uncorrectable",
+    "scrub_reads",
+    "scrub_decodes",
+    "scrub_writes",
+    "scrub_energy_j",
+    "demand_writes",
+    "detector_misses",
+    "retired",
+    "runtime_s",
+)
+
+
+def _row(result: RunResult) -> dict[str, object]:
+    blob = result.to_dict()
+    return {column: blob[column] for column in RESULT_COLUMNS}
+
+
+def results_to_csv(results: Sequence[RunResult]) -> str:
+    """Render runs as CSV with a header row.
+
+    >>> text = results_to_csv([])
+    >>> text.splitlines()[0].startswith("policy,workload")
+    True
+    """
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(RESULT_COLUMNS))
+    writer.writeheader()
+    for result in results:
+        writer.writerow(_row(result))
+    return buffer.getvalue()
+
+
+def results_to_jsonl(results: Sequence[RunResult]) -> str:
+    """One full ``to_dict`` JSON object per line (includes breakdowns)."""
+    return "\n".join(json.dumps(result.to_dict()) for result in results)
+
+
+def write_results(path, results: Sequence[RunResult]) -> None:
+    """Write results to ``path``; format chosen by suffix (.csv / .jsonl)."""
+    from pathlib import Path
+
+    path = Path(path)
+    if path.suffix == ".csv":
+        payload = results_to_csv(results)
+    elif path.suffix == ".jsonl":
+        payload = results_to_jsonl(results) + ("\n" if results else "")
+    else:
+        raise ValueError(f"unsupported export suffix {path.suffix!r}")
+    path.write_text(payload)

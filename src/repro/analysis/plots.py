@@ -1,0 +1,95 @@
+"""ASCII figure rendering: log-scale line charts for terminals.
+
+The benchmarks print numeric series; the examples additionally *draw*
+them, because the shapes (orders-of-magnitude gaps, crossovers, knees)
+are the point of the paper's figures.  No plotting dependency: fixed-grid
+ASCII, one glyph per series, log or linear y.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "ox*+#@%&"
+
+
+def ascii_chart(
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    log_y: bool = True,
+    title: str | None = None,
+    floor: float = 1e-12,
+) -> str:
+    """Render series as an ASCII chart with a legend.
+
+    ``log_y`` plots log10(max(value, floor)); zeros sit on the floor line.
+
+    >>> text = ascii_chart(["a", "b"], {"s": [1.0, 10.0]}, height=4)
+    >>> "s" in text
+    True
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if height < 3:
+        raise ValueError("height must be >= 3")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported")
+    width = len(x_labels)
+    for name, values in series.items():
+        if len(values) != width:
+            raise ValueError(f"series {name!r} length does not match x labels")
+    if width == 0:
+        raise ValueError("need at least one x position")
+
+    def transform(value: float) -> float:
+        if log_y:
+            return math.log10(max(value, floor))
+        return value
+
+    transformed = {
+        name: [transform(v) for v in values] for name, values in series.items()
+    }
+    lo = min(min(vals) for vals in transformed.values())
+    hi = max(max(vals) for vals in transformed.values())
+    if hi == lo:
+        hi = lo + 1.0
+
+    # Column spacing: at least 2 chars per x position.
+    col_width = max(2, (60 // width) if width else 2)
+    grid_width = col_width * width
+    grid = [[" "] * grid_width for _ in range(height)]
+
+    for (name, values), glyph in zip(transformed.items(), SERIES_GLYPHS):
+        for i, value in enumerate(values):
+            row = round((value - lo) / (hi - lo) * (height - 1))
+            r = height - 1 - row
+            c = i * col_width + col_width // 2
+            grid[r][c] = glyph
+
+    def y_label(row: int) -> str:
+        value = lo + (height - 1 - row) / (height - 1) * (hi - lo)
+        if log_y:
+            return f"1e{value:+.0f}"
+        return f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        label = y_label(r) if r in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>8} |" + "".join(grid[r]))
+    lines.append(" " * 9 + "+" + "-" * grid_width)
+    # X labels, centered in their columns (truncated to fit).
+    cells = []
+    for label in x_labels:
+        text = str(label)[: col_width]
+        cells.append(text.center(col_width))
+    lines.append(" " * 10 + "".join(cells))
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, __), glyph in zip(series.items(), SERIES_GLYPHS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

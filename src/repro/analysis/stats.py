@@ -1,0 +1,80 @@
+"""Summary statistics for reported numbers.
+
+Uncorrectable-error counts are (approximately) Poisson, so their intervals
+come from the chi-square construction; continuous metrics (energy, latency)
+get t-based mean intervals across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean plus a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +- {self.half_width:.2g} (n={self.n})"
+
+
+def summarize(values: list[float] | np.ndarray, confidence: float = 0.95) -> Summary:
+    """t-interval summary of repeated-measure values."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize zero values")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return Summary(mean=mean, half_width=0.0, n=1)
+    stderr = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return Summary(
+        mean=mean,
+        half_width=_t_critical(arr.size - 1, confidence) * stderr,
+        n=int(arr.size),
+    )
+
+
+def mean_confidence_interval(
+    values: list[float] | np.ndarray, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """(mean, low, high) convenience wrapper around :func:`summarize`."""
+    s = summarize(values, confidence)
+    return s.mean, s.low, s.high
+
+
+def poisson_interval(count: int, confidence: float = 0.95) -> tuple[float, float]:
+    """Exact (Garwood) confidence interval for a Poisson count.
+
+    >>> low, high = poisson_interval(0)
+    >>> low
+    0.0
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    from scipy.stats import chi2
+
+    alpha = 1.0 - confidence
+    low = 0.0 if count == 0 else float(chi2.ppf(alpha / 2, 2 * count) / 2)
+    high = float(chi2.ppf(1 - alpha / 2, 2 * (count + 1)) / 2)
+    return low, high
+
+
+def _t_critical(dof: int, confidence: float) -> float:
+    from scipy.stats import t
+
+    return float(t.ppf(0.5 + confidence / 2, dof))

@@ -1,0 +1,44 @@
+"""Parameter-sweep harnesses over the experiment runner.
+
+Benchmarks express "run these policies at these intervals under this
+workload" once, through these helpers, and get back result grids ready for
+:mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..core.policy import ScrubPolicy
+from ..sim.config import SimulationConfig
+from ..sim.results import RunResult
+from ..sim.runner import run_experiment
+from ..workloads.generators import DemandRates
+
+PolicyFactory = Callable[[float], ScrubPolicy]
+
+
+def sweep_intervals(
+    factory: PolicyFactory,
+    intervals: Sequence[float],
+    config: SimulationConfig,
+    rates: DemandRates | None = None,
+) -> list[RunResult]:
+    """Run one policy family across scrub intervals.
+
+    ``factory`` maps an interval to a policy (e.g. ``basic_scrub``).
+    """
+    if not intervals:
+        raise ValueError("intervals must be non-empty")
+    return [run_experiment(factory(interval), config, rates) for interval in intervals]
+
+
+def sweep_policies(
+    policies: Sequence[ScrubPolicy],
+    config: SimulationConfig,
+    rates: DemandRates | None = None,
+) -> list[RunResult]:
+    """Run several ready-built policies under identical conditions."""
+    if not policies:
+        raise ValueError("policies must be non-empty")
+    return [run_experiment(policy, config, rates) for policy in policies]

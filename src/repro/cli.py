@@ -1,0 +1,358 @@
+"""Command-line experiment driver.
+
+Installed as ``pcm-scrub``; also runnable as ``python -m repro``.
+
+Subcommands::
+
+    pcm-scrub drift-curve                 # per-level error probability vs time
+    pcm-scrub compare --interval 3600     # all mechanisms head-to-head
+    pcm-scrub headline                    # the abstract's three numbers
+    pcm-scrub sweep --policy basic ...    # UE/writes/energy vs interval
+
+Every command prints a deterministic fixed-width table; ``--seed``,
+``--lines``, ``--horizon`` control the Monte-Carlo configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import units
+from .analysis.tables import format_series, format_table
+from .core import (
+    adaptive_scrub,
+    basic_scrub,
+    combined_scrub,
+    light_scrub,
+    strong_ecc_scrub,
+    threshold_scrub,
+)
+from .params import CellSpec
+from .pcm.drift import DriftModel
+from .sim import SimulationConfig, run_experiment
+from .workloads import uniform_rates, zipf_rates
+
+POLICY_FACTORIES = {
+    "basic": lambda interval, strength: basic_scrub(interval),
+    "strong": strong_ecc_scrub,
+    "light": light_scrub,
+    "threshold": lambda interval, strength: threshold_scrub(interval, strength),
+    "adaptive": lambda interval, strength: adaptive_scrub(interval, strength),
+    "combined": lambda interval, strength: combined_scrub(interval, strength),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pcm-scrub",
+        description="Drift-aware scrub mechanisms for MLC PCM (HPCA 2012 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--lines", type=int, default=8192, help="Monte-Carlo lines")
+    parser.add_argument(
+        "--horizon-days", type=float, default=14.0, help="simulated days"
+    )
+    parser.add_argument(
+        "--temperature", type=float, default=300.0, help="kelvin"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    drift = sub.add_parser("drift-curve", help="per-level error probability vs time")
+    drift.add_argument("--points", type=int, default=9)
+
+    compare = sub.add_parser("compare", help="all mechanisms at one interval")
+    compare.add_argument("--interval", type=float, default=units.HOUR)
+    compare.add_argument("--strength", type=int, default=4)
+    compare.add_argument(
+        "--workload", choices=["idle", "uniform", "zipf"], default="idle"
+    )
+    compare.add_argument("--write-rate", type=float, default=100.0)
+    compare.add_argument(
+        "--compensated", action="store_true",
+        help="use drift-compensated (time-aware) read references",
+    )
+
+    headline = sub.add_parser("headline", help="combined vs basic, abstract style")
+    headline.add_argument("--interval", type=float, default=units.HOUR)
+
+    sweep = sub.add_parser("sweep", help="one policy across intervals")
+    sweep.add_argument("--policy", choices=sorted(POLICY_FACTORIES), default="basic")
+    sweep.add_argument("--strength", type=int, default=4)
+    sweep.add_argument(
+        "--intervals",
+        type=float,
+        nargs="+",
+        default=[0.25 * units.HOUR, 0.5 * units.HOUR, units.HOUR, 2 * units.HOUR],
+    )
+
+    provision = sub.add_parser(
+        "provision",
+        help="reliability each ECC strength buys at a bank-time budget",
+    )
+    provision.add_argument(
+        "--budget", type=float, nargs="+", default=[1e-3, 1e-4, 1e-5],
+        help="bank-time fractions granted to scrub",
+    )
+    provision.add_argument(
+        "--lines-per-bank", type=int, default=1 << 22,
+        help="bank capacity in 64B lines",
+    )
+    provision.add_argument(
+        "--strengths", type=int, nargs="+", default=[1, 2, 4, 8]
+    )
+
+    lifetime = sub.add_parser(
+        "lifetime", help="projected years to wear-out per scrub configuration"
+    )
+    lifetime.add_argument("--interval", type=float, default=units.HOUR)
+    lifetime.add_argument(
+        "--demand-writes-per-hour", type=float, default=1.0,
+        help="demand writes per line per hour",
+    )
+    lifetime.add_argument(
+        "--endurance", type=float, default=1e8, help="mean cell endurance"
+    )
+
+    export = sub.add_parser(
+        "export", help="run the mechanism comparison and write CSV/JSONL"
+    )
+    export.add_argument("--interval", type=float, default=units.HOUR)
+    export.add_argument("--strength", type=int, default=4)
+    export.add_argument("output", help="path ending in .csv or .jsonl")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SimulationConfig:
+    region = 512 if args.lines % 512 == 0 else args.lines
+    return SimulationConfig(
+        num_lines=args.lines,
+        region_size=region,
+        horizon=args.horizon_days * units.DAY,
+        seed=args.seed,
+        temperature_k=args.temperature,
+        compensated_sensing=getattr(args, "compensated", False),
+    )
+
+
+def _workload(args: argparse.Namespace, num_lines: int):
+    if args.workload == "idle":
+        return None
+    if args.workload == "uniform":
+        return uniform_rates(num_lines, args.write_rate)
+    return zipf_rates(
+        num_lines, args.write_rate, alpha=1.0, rng=np.random.default_rng(args.seed)
+    )
+
+
+def cmd_drift_curve(args: argparse.Namespace) -> int:
+    model = DriftModel(CellSpec(), temperature_k=args.temperature)
+    times = np.logspace(0, 7.5, args.points)
+    series = {
+        f"L{level}": [model.error_probability(level, t) for t in times]
+        for level in range(4)
+    }
+    print(
+        format_series(
+            "seconds",
+            [units.format_seconds(t) for t in times],
+            series,
+            title="Per-level drift soft-error probability vs time since write",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _config(args)
+    rates = _workload(args, config.num_lines)
+    policies = [
+        basic_scrub(args.interval),
+        strong_ecc_scrub(args.interval, args.strength),
+        light_scrub(args.interval, args.strength),
+        threshold_scrub(args.interval, args.strength),
+        adaptive_scrub(args.interval, args.strength),
+        combined_scrub(args.interval),
+    ]
+    rows = []
+    for policy in policies:
+        result = run_experiment(policy, config, rates)
+        rows.append(
+            [
+                result.policy_name,
+                result.uncorrectable,
+                result.scrub_writes,
+                units.format_energy(result.scrub_energy),
+                f"{result.runtime_seconds:.2f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "UE", "scrub writes", "scrub energy", "runtime"],
+            rows,
+            title=(
+                f"Mechanism comparison @ interval {units.format_seconds(args.interval)}, "
+                f"{config.num_lines} lines, {units.format_seconds(config.horizon)}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    config = _config(args)
+    base = run_experiment(basic_scrub(args.interval), config)
+    ours = run_experiment(combined_scrub(args.interval), config)
+    rows = [
+        ["uncorrectable errors", base.uncorrectable, ours.uncorrectable,
+         f"{ours.ue_reduction_vs(base):.1%} reduction (paper: 96.5%)"],
+        ["scrub writes", base.scrub_writes, ours.scrub_writes,
+         f"{ours.write_factor_vs(base):.1f}x fewer (paper: 24.4x)"],
+        ["scrub energy", units.format_energy(base.scrub_energy),
+         units.format_energy(ours.scrub_energy),
+         f"{ours.energy_reduction_vs(base):.1%} reduction (paper: 37.8%)"],
+    ]
+    print(
+        format_table(
+            ["metric", "basic", "combined", "comparison"],
+            rows,
+            title="Headline comparison (abstract of the paper)",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config(args)
+    factory = POLICY_FACTORIES[args.policy]
+    rows = []
+    for interval in args.intervals:
+        result = run_experiment(factory(interval, args.strength), config)
+        rows.append(
+            [
+                units.format_seconds(interval),
+                result.uncorrectable,
+                result.scrub_writes,
+                units.format_energy(result.scrub_energy),
+            ]
+        )
+    print(
+        format_table(
+            ["interval", "UE", "scrub writes", "scrub energy"],
+            rows,
+            title=f"Interval sweep for {args.policy}",
+        )
+    )
+    return 0
+
+
+def cmd_provision(args: argparse.Namespace) -> int:
+    from .core.budgeted import reliability_at_budget
+    from .sim.analytic import AnalyticModel, CrossingDistribution
+
+    model = AnalyticModel(
+        CrossingDistribution(CellSpec(), temperature_k=args.temperature), 256
+    )
+    rows = []
+    for budget in args.budget:
+        for strength in args.strengths:
+            try:
+                interval, failure = reliability_at_budget(
+                    model, args.lines_per_bank, budget, strength
+                )
+                rows.append(
+                    [f"{budget:.0e}", f"bch{strength}",
+                     units.format_seconds(interval), f"{failure:.3e}"]
+                )
+            except ValueError:
+                rows.append([f"{budget:.0e}", f"bch{strength}", "infeasible", "-"])
+    print(
+        format_table(
+            ["bank budget", "code", "affordable interval", "P(UE per visit)"],
+            rows,
+            title=(
+                "Reliability a bank-time budget buys "
+                f"({args.lines_per_bank} lines/bank @ {args.temperature:.0f}K)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
+    from .sim.analytic import CrossingDistribution
+    from .sim.lifetime import project_lifetime
+    from .sim.renewal import RenewalModel
+    from .params import EnduranceSpec
+
+    renewal = RenewalModel(
+        CrossingDistribution(CellSpec(), temperature_k=args.temperature), 256
+    )
+    endurance = EnduranceSpec(mean_writes=args.endurance)
+    demand = args.demand_writes_per_hour / units.HOUR
+    rows = []
+    for strength, theta in [(4, 1), (4, 3), (8, 1), (8, 6)]:
+        report = project_lifetime(
+            renewal, args.interval, strength, theta, endurance,
+            demand_write_rate=demand,
+        )
+        rows.append(
+            [
+                f"bch{strength} theta={theta}",
+                f"{report.scrub_write_rate:.2e}",
+                f"{report.soft_ue_rate:.2e}",
+                f"{report.years_to_wearout:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["config", "scrub wr/line/s", "soft UE/line/s", "years to wear-out"],
+            rows,
+            title=(
+                f"Lifetime projection @ interval "
+                f"{units.format_seconds(args.interval)}, "
+                f"{args.demand_writes_per_hour:g} demand wr/line/h, "
+                f"endurance {args.endurance:g}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.export import write_results
+
+    config = _config(args)
+    policies = [
+        basic_scrub(args.interval),
+        strong_ecc_scrub(args.interval, args.strength),
+        light_scrub(args.interval, args.strength),
+        threshold_scrub(args.interval, args.strength),
+        combined_scrub(args.interval),
+    ]
+    results = [run_experiment(policy, config) for policy in policies]
+    write_results(args.output, results)
+    print(f"wrote {len(results)} runs to {args.output}")
+    return 0
+
+
+COMMANDS = {
+    "drift-curve": cmd_drift_curve,
+    "compare": cmd_compare,
+    "headline": cmd_headline,
+    "sweep": cmd_sweep,
+    "provision": cmd_provision,
+    "lifetime": cmd_lifetime,
+    "export": cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

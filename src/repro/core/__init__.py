@@ -1,0 +1,54 @@
+"""Scrub mechanisms - the paper's primary contribution.
+
+A scrub mechanism is a :class:`~repro.core.policy.ScrubPolicy`: it owns an
+ECC scheme, decides per scrub visit which lines engage the decoder and which
+get written back, and controls the (possibly adaptive, per-region) scrub
+interval.  The simulation engines apply its decisions to the device state
+and charge the energy ledger.
+
+Concrete mechanisms, in the order the paper develops them:
+
+* :func:`~repro.core.basic.basic_scrub` - the DRAM-style baseline: SECDED,
+  decode every line, write back any line with a correctable error.
+* :func:`~repro.core.strong.strong_ecc_scrub` - same algorithm with a
+  multi-bit BCH code.
+* :func:`~repro.core.light.light_scrub` - gate the decoder behind a
+  lightweight CRC detection check.
+* :func:`~repro.core.threshold.threshold_scrub` - defer write-back until
+  the accumulated error count approaches the correction limit.
+* :func:`~repro.core.adaptive.adaptive_scrub` - adapt per-region scrub
+  intervals to observed error pressure (soft/hard trade-off).
+* :func:`~repro.core.combined.combined_scrub` - all mechanisms together;
+  the configuration behind the abstract's headline numbers.
+"""
+
+from __future__ import annotations
+
+from .policy import ScrubPolicy, VisitDecision
+from .stats import ScrubStats
+from .basic import basic_scrub
+from .strong import strong_ecc_scrub
+from .light import light_scrub
+from .threshold import partial_scrub, threshold_scrub
+from .adaptive import adaptive_scrub, AdaptiveIntervalController
+from .combined import combined_scrub
+from .budgeted import budgeted_scrub, interval_for_budget, reliability_at_budget
+from .scheduler import ScrubScheduler
+
+__all__ = [
+    "AdaptiveIntervalController",
+    "ScrubPolicy",
+    "ScrubScheduler",
+    "ScrubStats",
+    "VisitDecision",
+    "adaptive_scrub",
+    "basic_scrub",
+    "budgeted_scrub",
+    "combined_scrub",
+    "interval_for_budget",
+    "light_scrub",
+    "partial_scrub",
+    "reliability_at_budget",
+    "strong_ecc_scrub",
+    "threshold_scrub",
+]

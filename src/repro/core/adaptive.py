@@ -1,0 +1,193 @@
+"""Adaptive-interval scrub: trading soft errors against hard errors.
+
+Scrubbing faster catches drift errors earlier (fewer uncorrectable errors,
+i.e. fewer *soft*-error escapes) but performs more write-backs, and every
+write-back burns one endurance cycle of every cell in the line - converting
+scrub aggressiveness into *hard* errors years down the road.  The right
+rate also varies across memory: write-hot regions get their drift clocks
+reset by demand traffic for free, while cold regions accumulate errors for
+the scrubber alone to find.
+
+The adaptive mechanism gives each region its own interval, steered by what
+scrub passes actually observe, AIMD-style:
+
+* **panic** - any line at or above ``panic_fraction * t`` errors halves the
+  region's interval (multiplicative decrease: the region is one burst away
+  from an uncorrectable error);
+* **relax** - a pass whose worst line stays below ``relax_fraction * t``
+  lengthens the interval by ``relax_factor`` (additive-ish increase: the
+  region is over-scrubbed and write wear is being wasted).
+
+Intervals are clamped to ``[min_interval, max_interval]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ecc.schemes import EccScheme, scheme_for_strength
+from .policy import ScrubPolicy, VisitDecision
+
+
+class AdaptiveIntervalController:
+    """Per-region AIMD interval state, usable by any policy."""
+
+    def __init__(
+        self,
+        base_interval: float,
+        min_interval: float,
+        max_interval: float,
+        panic_divisor: float = 2.0,
+        relax_factor: float = 1.25,
+    ):
+        if not 0 < min_interval <= base_interval <= max_interval:
+            raise ValueError(
+                "need 0 < min_interval <= base_interval <= max_interval"
+            )
+        if panic_divisor <= 1.0:
+            raise ValueError("panic_divisor must exceed 1")
+        if relax_factor <= 1.0:
+            raise ValueError("relax_factor must exceed 1")
+        self.base_interval = base_interval
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.panic_divisor = panic_divisor
+        self.relax_factor = relax_factor
+        self._intervals: dict[int, float] = {}
+
+    def interval(self, region: int) -> float:
+        return self._intervals.get(region, self.base_interval)
+
+    def panic(self, region: int) -> float:
+        """Multiplicative decrease; returns the new interval."""
+        new = max(self.min_interval, self.interval(region) / self.panic_divisor)
+        self._intervals[region] = new
+        return new
+
+    def relax(self, region: int) -> float:
+        """Gentle increase; returns the new interval."""
+        new = min(self.max_interval, self.interval(region) * self.relax_factor)
+        self._intervals[region] = new
+        return new
+
+    def hold(self, region: int) -> float:
+        """No change; returns the current interval."""
+        return self.interval(region)
+
+
+class AdaptiveScrubPolicy(ScrubPolicy):
+    """Threshold write-back plus AIMD per-region intervals.
+
+    Parameters
+    ----------
+    scheme, threshold:
+        As in :class:`repro.core.threshold.ThresholdScrubPolicy`.
+    controller:
+        Interval state shared across visits.
+    panic_level:
+        Worst observed per-line error count at which the region's interval
+        is halved.  Defaults to the correction strength ``t``: a line that
+        reached the limit within one interval was one error from being
+        lost, so the interval was too long.  Must exceed ``threshold`` -
+        counts up to the write-back threshold are routine, not alarming.
+    relax_level:
+        Worst observed count at or below which the interval is lengthened.
+        Defaults to ``threshold - 1``: the pass wrote nothing back, so the
+        region is over-scrubbed (typical for write-hot regions whose drift
+        clocks demand traffic resets for free).
+    """
+
+    def __init__(
+        self,
+        scheme: EccScheme,
+        controller: AdaptiveIntervalController,
+        threshold: int = 1,
+        panic_level: int | None = None,
+        relax_level: int | None = None,
+        label: str | None = None,
+    ):
+        super().__init__(scheme, controller.base_interval)
+        if not 1 <= threshold <= scheme.t:
+            raise ValueError(f"threshold must be in [1, t={scheme.t}]")
+        self.controller = controller
+        self.threshold = threshold
+        self.panic_level = scheme.t if panic_level is None else panic_level
+        self.relax_level = threshold - 1 if relax_level is None else relax_level
+        if not self.relax_level < self.panic_level:
+            raise ValueError("relax_level must be below panic_level")
+        if self.panic_level <= threshold:
+            raise ValueError(
+                "panic_level must exceed the write-back threshold; counts up "
+                "to the threshold occur on every pass by design"
+            )
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label if self._label else type(self).__name__
+
+    def initial_interval(self, region: int) -> float:
+        return self.controller.interval(region)
+
+    def visit(
+        self,
+        time: float,
+        region: int,
+        error_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> VisitDecision:
+        flagged, missed = self._detect(error_counts, rng)
+        decoded = flagged
+        correctable, uncorrectable = self._classify(error_counts, decoded)
+        written_back = correctable & (error_counts >= self.threshold)
+
+        # Steer the region's interval from what the decoder revealed.  A
+        # detector-gated pass still learns the worst decoded count, which is
+        # the worst count overall except for the (rare) missed lines.
+        observed = error_counts[decoded]
+        worst = int(observed.max()) if observed.size else 0
+        if worst >= self.panic_level or bool(uncorrectable.any()):
+            next_interval = self.controller.panic(region)
+        elif worst <= self.relax_level:
+            next_interval = self.controller.relax(region)
+        else:
+            next_interval = self.controller.hold(region)
+
+        return VisitDecision(
+            decoded=decoded,
+            written_back=written_back,
+            uncorrectable=uncorrectable,
+            missed=missed,
+            next_interval=next_interval,
+        )
+
+
+def adaptive_scrub(
+    interval: float,
+    strength: int = 4,
+    threshold: int | None = None,
+    min_interval: float | None = None,
+    max_interval: float | None = None,
+) -> AdaptiveScrubPolicy:
+    """The paper's adaptive mechanism with sensible interval bounds.
+
+    The default bounds are asymmetric - panic can tighten the interval by at
+    most 4x (bounding worst-case scrub bandwidth), while relax can stretch
+    it 16x (write-hot regions genuinely need almost no scrubbing).  The
+    default threshold leaves two errors of slack below the correction
+    limit so the panic signal (a line *at* the limit) stays rare.
+    """
+    scheme = scheme_for_strength(strength, with_detector=True)
+    if threshold is None:
+        threshold = max(1, scheme.t - 2)
+    controller = AdaptiveIntervalController(
+        base_interval=interval,
+        min_interval=interval / 4 if min_interval is None else min_interval,
+        max_interval=interval * 16 if max_interval is None else max_interval,
+    )
+    return AdaptiveScrubPolicy(
+        scheme,
+        controller,
+        threshold=threshold,
+        label=f"adaptive(t={scheme.t},theta={threshold})",
+    )

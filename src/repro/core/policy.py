@@ -1,0 +1,124 @@
+"""The scrub-policy contract between mechanisms and simulation engines.
+
+A :class:`ScrubPolicy` is stateful per run (adaptive policies track
+per-region intervals) and is driven by the engine one *visit* at a time: the
+engine hands it the true per-line error counts for the region being scanned,
+and the policy returns a :class:`VisitDecision` describing what the hardware
+would have done - which lines engaged the full decoder, which were written
+back, which were uncorrectable, and when this region should be scanned next.
+
+The engine, not the policy, applies the physical consequences (state resets,
+wear, energy) - policies stay pure decision logic, which is what makes them
+composable and unit-testable in isolation.
+
+Observability rules the engine enforces for every policy:
+
+* a line's error count is only *known* to the policy after a decode;
+* a CRC detector reports error-present/absent (with a 2^-width miss
+  probability on true errors) without revealing the count;
+* error counts above the scheme's correction strength mean the decode
+  fails: the line is uncorrectable, and no write-back can save it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ecc.schemes import EccScheme
+
+
+@dataclass(frozen=True)
+class VisitDecision:
+    """What the scrub hardware did for one region visit.
+
+    All masks are boolean arrays over the visited region's lines.
+    """
+
+    #: Lines that ran the full ECC decoder.
+    decoded: np.ndarray
+    #: Lines written back (correctable lines only).
+    written_back: np.ndarray
+    #: Lines whose decode failed (error count exceeded correction strength).
+    uncorrectable: np.ndarray
+    #: Lines whose errors went unnoticed (detector miss); state untouched.
+    missed: np.ndarray
+    #: Seconds until this region's next scrub pass.
+    next_interval: float
+
+    def __post_init__(self) -> None:
+        n = self.decoded.shape[0]
+        for name in ("written_back", "uncorrectable", "missed"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"mask {name} length mismatch")
+        if self.next_interval <= 0:
+            raise ValueError("next_interval must be positive")
+        if bool((self.written_back & self.uncorrectable).any()):
+            raise ValueError("a line cannot be both written back and uncorrectable")
+
+
+class ScrubPolicy(ABC):
+    """Base class for scrub mechanisms.
+
+    Subclasses implement :meth:`visit`.  The shared machinery here
+    implements the observability rules (detector gating, decode failure)
+    so that concrete policies only express their *decision* logic.
+    """
+
+    def __init__(self, scheme: EccScheme, interval: float):
+        if interval <= 0:
+            raise ValueError("scrub interval must be positive")
+        self.scheme = scheme
+        self.interval = interval
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def initial_interval(self, region: int) -> float:
+        """First-pass interval for ``region`` (static by default)."""
+        return self.interval
+
+    @abstractmethod
+    def visit(
+        self,
+        time: float,
+        region: int,
+        error_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> VisitDecision:
+        """Decide what happens to each line of ``region`` scanned at ``time``.
+
+        ``error_counts`` are the ground-truth per-line totals (drift + hard);
+        implementations must only act on them through the helpers below,
+        which model what the hardware can actually observe.
+        """
+
+    # -- observability helpers -------------------------------------------------
+
+    def _detect(
+        self, error_counts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the lightweight detector.
+
+        Returns ``(flagged, missed)``: lines the CRC flagged for decode, and
+        erroneous lines the CRC failed to flag (aliasing), respectively.
+        Schemes without a detector flag everything (decode-all).
+        """
+        has_error = error_counts > 0
+        if not self.scheme.has_detector:
+            return np.ones_like(has_error, dtype=bool), np.zeros_like(has_error)
+        miss_probability = 2.0 ** (-self.scheme.detector_bits)
+        missed = has_error & (rng.random(error_counts.shape[0]) < miss_probability)
+        flagged = has_error & ~missed
+        return flagged, missed
+
+    def _classify(
+        self, error_counts: np.ndarray, decoded: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split decoded lines into correctable and uncorrectable."""
+        uncorrectable = decoded & (error_counts > self.scheme.t)
+        correctable = decoded & ~uncorrectable
+        return correctable, uncorrectable

@@ -1,0 +1,66 @@
+"""Scrub scheduling: which region is scanned next, and when.
+
+Memory is scrubbed region by region (a region is a bank or a fixed-size
+chunk of lines); each region has its own next-visit time, seeded with
+staggered phases so scrub traffic spreads evenly over the interval instead
+of arriving as a burst.  Adaptive policies move individual regions' periods
+around, so the scheduler is a priority queue rather than a fixed rotation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledVisit:
+    """One pending region scan."""
+
+    time: float
+    region: int
+
+
+class ScrubScheduler:
+    """Priority queue of per-region scrub visits.
+
+    >>> sched = ScrubScheduler(num_regions=2, initial_intervals=[10.0, 10.0])
+    >>> sched.pop().region
+    0
+    """
+
+    def __init__(self, num_regions: int, initial_intervals: list[float]):
+        if num_regions <= 0:
+            raise ValueError("num_regions must be positive")
+        if len(initial_intervals) != num_regions:
+            raise ValueError("one initial interval per region required")
+        self.num_regions = num_regions
+        self._heap: list[ScheduledVisit] = []
+        for region, interval in enumerate(initial_intervals):
+            if interval <= 0:
+                raise ValueError("intervals must be positive")
+            # Stagger first visits across one interval so regions do not
+            # all scan at once.
+            phase = interval * (region + 1) / num_regions
+            heapq.heappush(self._heap, ScheduledVisit(time=phase, region=region))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> float:
+        """Time of the next visit without removing it."""
+        if not self._heap:
+            raise IndexError("scheduler is empty")
+        return self._heap[0].time
+
+    def pop(self) -> ScheduledVisit:
+        """Remove and return the earliest pending visit."""
+        if not self._heap:
+            raise IndexError("scheduler is empty")
+        return heapq.heappop(self._heap)
+
+    def push(self, time: float, region: int) -> None:
+        """Schedule the next visit of ``region`` at absolute ``time``."""
+        if not 0 <= region < self.num_regions:
+            raise ValueError(f"region {region} out of range")
+        heapq.heappush(self._heap, ScheduledVisit(time=time, region=region))

@@ -1,0 +1,136 @@
+"""Threshold write-back scrub - deferring writes until they matter.
+
+A drift error, once corrected by the decoder, does not need to be *written
+back* immediately: the corrected data is delivered to the requester either
+way, and the stored line remains correctable as long as its accumulated
+error count stays at or below the code's strength ``t``.  Writing back on
+the first error (the DRAM habit) wastes the most expensive operation PCM
+has on lines that were in no danger.
+
+The threshold mechanism writes a line back only when its observed error
+count reaches ``threshold`` (with ``threshold <= t``), letting errors
+accumulate across scrub passes in the safe band ``[1, threshold)``.  The
+trade-off is explicit: higher thresholds save writes (and the wear they
+cause) but leave less slack for errors arriving between two passes, so
+uncorrectable errors rise as the threshold approaches ``t``.
+
+:class:`ThresholdScrubPolicy` is also the shared implementation behind the
+basic, strong-ECC, and lightweight-detection mechanisms - each is a
+configuration of (scheme, detector, threshold); see the sibling modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ecc.schemes import EccScheme, scheme_for_strength
+from .policy import ScrubPolicy, VisitDecision
+
+
+class ThresholdScrubPolicy(ScrubPolicy):
+    """Scrub with a write-back threshold and optional detector gating.
+
+    Parameters
+    ----------
+    scheme:
+        ECC scheme; when it carries a detector, decode is gated behind it.
+    interval:
+        Static scrub interval (seconds) for every region.
+    threshold:
+        Write back a correctable line iff its error count >= ``threshold``.
+        ``threshold=1`` restores immediate write-back.
+    partial_writeback:
+        Re-program only the drifted cells instead of the whole line (PCM
+        programs cells individually).  Energy and wear scale with the
+        error count; protection is identical.
+    label:
+        Display name for tables (defaults to the class name).
+    """
+
+    def __init__(
+        self,
+        scheme: EccScheme,
+        interval: float,
+        threshold: int = 1,
+        partial_writeback: bool = False,
+        label: str | None = None,
+    ):
+        super().__init__(scheme, interval)
+        if not 1 <= threshold <= scheme.t:
+            raise ValueError(
+                f"threshold must be in [1, t={scheme.t}], got {threshold}"
+            )
+        self.threshold = threshold
+        self.partial_writeback = partial_writeback
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label if self._label else type(self).__name__
+
+    def visit(
+        self,
+        time: float,
+        region: int,
+        error_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> VisitDecision:
+        flagged, missed = self._detect(error_counts, rng)
+        decoded = flagged
+        correctable, uncorrectable = self._classify(error_counts, decoded)
+        written_back = correctable & (error_counts >= self.threshold)
+        return VisitDecision(
+            decoded=decoded,
+            written_back=written_back,
+            uncorrectable=uncorrectable,
+            missed=missed,
+            next_interval=self.interval,
+        )
+
+
+def threshold_scrub(
+    interval: float,
+    strength: int = 4,
+    threshold: int | None = None,
+    with_detector: bool = True,
+) -> ThresholdScrubPolicy:
+    """The paper's threshold write-back mechanism.
+
+    Defaults to BCH-``strength`` with a CRC detector and a threshold of
+    ``t - 1``: write back only lines one error away from the correction
+    limit, the most write-frugal setting that still leaves one error of
+    slack between passes.
+    """
+    scheme = scheme_for_strength(strength, with_detector=with_detector)
+    if threshold is None:
+        threshold = max(1, scheme.t - 1)
+    return ThresholdScrubPolicy(
+        scheme,
+        interval,
+        threshold=threshold,
+        label=f"threshold(t={scheme.t},theta={threshold})",
+    )
+
+
+def partial_scrub(
+    interval: float,
+    strength: int = 4,
+    threshold: int | None = None,
+) -> ThresholdScrubPolicy:
+    """Threshold scrub with cell-selective (partial) write-back.
+
+    The most write-frugal configuration short of not writing at all: the
+    write-back event count matches :func:`threshold_scrub`, but each event
+    re-programs only the handful of drifted cells, so write energy and
+    wear drop by roughly ``cells_per_line / threshold``.
+    """
+    scheme = scheme_for_strength(strength, with_detector=True)
+    if threshold is None:
+        threshold = max(1, scheme.t - 1)
+    return ThresholdScrubPolicy(
+        scheme,
+        interval,
+        threshold=threshold,
+        partial_writeback=True,
+        label=f"partial(t={scheme.t},theta={threshold})",
+    )

@@ -1,0 +1,29 @@
+"""ECC substrate: finite fields, BCH, SECDED Hamming, and CRC detection.
+
+The paper's first mechanism is replacing DRAM-style SECDED with strong
+multi-bit ECC; its second is gating the expensive decoder behind a cheap
+error-detection code.  This package provides bit-exact implementations of
+all three code families plus the :mod:`repro.ecc.schemes` registry that the
+scrub policies and simulators consume (per-line correction strength, check
+bit overhead, decode cost scaling).
+"""
+
+from __future__ import annotations
+
+from .gf import GF2m
+from .bch import BchCode, BchDecodeResult
+from .hamming import SecdedCode, SecdedDecodeResult
+from .crc import CrcDetector
+from .schemes import EccScheme, SCHEMES, scheme_for_strength
+
+__all__ = [
+    "BchCode",
+    "BchDecodeResult",
+    "CrcDetector",
+    "EccScheme",
+    "GF2m",
+    "SCHEMES",
+    "SecdedCode",
+    "SecdedDecodeResult",
+    "scheme_for_strength",
+]

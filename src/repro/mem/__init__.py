@@ -1,0 +1,22 @@
+"""Memory-system substrate: geometry, address mapping, and bank timing.
+
+Scrub is a memory-controller mechanism: it shares banks with demand
+traffic, and its reads/writes occupy banks for real time.  This package
+provides the DIMM geometry and address mapping
+(:mod:`repro.mem.geometry`) and a bank-occupancy queueing model
+(:mod:`repro.mem.controller`) used to quantify the performance interference
+of each scrub mechanism (experiment E13).
+"""
+
+from __future__ import annotations
+
+from .geometry import Interleaving, MemoryGeometry
+from .controller import BankQueueModel, ControllerReport, ScrubTraffic
+
+__all__ = [
+    "BankQueueModel",
+    "ControllerReport",
+    "Interleaving",
+    "MemoryGeometry",
+    "ScrubTraffic",
+]

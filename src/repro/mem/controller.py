@@ -1,0 +1,199 @@
+"""Bank-occupancy queueing model: what scrub costs the demand stream.
+
+PCM writes occupy a bank for ~1 us - an eternity next to a 125 ns read - so
+a scrub mechanism's write-back volume translates directly into queueing
+delay for demand reads sharing the bank.  This model quantifies that
+(experiment E13) without a full cycle-accurate controller:
+
+* each bank is a single server with per-operation service times from
+  :class:`repro.pcm.energy.OperationCosts`;
+* demand requests (from an :class:`repro.workloads.trace.AccessTrace`)
+  are served FCFS per bank;
+* scrub traffic is generated from a mechanism's measured per-second
+  read/decode/write volumes, spread uniformly over the simulated window,
+  and served at *lower priority*: a pending scrub operation yields to
+  already-queued demand requests, the standard controller courtesy.
+
+The output is per-class mean/percentile latency and bank utilization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pcm.energy import OperationCosts
+from ..workloads.trace import AccessTrace, Op
+from .geometry import MemoryGeometry
+
+
+@dataclass(frozen=True)
+class ScrubTraffic:
+    """Scrub operation volumes per second, per bank.
+
+    Build one with :meth:`from_stats` using a finished simulation's ledger,
+    or directly for synthetic studies.
+    """
+
+    reads_per_second: float
+    writes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.reads_per_second < 0 or self.writes_per_second < 0:
+            raise ValueError("rates must be >= 0")
+
+    @classmethod
+    def from_stats(
+        cls, scrub_reads: int, scrub_writes: int, horizon: float, num_banks: int
+    ) -> "ScrubTraffic":
+        """Average a run's scrub volumes into per-bank per-second rates."""
+        if horizon <= 0 or num_banks <= 0:
+            raise ValueError("horizon and num_banks must be positive")
+        return cls(
+            reads_per_second=scrub_reads / horizon / num_banks,
+            writes_per_second=scrub_writes / horizon / num_banks,
+        )
+
+
+@dataclass(frozen=True)
+class ControllerReport:
+    """Latency and occupancy results from one queueing run."""
+
+    demand_read_latencies: np.ndarray
+    demand_write_latencies: np.ndarray
+    bank_utilization: float
+    scrub_share: float
+
+    @property
+    def mean_read_latency(self) -> float:
+        if self.demand_read_latencies.size == 0:
+            return 0.0
+        return float(self.demand_read_latencies.mean())
+
+    @property
+    def p99_read_latency(self) -> float:
+        if self.demand_read_latencies.size == 0:
+            return 0.0
+        return float(np.percentile(self.demand_read_latencies, 99))
+
+    @property
+    def mean_write_latency(self) -> float:
+        if self.demand_write_latencies.size == 0:
+            return 0.0
+        return float(self.demand_write_latencies.mean())
+
+
+@dataclass(frozen=True, order=True)
+class _Job:
+    time: float
+    priority: int  # 0 = demand, 1 = scrub (lower wins ties)
+    sequence: int
+    service: float
+    is_read: bool
+    is_scrub: bool
+
+
+class BankQueueModel:
+    """Single-server FCFS queues, one per bank, with scrub at low priority."""
+
+    def __init__(self, geometry: MemoryGeometry, costs: OperationCosts):
+        self.geometry = geometry
+        self.costs = costs
+
+    def simulate(
+        self,
+        trace: AccessTrace,
+        scrub: ScrubTraffic,
+        duration: float,
+        rng: np.random.Generator,
+    ) -> ControllerReport:
+        """Serve ``trace`` plus Poisson scrub traffic over ``duration``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        num_banks = self.geometry.num_banks
+        jobs_per_bank: list[list[_Job]] = [[] for _ in range(num_banks)]
+        sequence = 0
+
+        for request in trace:
+            if request.time > duration:
+                break
+            bank = self.geometry.bank_of(request.line % self.geometry.num_lines)
+            is_read = request.op is Op.READ
+            jobs_per_bank[bank].append(
+                _Job(
+                    time=request.time,
+                    priority=0,
+                    sequence=sequence,
+                    service=self.costs.read_latency
+                    if is_read
+                    else self.costs.write_latency,
+                    is_read=is_read,
+                    is_scrub=False,
+                )
+            )
+            sequence += 1
+
+        for bank in range(num_banks):
+            for rate, service, is_read in (
+                (scrub.reads_per_second, self.costs.read_latency, True),
+                (scrub.writes_per_second, self.costs.write_latency, False),
+            ):
+                count = rng.poisson(rate * duration)
+                for time in np.sort(rng.random(count) * duration):
+                    jobs_per_bank[bank].append(
+                        _Job(
+                            time=float(time),
+                            priority=1,
+                            sequence=sequence,
+                            service=service,
+                            is_read=is_read,
+                            is_scrub=True,
+                        )
+                    )
+                    sequence += 1
+
+        read_latencies: list[float] = []
+        write_latencies: list[float] = []
+        busy_total = 0.0
+        scrub_busy = 0.0
+
+        for bank_jobs in jobs_per_bank:
+            # Non-preemptive priority queue: at each service completion the
+            # earliest-deadline pending demand job wins over pending scrub.
+            bank_jobs.sort()
+            pending: list[tuple[int, float, int, _Job]] = []
+            free_at = 0.0
+            i = 0
+            n = len(bank_jobs)
+            while i < n or pending:
+                while i < n and (not pending or bank_jobs[i].time <= free_at):
+                    job = bank_jobs[i]
+                    heapq.heappush(
+                        pending, (job.priority, job.time, job.sequence, job)
+                    )
+                    i += 1
+                if not pending:
+                    continue
+                __, __, __, job = heapq.heappop(pending)
+                start = max(free_at, job.time)
+                finish = start + job.service
+                free_at = finish
+                busy_total += job.service
+                if job.is_scrub:
+                    scrub_busy += job.service
+                else:
+                    latency = finish - job.time
+                    if job.is_read:
+                        read_latencies.append(latency)
+                    else:
+                        write_latencies.append(latency)
+
+        capacity = num_banks * duration
+        return ControllerReport(
+            demand_read_latencies=np.asarray(read_latencies),
+            demand_write_latencies=np.asarray(write_latencies),
+            bank_utilization=busy_total / capacity,
+            scrub_share=scrub_busy / capacity,
+        )

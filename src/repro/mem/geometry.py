@@ -1,0 +1,124 @@
+"""DIMM geometry and line-address mapping.
+
+A memory system is ``channels x banks-per-channel x rows-per-bank x
+lines-per-row`` lines.  Two interleavings are provided:
+
+* ``ROW_MAJOR`` - consecutive line addresses fill a row, then the next row
+  of the same bank; scrub regions (banks) are contiguous address ranges.
+* ``LINE_INTERLEAVED`` - consecutive line addresses rotate across channels
+  and banks (the usual performance-oriented mapping); a scrub region's
+  lines are strided through the address space.
+
+Both are exact bijections between the flat line index and the
+``(channel, bank, row, column)`` coordinate, tested as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Interleaving(Enum):
+    """How consecutive line addresses map onto the hardware."""
+
+    ROW_MAJOR = "row_major"
+    LINE_INTERLEAVED = "line_interleaved"
+
+
+@dataclass(frozen=True)
+class Coordinates:
+    """Physical location of one line."""
+
+    channel: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class MemoryGeometry:
+    """Shape of the simulated memory."""
+
+    channels: int = 2
+    banks_per_channel: int = 8
+    rows_per_bank: int = 1024
+    lines_per_row: int = 64
+    interleaving: Interleaving = Interleaving.ROW_MAJOR
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "banks_per_channel", "rows_per_bank", "lines_per_row"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def num_banks(self) -> int:
+        """Total banks (= scrub regions)."""
+        return self.channels * self.banks_per_channel
+
+    @property
+    def lines_per_bank(self) -> int:
+        return self.rows_per_bank * self.lines_per_row
+
+    @property
+    def num_lines(self) -> int:
+        return self.num_banks * self.lines_per_bank
+
+    # -- mapping ------------------------------------------------------------
+
+    def coordinates(self, line: int) -> Coordinates:
+        """Physical coordinates of flat line address ``line``."""
+        if not 0 <= line < self.num_lines:
+            raise ValueError(f"line {line} out of range 0..{self.num_lines - 1}")
+        if self.interleaving is Interleaving.ROW_MAJOR:
+            bank_flat, within = divmod(line, self.lines_per_bank)
+            row, column = divmod(within, self.lines_per_row)
+        else:
+            # Consecutive lines rotate over (channel, bank) first.
+            stripe, bank_flat = divmod(line, self.num_banks)
+            row, column = divmod(stripe, self.lines_per_row)
+        channel, bank = divmod(bank_flat, self.banks_per_channel)
+        return Coordinates(channel=channel, bank=bank, row=row, column=column)
+
+    def line_index(self, coords: Coordinates) -> int:
+        """Inverse of :meth:`coordinates`."""
+        if not 0 <= coords.channel < self.channels:
+            raise ValueError("channel out of range")
+        if not 0 <= coords.bank < self.banks_per_channel:
+            raise ValueError("bank out of range")
+        if not 0 <= coords.row < self.rows_per_bank:
+            raise ValueError("row out of range")
+        if not 0 <= coords.column < self.lines_per_row:
+            raise ValueError("column out of range")
+        bank_flat = coords.channel * self.banks_per_channel + coords.bank
+        if self.interleaving is Interleaving.ROW_MAJOR:
+            within = coords.row * self.lines_per_row + coords.column
+            return bank_flat * self.lines_per_bank + within
+        stripe = coords.row * self.lines_per_row + coords.column
+        return stripe * self.num_banks + bank_flat
+
+    def bank_of(self, line: int) -> int:
+        """Flat bank id (0..num_banks-1) of a line - the scrub region id."""
+        coords = self.coordinates(line)
+        return coords.channel * self.banks_per_channel + coords.bank
+
+    def bank_major_index(self, line: int) -> int:
+        """Physical position of ``line`` in bank-major order.
+
+        The scrub engine's population is laid out bank by bank (region =
+        bank = contiguous indices); this is the bijection from a flat
+        *logical* address to that layout.  Identity under ``ROW_MAJOR``
+        interleaving; a stride permutation under ``LINE_INTERLEAVED``.
+        """
+        coords = self.coordinates(line)
+        bank_flat = coords.channel * self.banks_per_channel + coords.bank
+        within = coords.row * self.lines_per_row + coords.column
+        return bank_flat * self.lines_per_bank + within
+
+    def bank_major_map(self) -> "np.ndarray":
+        """Vector of :meth:`bank_major_index` over all lines."""
+        import numpy as np
+
+        return np.array(
+            [self.bank_major_index(line) for line in range(self.num_lines)]
+        )

@@ -1,0 +1,96 @@
+"""Finite spare-pool management behind line retirement.
+
+The population engine's ``retire_hard_limit`` remaps wear-terminal lines
+to fresh spares; real devices reserve a *finite* spare pool per region
+(extra rows the controller can map in).  This module adds the budget:
+
+* :class:`SparePool` tracks per-region spare counts and answers retirement
+  requests - grant while spares remain, refuse afterwards;
+* refused retirements mean the broken line stays in service, surfacing an
+  uncorrectable error at every subsequent visit: the device has reached
+  end of life in that region, which is exactly the signal lifetime studies
+  need (benchmark A12 sweeps the provisioned fraction).
+
+The pool composes with the engine through the ``spare_pool`` argument of
+:class:`repro.sim.population.PopulationEngine`: when present, the engine
+consults it before retiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SpareReport:
+    """End-of-run spare accounting."""
+
+    provisioned_per_region: int
+    used_per_region: np.ndarray
+    refused: int
+
+    @property
+    def exhausted_regions(self) -> int:
+        return int((self.used_per_region >= self.provisioned_per_region).sum())
+
+    @property
+    def total_used(self) -> int:
+        return int(self.used_per_region.sum())
+
+
+class SparePool:
+    """Per-region spare-line budget.
+
+    Parameters
+    ----------
+    num_regions:
+        Scrub regions (banks); spares are reserved per region because a
+        remap must stay within its bank's row circuitry.
+    spares_per_region:
+        Lines reserved per region.  A 2 % provision on 1024-line regions
+        is ~20 spares.
+    """
+
+    def __init__(self, num_regions: int, spares_per_region: int):
+        if num_regions <= 0:
+            raise ValueError("num_regions must be positive")
+        if spares_per_region < 0:
+            raise ValueError("spares_per_region must be >= 0")
+        self.num_regions = num_regions
+        self.spares_per_region = spares_per_region
+        self.used = np.zeros(num_regions, dtype=np.int64)
+        self.refused = 0
+
+    def available(self, region: int) -> int:
+        self._check_region(region)
+        return max(0, self.spares_per_region - int(self.used[region]))
+
+    def request(self, region: int, count: int) -> int:
+        """Request ``count`` spares in ``region``; returns the grant.
+
+        Grants are first-come partial: a request for 5 against 3 remaining
+        gets 3, and the 2 refusals are recorded.  A broken line that stays
+        in service re-requests at every scrub visit, so ``refused`` counts
+        refusal *events*, not unique lines - a deliberately loud signal of
+        end-of-life operation.
+        """
+        self._check_region(region)
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        grant = min(count, self.available(region))
+        self.used[region] += grant
+        self.refused += count - grant
+        return grant
+
+    def report(self) -> SpareReport:
+        return SpareReport(
+            provisioned_per_region=self.spares_per_region,
+            used_per_region=self.used.copy(),
+            refused=self.refused,
+        )
+
+    def _check_region(self, region: int) -> None:
+        if not 0 <= region < self.num_regions:
+            raise ValueError(f"region {region} out of range")

@@ -1,0 +1,166 @@
+"""Start-Gap wear leveling (Qureshi et al., MICRO 2009).
+
+The paper positions its scrub work as complementary to the PCM endurance
+ecosystem: wear leveling spreads writes so no line dies early, hard-error
+tolerance absorbs the cells that die anyway, and scrub (this paper)
+handles the soft errors in between.  Start-Gap is the canonical
+low-overhead wear leveler, and scrub interacts with it directly - scrub
+write-backs are writes the leveler must spread like any others - so the
+reproduction includes it as a substrate.
+
+Mechanics: ``num_lines`` logical lines live in ``num_lines + 1`` physical
+slots.  A *gap* register points at the unused slot; every ``gap_interval``
+writes the line physically preceding the gap is copied into it and the gap
+moves down one.  When the gap has walked the whole array, a *start*
+register increments - over time every logical line visits every physical
+slot, spreading even a single-address write storm across the device.
+
+Address translation is O(1) arithmetic on two registers::
+
+    pa = (la + start) mod num_lines
+    if pa >= gap: pa += 1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GapMove:
+    """One gap movement: the device write it costs, and where."""
+
+    #: Physical slot that received the relocated line.
+    destination: int
+    #: Physical slot vacated (the new gap position).
+    source: int
+
+
+class StartGapLeveler:
+    """Start-Gap address remapping over ``num_lines`` logical lines.
+
+    Parameters
+    ----------
+    num_lines:
+        Logical capacity; physical capacity is one line larger.
+    gap_interval:
+        Writes between gap movements (psi).  The write overhead of the
+        leveler is ``1 / gap_interval`` extra device writes; 100 is the
+        classic figure (1 % overhead).
+    """
+
+    def __init__(self, num_lines: int, gap_interval: int = 100):
+        if num_lines <= 1:
+            raise ValueError("num_lines must be at least 2")
+        if gap_interval < 1:
+            raise ValueError("gap_interval must be >= 1")
+        self.num_lines = num_lines
+        self.gap_interval = gap_interval
+        #: Physical slots available (one spare holds the gap).
+        self.num_physical = num_lines + 1
+        self.start = 0
+        #: Gap starts at the top spare slot.
+        self.gap = num_lines
+        self._writes_since_move = 0
+        #: Total logical writes observed.
+        self.total_writes = 0
+        #: Total extra device writes spent moving the gap.
+        self.move_writes = 0
+
+    # -- translation ------------------------------------------------------------
+
+    def translate(self, logical: int) -> int:
+        """Physical slot currently holding ``logical``."""
+        if not 0 <= logical < self.num_lines:
+            raise ValueError(f"logical address {logical} out of range")
+        physical = (logical + self.start) % self.num_lines
+        if physical >= self.gap:
+            physical += 1
+        return physical
+
+    def translate_many(self, logical: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate`."""
+        logical = np.asarray(logical)
+        if logical.size and (logical.min() < 0 or logical.max() >= self.num_lines):
+            raise ValueError("logical address out of range")
+        physical = (logical + self.start) % self.num_lines
+        return np.where(physical >= self.gap, physical + 1, physical)
+
+    def mapping_snapshot(self) -> np.ndarray:
+        """Physical slot of every logical line (for invariant checks)."""
+        return self.translate_many(np.arange(self.num_lines))
+
+    # -- write path ------------------------------------------------------------------
+
+    def record_write(self, logical: int) -> GapMove | None:
+        """Account one logical write; returns the gap move if one fired.
+
+        The caller applies the returned move to its device model (it costs
+        one extra line write at ``destination``).
+        """
+        if not 0 <= logical < self.num_lines:
+            raise ValueError(f"logical address {logical} out of range")
+        self.total_writes += 1
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_interval:
+            return None
+        self._writes_since_move = 0
+        return self._move_gap()
+
+    def _move_gap(self) -> GapMove:
+        """Move the gap down one slot (wrapping rotates ``start``)."""
+        if self.gap == 0:
+            # Gap wrapped: one full rotation completed.
+            self.gap = self.num_physical - 1
+            self.start = (self.start + 1) % self.num_lines
+            # The wrap itself is pure bookkeeping; the move that fills the
+            # (new) top gap happens on this same trigger.
+        destination = self.gap
+        source = self.gap - 1
+        # The line in `source` moves into the gap; the gap becomes `source`.
+        self.gap = source
+        self.move_writes += 1
+        return GapMove(destination=destination, source=source)
+
+    @property
+    def write_overhead(self) -> float:
+        """Extra device writes per logical write (≈ 1/gap_interval)."""
+        if self.total_writes == 0:
+            return 0.0
+        return self.move_writes / self.total_writes
+
+
+def simulate_wear(
+    num_lines: int,
+    write_addresses: np.ndarray,
+    gap_interval: int | None = 100,
+) -> np.ndarray:
+    """Per-physical-slot write counts for a logical write stream.
+
+    ``gap_interval=None`` disables leveling (identity mapping over
+    ``num_lines`` physical slots) - the baseline for effectiveness studies.
+    """
+    write_addresses = np.asarray(write_addresses)
+    if gap_interval is None:
+        wear = np.zeros(num_lines, dtype=np.int64)
+        np.add.at(wear, write_addresses, 1)
+        return wear
+    leveler = StartGapLeveler(num_lines, gap_interval)
+    wear = np.zeros(leveler.num_physical, dtype=np.int64)
+    for logical in write_addresses:
+        wear[leveler.translate(int(logical))] += 1
+        move = leveler.record_write(int(logical))
+        if move is not None:
+            wear[move.destination] += 1
+    return wear
+
+
+def wear_ratio(wear: np.ndarray) -> float:
+    """Max-to-mean wear: 1.0 is perfect leveling."""
+    wear = np.asarray(wear, dtype=np.float64)
+    mean = wear.mean()
+    if mean == 0:
+        return 1.0
+    return float(wear.max() / mean)

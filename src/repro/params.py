@@ -1,0 +1,251 @@
+"""Shared physical-parameter dataclasses and their literature defaults.
+
+Every experiment in the paper is a function of a small set of device and
+system constants.  This module centralizes them so that benchmarks, tests,
+and examples construct configurations from one vocabulary, and so that every
+constant the reproduction assumes is written down (and overridable) in one
+place.
+
+The default numbers follow the device literature the paper builds on
+(power-law resistance drift with level-dependent Gaussian drift exponents,
+SET-dominated write energy, ~1e8 write endurance).  Absolute values are
+configurable; the reproduction's claims are about *shape*, per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from . import units
+
+# ---------------------------------------------------------------------------
+# Level allocation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelBand:
+    """One MLC resistance level, in log10(ohm) space.
+
+    A cell programmed to this level lands (by program-and-verify) inside
+    ``[program_low, program_high]``.  The read circuitry assigns the level to
+    any resistance inside ``[read_low, read_high]``; drifting past
+    ``read_high`` misreads the cell as the next-higher level.
+    """
+
+    name: str
+    #: Symbol value stored by this level (0 = lowest resistance).
+    symbol: int
+    #: Log10 resistance band the write verify targets.
+    program_low: float
+    program_high: float
+    #: Log10 resistance band the sense amp maps to this level.
+    read_low: float
+    read_high: float
+
+    def __post_init__(self) -> None:
+        if not (self.read_low <= self.program_low <= self.program_high <= self.read_high):
+            raise ValueError(
+                f"level {self.name}: program band [{self.program_low}, {self.program_high}] "
+                f"must sit inside read band [{self.read_low}, {self.read_high}]"
+            )
+
+    @property
+    def program_center(self) -> float:
+        """Midpoint of the programming target band (log10 ohms)."""
+        return 0.5 * (self.program_low + self.program_high)
+
+    @property
+    def guard_band_up(self) -> float:
+        """Log-resistance margin between programmed band and upper read boundary."""
+        return self.read_high - self.program_high
+
+
+@dataclass(frozen=True)
+class DriftParams:
+    """Power-law drift parameters for one level: R(t) = R0 * (t/t0)^nu.
+
+    ``nu`` is drawn per cell from a Gaussian N(nu_mean, nu_sigma), truncated
+    at zero (resistance drift is monotonically upward).  Crystalline levels
+    drift negligibly; amorphous levels drift fastest.
+    """
+
+    nu_mean: float
+    nu_sigma: float
+
+    def __post_init__(self) -> None:
+        if self.nu_mean < 0:
+            raise ValueError(f"nu_mean must be >= 0, got {self.nu_mean}")
+        if self.nu_sigma < 0:
+            raise ValueError(f"nu_sigma must be >= 0, got {self.nu_sigma}")
+
+
+# Default 2-bit MLC allocation, log10(ohm).  Levels are ~1 decade apart with
+# symmetric guard bands, the standard textbook allocation for 4-level PCM.
+_DEFAULT_LEVELS = (
+    LevelBand("L0", 0, program_low=3.0, program_high=3.2, read_low=-1.0, read_high=3.6),
+    LevelBand("L1", 1, program_low=4.0, program_high=4.2, read_low=3.6, read_high=4.6),
+    LevelBand("L2", 2, program_low=5.0, program_high=5.2, read_low=4.6, read_high=5.6),
+    LevelBand("L3", 3, program_low=6.0, program_high=6.2, read_low=5.6, read_high=12.0),
+)
+
+# Drift exponents per level (Ielmini-style): fully crystalline L0 barely
+# drifts, fully amorphous L3 drifts with nu ~ 0.1.  Sigma = 0.4 * mean.
+_DEFAULT_DRIFT = (
+    DriftParams(nu_mean=0.001, nu_sigma=0.0004),
+    DriftParams(nu_mean=0.02, nu_sigma=0.008),
+    DriftParams(nu_mean=0.06, nu_sigma=0.024),
+    DriftParams(nu_mean=0.10, nu_sigma=0.040),
+)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Full MLC cell specification: levels, drift, programming precision."""
+
+    levels: tuple[LevelBand, ...] = _DEFAULT_LEVELS
+    drift: tuple[DriftParams, ...] = _DEFAULT_DRIFT
+    #: Std-dev of programmed log10 resistance around the verify band center.
+    #: Program-and-verify iterates until the cell lands in-band, so the
+    #: effective distribution is a truncated Gaussian over the program band.
+    program_sigma: float = 0.05
+    #: Normalization time t0 for the power law (seconds).  Drift is measured
+    #: relative to this instant after programming.
+    t0: float = 1.0
+    #: Activation energy (eV) for Arrhenius temperature acceleration of drift.
+    activation_energy_ev: float = 0.2
+    #: Reference temperature (K) at which the drift parameters were measured.
+    reference_temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError("an MLC cell needs at least 2 levels")
+        if len(self.levels) != len(self.drift):
+            raise ValueError(
+                f"{len(self.levels)} levels but {len(self.drift)} drift parameter sets"
+            )
+        symbols = [band.symbol for band in self.levels]
+        if symbols != list(range(len(self.levels))):
+            raise ValueError(f"level symbols must be 0..n-1 in order, got {symbols}")
+        for lower, upper in zip(self.levels, self.levels[1:]):
+            if lower.read_high > upper.read_low:
+                raise ValueError(
+                    f"read bands of {lower.name} and {upper.name} overlap"
+                )
+        if self.program_sigma < 0:
+            raise ValueError("program_sigma must be >= 0")
+        if self.t0 <= 0:
+            raise ValueError("t0 must be positive")
+
+    @property
+    def bits_per_cell(self) -> int:
+        """Bits stored per cell (2 for the default 4-level allocation)."""
+        n = len(self.levels)
+        bits = n.bit_length() - 1
+        if 1 << bits != n:
+            raise ValueError(f"level count {n} is not a power of two")
+        return bits
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+
+@dataclass(frozen=True)
+class EnduranceSpec:
+    """Write-endurance model: per-cell lifetime ~ lognormal.
+
+    A cell whose cumulative write count exceeds its drawn lifetime becomes a
+    stuck-at (hard) fault.  The mean is the canonical 1e8 PCM endurance.
+    """
+
+    mean_writes: float = 1e8
+    #: Sigma of the underlying normal in log10 space.
+    sigma_log10: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mean_writes <= 0:
+            raise ValueError("mean_writes must be positive")
+        if self.sigma_log10 < 0:
+            raise ValueError("sigma_log10 must be >= 0")
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Per-operation energy and latency constants.
+
+    Writes are SET-dominated and iterative; the per-bit write energy already
+    folds in the average number of program-and-verify iterations.  Decode
+    energy scales with ECC strength; the schemes module applies the scaling.
+    """
+
+    #: Array read energy per bit (J).
+    read_energy_per_bit: float = 2.0 * units.PICOJOULE
+    #: Full line write (program-and-verify) energy per bit (J).
+    write_energy_per_bit: float = 25.0 * units.PICOJOULE
+    #: Energy to check a lightweight checksum for a line (J) - near-free
+    #: XOR-tree logic.
+    detect_energy_per_line: float = 1.0 * units.PICOJOULE
+    #: Baseline ECC decode energy per line for a t=1 decoder (J); decode
+    #: energy for stronger codes scales superlinearly with t.
+    decode_energy_per_line_t1: float = 10.0 * units.PICOJOULE
+    #: Array read latency for one line (s).
+    read_latency: float = 125 * units.NANOSECOND
+    #: Full line write latency (s); MLC program-and-verify is ~1 us.
+    write_latency: float = 1.0 * units.MICROSECOND
+    #: ECC decode latency for a t=1 decoder (s).
+    decode_latency_t1: float = 10 * units.NANOSECOND
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_energy_per_bit",
+            "write_energy_per_bit",
+            "detect_energy_per_line",
+            "decode_energy_per_line_t1",
+            "read_latency",
+            "write_latency",
+            "decode_latency_t1",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class LineSpec:
+    """Geometry of one protected memory line."""
+
+    #: User data bytes per line (64 B cache line is the paper's unit).
+    data_bytes: int = 64
+    cell: CellSpec = field(default_factory=CellSpec)
+
+    def __post_init__(self) -> None:
+        if self.data_bytes <= 0:
+            raise ValueError("data_bytes must be positive")
+        if (self.data_bytes * 8) % self.cell.bits_per_cell:
+            raise ValueError("line bits must be a multiple of bits_per_cell")
+
+    @property
+    def data_bits(self) -> int:
+        return self.data_bytes * 8
+
+    @property
+    def data_cells(self) -> int:
+        """Number of MLC cells holding user data in one line."""
+        return self.data_bits // self.cell.bits_per_cell
+
+
+def replace(spec, **changes):
+    """``dataclasses.replace`` re-exported for fluent spec tweaking.
+
+    >>> fast_drift = replace(DriftParams(0.02, 0.008), nu_mean=0.05)
+    >>> fast_drift.nu_mean
+    0.05
+    """
+    return dataclasses.replace(spec, **changes)
+
+
+DEFAULT_CELL_SPEC = CellSpec()
+DEFAULT_LINE_SPEC = LineSpec()
+DEFAULT_ENERGY_SPEC = EnergySpec()
+DEFAULT_ENDURANCE_SPEC = EnduranceSpec()

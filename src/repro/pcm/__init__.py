@@ -1,0 +1,37 @@
+"""MLC PCM device substrate.
+
+This package models everything below the memory controller: multi-level
+resistance allocation and Gray coding (:mod:`repro.pcm.levels`), power-law
+resistance drift (:mod:`repro.pcm.drift`), bit-exact cells and line arrays
+(:mod:`repro.pcm.cell`, :mod:`repro.pcm.array`), iterative program-and-verify
+(:mod:`repro.pcm.programming`), process variation draws
+(:mod:`repro.pcm.variation`), write endurance and stuck-at hard faults
+(:mod:`repro.pcm.endurance`), and the per-operation energy/latency ledger
+(:mod:`repro.pcm.energy`).
+"""
+
+from __future__ import annotations
+
+from ..params import CellSpec, DriftParams, EnduranceSpec, EnergySpec, LevelBand, LineSpec
+from .drift import DriftModel
+from .levels import LevelCoder
+from .cell import Cell
+from .array import LineArray
+from .endurance import EnduranceModel
+from .energy import EnergyLedger, OperationCosts
+
+__all__ = [
+    "Cell",
+    "CellSpec",
+    "DriftModel",
+    "DriftParams",
+    "EnduranceModel",
+    "EnduranceSpec",
+    "EnergyLedger",
+    "EnergySpec",
+    "LevelBand",
+    "LevelCoder",
+    "LineArray",
+    "LineSpec",
+    "OperationCosts",
+]

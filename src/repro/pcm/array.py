@@ -1,0 +1,218 @@
+"""Bit-exact array of MLC lines.
+
+:class:`LineArray` models ``num_lines`` lines of ``cells_per_line`` cells
+each, with full per-cell state: achieved programmed resistance (via the real
+program-and-verify loop), drawn drift exponent, static process variation,
+wall-clock write time, and wear.  Reads evaluate the drift power law and
+overlay stuck-at faults.
+
+This engine is exact but O(cells) per operation, so it backs the device
+validation experiments and the test suite; year-scale reliability runs use
+the crossing-time population engine in :mod:`repro.sim.population`, which is
+validated against this one (experiment E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import CellSpec, EnduranceSpec
+from .drift import DriftModel
+from .endurance import EnduranceModel, WearState
+from .levels import LevelCoder
+from .programming import ProgramAndVerify
+from .variation import VariationSpec, draw_variation
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of reading one line."""
+
+    #: Symbols the sense amps returned (drift + stuck faults applied).
+    symbols: np.ndarray
+    #: Symbols the line is supposed to hold.
+    stored: np.ndarray
+    #: Cells currently misread because of drift.
+    drift_errors: np.ndarray
+    #: Cells misread because they are stuck in a conflicting state.
+    hard_errors: np.ndarray
+
+    @property
+    def num_drift_errors(self) -> int:
+        return int(self.drift_errors.sum())
+
+    @property
+    def num_hard_errors(self) -> int:
+        return int(self.hard_errors.sum())
+
+    @property
+    def num_errors(self) -> int:
+        return int((self.symbols != self.stored).sum())
+
+
+class LineArray:
+    """Bit-exact model of a small PCM array.
+
+    Parameters
+    ----------
+    num_lines, cells_per_line:
+        Geometry.  64-byte lines of 2-bit cells are 256 cells per line.
+    spec:
+        Cell specification; defaults to the standard 4-level allocation.
+    rng:
+        Random generator; required for reproducibility of everything.
+    temperature_k:
+        Operating temperature (drift acceleration).
+    variation:
+        Static process-variation magnitudes.
+    endurance:
+        Endurance spec; pass ``None`` to disable wear-out entirely.
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        cells_per_line: int,
+        rng: np.random.Generator,
+        spec: CellSpec | None = None,
+        temperature_k: float | None = None,
+        variation: VariationSpec | None = None,
+        endurance: EnduranceSpec | None = EnduranceSpec(),
+    ):
+        if num_lines <= 0 or cells_per_line <= 0:
+            raise ValueError("geometry must be positive")
+        self.num_lines = num_lines
+        self.cells_per_line = cells_per_line
+        self.spec = spec if spec is not None else CellSpec()
+        self.rng = rng
+        self.drift = DriftModel(self.spec, temperature_k=temperature_k)
+        self.coder = LevelCoder(self.spec)
+        self.programmer = ProgramAndVerify(self.spec)
+
+        total = num_lines * cells_per_line
+        self.variation = draw_variation(
+            variation if variation is not None else VariationSpec(), total, rng
+        )
+        self.wear: WearState | None = None
+        self._endurance_model: EnduranceModel | None = None
+        if endurance is not None:
+            self._endurance_model = EnduranceModel(endurance)
+            self.wear = self._endurance_model.new_state(total, rng)
+
+        # Per-cell state, flat [num_lines * cells_per_line].
+        self.symbols = np.zeros(total, dtype=np.int8)
+        self.log_r0 = np.full(total, np.nan)
+        self.nu = np.zeros(total)
+        self.written_at = np.full(total, np.nan)
+        self._programmed = np.zeros(total, dtype=bool)
+
+    # -- geometry ------------------------------------------------------------
+
+    def _slice(self, line: int) -> slice:
+        if not 0 <= line < self.num_lines:
+            raise IndexError(f"line {line} out of range 0..{self.num_lines - 1}")
+        start = line * self.cells_per_line
+        return slice(start, start + self.cells_per_line)
+
+    # -- writes --------------------------------------------------------------
+
+    def write_line(self, line: int, symbols: np.ndarray, now: float) -> int:
+        """Program a whole line at wall-clock ``now``; returns P&V iterations.
+
+        Stuck cells ignore the pulse: their stored state stays frozen (the
+        hard error surfaces at read time if the frozen state conflicts).
+        """
+        sl = self._slice(line)
+        symbols = np.asarray(symbols, dtype=np.int8)
+        if symbols.shape != (self.cells_per_line,):
+            raise ValueError(
+                f"expected {self.cells_per_line} symbols, got shape {symbols.shape}"
+            )
+        if symbols.min() < 0 or symbols.max() >= self.spec.num_levels:
+            raise ValueError("symbol out of range for this cell spec")
+
+        result = self.programmer.program(
+            symbols, self.rng, resistance_offset=self.variation.resistance_offset[sl]
+        )
+        nu = self.drift.sample_drift_exponent(symbols, self.rng)
+        nu = nu * self.variation.drift_factor[sl]
+
+        self.symbols[sl] = symbols
+        self.log_r0[sl] = result.log_resistance
+        self.nu[sl] = nu
+        self.written_at[sl] = now
+        self._programmed[sl] = True
+
+        if self.wear is not None and self._endurance_model is not None:
+            flat_mask = np.zeros(self.symbols.shape[0], dtype=bool)
+            flat_mask[sl] = True
+            written = np.zeros(self.symbols.shape[0], dtype=np.int8)
+            written[sl] = symbols
+            self._endurance_model.apply_write(self.wear, written, flat_mask)
+        return result.total_iterations
+
+    # -- reads ---------------------------------------------------------------
+
+    def read_line(self, line: int, now: float) -> ReadResult:
+        """Sense a line at wall-clock ``now``."""
+        sl = self._slice(line)
+        if not self._programmed[sl].all():
+            raise RuntimeError(f"line {line} read before it was written")
+        elapsed = now - self.written_at[sl]
+        if (elapsed < 0).any():
+            raise ValueError("cannot read a line before its write time")
+
+        # Cells in one line can have different write times only through
+        # partial writes, which this model does not allow; still compute
+        # per-cell to stay robust.
+        resist = self.log_r0[sl].copy()
+        past_t0 = elapsed * self.drift.acceleration > self.spec.t0
+        if past_t0.any():
+            shift = np.zeros_like(elapsed)
+            shift[past_t0] = np.log10(
+                elapsed[past_t0] * self.drift.acceleration / self.spec.t0
+            )
+            resist = resist + self.nu[sl] * shift
+
+        sensed = self.coder.sense_many(resist)
+        stored = self.symbols[sl].copy()
+        drift_errors = sensed != stored
+
+        hard_errors = np.zeros(self.cells_per_line, dtype=bool)
+        if self.wear is not None:
+            stuck = self.wear.stuck_mask[sl]
+            if stuck.any():
+                stuck_symbols = self.wear.stuck_symbol[sl]
+                sensed = np.where(stuck, stuck_symbols, sensed)
+                hard_errors = stuck & (stuck_symbols != stored)
+                drift_errors = drift_errors & ~stuck
+
+        return ReadResult(
+            symbols=sensed.astype(np.int8),
+            stored=stored,
+            drift_errors=drift_errors,
+            hard_errors=hard_errors,
+        )
+
+    def error_count(self, line: int, now: float) -> int:
+        """Total misread cells in ``line`` at ``now``."""
+        return self.read_line(line, now).num_errors
+
+    # -- whole-array conveniences ---------------------------------------------
+
+    def write_random(self, now: float, lines: range | None = None) -> None:
+        """Fill lines with uniform random symbols (test/benchmark setup)."""
+        targets = lines if lines is not None else range(self.num_lines)
+        for line in targets:
+            symbols = self.rng.integers(
+                0, self.spec.num_levels, self.cells_per_line, dtype=np.int8
+            )
+            self.write_line(line, symbols, now)
+
+    def total_errors(self, now: float) -> int:
+        """Sum of misread cells across all programmed lines."""
+        return sum(
+            self.read_line(line, now).num_errors for line in range(self.num_lines)
+        )

@@ -1,0 +1,96 @@
+"""A single bit-exact MLC PCM cell.
+
+:class:`Cell` is the pedagogical unit model - examples and device-level
+tests use it to show one cell drifting across a read boundary.  Bulk
+simulation uses :class:`repro.pcm.array.LineArray` (vectorized) or the
+population engine (:mod:`repro.sim.population`) instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import CellSpec
+from .drift import DriftModel
+from .levels import LevelCoder
+
+
+class Cell:
+    """One multi-level cell with explicit programmed state and drift.
+
+    The cell tracks the last programmed symbol, the achieved log-resistance,
+    its drawn drift exponent, and the wall-clock write time.  Reads evaluate
+    the power law at the requested time and threshold the result.
+    """
+
+    def __init__(
+        self,
+        spec: CellSpec | None = None,
+        rng: np.random.Generator | None = None,
+        temperature_k: float | None = None,
+    ):
+        self.spec = spec if spec is not None else CellSpec()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.drift = DriftModel(self.spec, temperature_k=temperature_k)
+        self.coder = LevelCoder(self.spec)
+        self.symbol: int | None = None
+        self.log_r0: float | None = None
+        self.nu: float | None = None
+        self.written_at: float | None = None
+        self.write_count = 0
+
+    @property
+    def is_programmed(self) -> bool:
+        return self.symbol is not None
+
+    def write(self, symbol: int, now: float = 0.0) -> None:
+        """Program the cell to ``symbol`` at wall-clock ``now`` seconds."""
+        if not 0 <= symbol < self.spec.num_levels:
+            raise ValueError(f"symbol {symbol} out of range")
+        if self.written_at is not None and now < self.written_at:
+            raise ValueError("time must not run backwards")
+        symbols = np.array([symbol])
+        self.log_r0 = float(
+            self.drift.sample_programmed_resistance(symbols, self.rng)[0]
+        )
+        self.nu = float(self.drift.sample_drift_exponent(symbols, self.rng)[0])
+        self.symbol = symbol
+        self.written_at = now
+        self.write_count += 1
+
+    def resistance_at(self, now: float) -> float:
+        """Log10 resistance at wall-clock ``now``."""
+        self._require_programmed()
+        elapsed = now - self.written_at
+        if elapsed < 0:
+            raise ValueError("cannot read before the cell was written")
+        return float(
+            self.drift.resistance_at(
+                np.array([self.log_r0]), np.array([self.nu]), elapsed
+            )[0]
+        )
+
+    def read(self, now: float) -> int:
+        """Symbol the sense amplifier returns at wall-clock ``now``."""
+        return self.coder.sense(self.resistance_at(now))
+
+    def has_drift_error(self, now: float) -> bool:
+        """True if the cell currently misreads."""
+        self._require_programmed()
+        return self.read(now) != self.symbol
+
+    def crossing_time(self) -> float:
+        """Wall-clock time at which this cell will first misread (inf if never)."""
+        self._require_programmed()
+        relative = float(
+            self.drift.crossing_time(
+                np.array([self.symbol]),
+                np.array([self.log_r0]),
+                np.array([self.nu]),
+            )[0]
+        )
+        return self.written_at + relative
+
+    def _require_programmed(self) -> None:
+        if not self.is_programmed:
+            raise RuntimeError("cell has never been written")

@@ -1,0 +1,122 @@
+"""Write endurance and stuck-at hard faults.
+
+PCM cells wear out: after ~1e8 programming cycles the heater/GST interface
+degrades and the cell freezes ("stuck-at") in its last state.  Per-cell
+lifetime scatters lognormally around the mean.  This is the *hard*-error
+half of the soft-vs-hard trade-off the paper's adaptive scrub navigates:
+every scrub write-back costs one cycle of every cell in the line, so
+scrubbing too aggressively converts soft-error margin into permanent faults
+that consume ECC correction budget forever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..params import EnduranceSpec
+
+
+@dataclass
+class WearState:
+    """Mutable wear bookkeeping for a population of cells.
+
+    ``lifetime`` is fixed at draw time; ``writes`` accumulates; a cell is
+    stuck once ``writes >= lifetime``.  ``stuck_symbol`` records the state
+    the cell froze in (-1 while healthy).
+    """
+
+    lifetime: np.ndarray
+    writes: np.ndarray
+    stuck_symbol: np.ndarray
+
+    @property
+    def num_cells(self) -> int:
+        return self.lifetime.shape[0]
+
+    @property
+    def stuck_mask(self) -> np.ndarray:
+        return self.stuck_symbol >= 0
+
+    @property
+    def num_stuck(self) -> int:
+        return int(self.stuck_mask.sum())
+
+
+class EnduranceModel:
+    """Draws lifetimes and applies wear.
+
+    The lognormal is parameterized so the *mean* of the distribution equals
+    ``spec.mean_writes`` (mu is shifted by -sigma^2/2 in ln space).
+    """
+
+    def __init__(self, spec: EnduranceSpec):
+        self.spec = spec
+        # Convert log10 sigma to natural-log sigma.
+        self._sigma_ln = spec.sigma_log10 * math.log(10.0)
+        self._mu_ln = math.log(spec.mean_writes) - 0.5 * self._sigma_ln**2
+
+    def draw_lifetimes(self, num_cells: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-cell write lifetimes (cycles)."""
+        if num_cells < 0:
+            raise ValueError("num_cells must be >= 0")
+        if self._sigma_ln == 0:
+            return np.full(num_cells, self.spec.mean_writes)
+        return rng.lognormal(self._mu_ln, self._sigma_ln, num_cells)
+
+    def new_state(self, num_cells: int, rng: np.random.Generator) -> WearState:
+        """Fresh wear state for ``num_cells`` healthy cells."""
+        return WearState(
+            lifetime=self.draw_lifetimes(num_cells, rng),
+            writes=np.zeros(num_cells, dtype=np.float64),
+            stuck_symbol=np.full(num_cells, -1, dtype=np.int8),
+        )
+
+    def apply_write(
+        self,
+        state: WearState,
+        written_symbols: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Record one write cycle on (a mask of) cells.
+
+        Cells whose cumulative writes reach their lifetime freeze in the
+        symbol just written.  Returns a boolean array of cells that became
+        stuck *during this write* (they did accept the new data - the wear-out
+        mechanism is the reset of the programmed state failing on some later
+        cycle - which matches the usual fail-on-next-write abstraction).
+        """
+        written_symbols = np.asarray(written_symbols)
+        if written_symbols.shape[0] != state.num_cells:
+            raise ValueError("written_symbols must cover the whole population")
+        if mask is None:
+            mask = np.ones(state.num_cells, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+
+        healthy = mask & ~state.stuck_mask
+        state.writes[healthy] += 1.0
+        newly_stuck = healthy & (state.writes >= state.lifetime)
+        state.stuck_symbol[newly_stuck] = written_symbols[newly_stuck]
+        return newly_stuck
+
+    @staticmethod
+    def hard_error_mask(state: WearState, desired_symbols: np.ndarray) -> np.ndarray:
+        """Cells whose stuck state disagrees with the data they should hold."""
+        desired_symbols = np.asarray(desired_symbols)
+        return state.stuck_mask & (state.stuck_symbol != desired_symbols)
+
+    def expected_stuck_fraction(self, writes: float) -> float:
+        """Closed-form P(cell stuck after ``writes`` cycles).
+
+        The CDF of the lognormal lifetime at ``writes``; used by analytic
+        soft-vs-hard trade-off curves (experiment E8).
+        """
+        if writes <= 0:
+            return 0.0
+        if self._sigma_ln == 0:
+            return 1.0 if writes >= self.spec.mean_writes else 0.0
+        z = (math.log(writes) - self._mu_ln) / self._sigma_ln
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

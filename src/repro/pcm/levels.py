@@ -1,0 +1,163 @@
+"""Level coding: bits <-> MLC symbols, and resistance -> level thresholding.
+
+Two concerns live here:
+
+* **Gray coding.**  Drift moves a cell's resistance monotonically upward, so
+  the overwhelmingly common misread is "level k read as level k+1".  With a
+  Gray code, adjacent symbols differ in exactly one bit, so one drifted cell
+  costs one *bit* error - which is what makes per-bit ECC strength directly
+  comparable to per-cell drift error counts.  This is the standard MLC
+  allocation and the one the paper assumes.
+
+* **Thresholding.**  Mapping an analog (log-)resistance to the stored symbol
+  using the read-band boundaries of the cell spec.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..params import CellSpec
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code of ``value``.
+
+    >>> [gray_encode(i) for i in range(4)]
+    [0, 1, 3, 2]
+    """
+    if value < 0:
+        raise ValueError("gray_encode expects a non-negative integer")
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`.
+
+    >>> [gray_decode(gray_encode(i)) for i in range(8)]
+    [0, 1, 2, 3, 4, 5, 6, 7]
+    """
+    if code < 0:
+        raise ValueError("gray_decode expects a non-negative integer")
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+class LevelCoder:
+    """Translate between bit patterns, MLC symbols, and resistances.
+
+    The *symbol* is the physical level index (0 = lowest resistance); the
+    *pattern* is the ``bits_per_cell``-bit user data stored in the cell.
+    Patterns are assigned to symbols in Gray order so adjacent levels differ
+    by one bit.
+    """
+
+    def __init__(self, spec: CellSpec):
+        self.spec = spec
+        self.bits_per_cell = spec.bits_per_cell
+        n = spec.num_levels
+        # pattern_for_symbol[s] = Gray code of s; symbol_for_pattern inverts.
+        self._pattern_for_symbol = [gray_encode(s) for s in range(n)]
+        self._symbol_for_pattern = [0] * n
+        for symbol, pattern in enumerate(self._pattern_for_symbol):
+            self._symbol_for_pattern[pattern] = symbol
+        # Ascending read-band boundaries between level k and k+1.
+        self._boundaries = [band.read_high for band in spec.levels[:-1]]
+
+    # -- bit/symbol translation ------------------------------------------------
+
+    def pattern_to_symbol(self, pattern: int) -> int:
+        """Physical level that stores bit ``pattern``."""
+        self._check_pattern(pattern)
+        return self._symbol_for_pattern[pattern]
+
+    def symbol_to_pattern(self, symbol: int) -> int:
+        """Bit pattern represented by physical level ``symbol``."""
+        self._check_symbol(symbol)
+        return self._pattern_for_symbol[symbol]
+
+    def patterns_to_symbols(self, patterns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`pattern_to_symbol`."""
+        table = np.asarray(self._symbol_for_pattern, dtype=np.int8)
+        return table[np.asarray(patterns)]
+
+    def symbols_to_patterns(self, symbols: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`symbol_to_pattern`."""
+        table = np.asarray(self._pattern_for_symbol, dtype=np.int8)
+        return table[np.asarray(symbols)]
+
+    def bit_errors_between(self, pattern_a: int, pattern_b: int) -> int:
+        """Hamming distance between two stored patterns.
+
+        One drift step (symbol k -> k+1) always yields 1 here, by Gray
+        construction.
+        """
+        self._check_pattern(pattern_a)
+        self._check_pattern(pattern_b)
+        return (pattern_a ^ pattern_b).bit_count()
+
+    # -- bit packing -------------------------------------------------------------
+
+    def bits_to_symbols(self, bits: Sequence[int]) -> np.ndarray:
+        """Pack a bit sequence (MSB-first per cell) into physical symbols.
+
+        ``len(bits)`` must be a multiple of ``bits_per_cell``.
+        """
+        if len(bits) % self.bits_per_cell:
+            raise ValueError(
+                f"bit count {len(bits)} not a multiple of {self.bits_per_cell}"
+            )
+        arr = np.asarray(bits, dtype=np.int8)
+        if arr.size and (arr.min() < 0 or arr.max() > 1):
+            raise ValueError("bits must be 0 or 1")
+        grouped = arr.reshape(-1, self.bits_per_cell)
+        weights = 1 << np.arange(self.bits_per_cell - 1, -1, -1)
+        patterns = (grouped * weights).sum(axis=1)
+        return self.patterns_to_symbols(patterns)
+
+    def symbols_to_bits(self, symbols: np.ndarray) -> np.ndarray:
+        """Unpack physical symbols back into a bit array (MSB-first)."""
+        patterns = self.symbols_to_patterns(np.asarray(symbols))
+        shifts = np.arange(self.bits_per_cell - 1, -1, -1)
+        bits = (patterns[:, None] >> shifts[None, :]) & 1
+        return bits.reshape(-1).astype(np.int8)
+
+    # -- resistance thresholding ---------------------------------------------------
+
+    def sense(self, log_resistance: float) -> int:
+        """Map an analog log10 resistance to the symbol the sense amp reads."""
+        return bisect.bisect_right(self._boundaries, log_resistance)
+
+    def sense_many(self, log_resistances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sense`."""
+        edges = np.asarray(self._boundaries)
+        return np.searchsorted(edges, np.asarray(log_resistances), side="right").astype(
+            np.int8
+        )
+
+    def upper_boundary(self, symbol: int) -> float:
+        """Read-band upper boundary for ``symbol`` (inf for the top level)."""
+        self._check_symbol(symbol)
+        if symbol == self.spec.num_levels - 1:
+            return float("inf")
+        return self._boundaries[symbol]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _check_symbol(self, symbol: int) -> None:
+        if not 0 <= symbol < self.spec.num_levels:
+            raise ValueError(
+                f"symbol {symbol} out of range 0..{self.spec.num_levels - 1}"
+            )
+
+    def _check_pattern(self, pattern: int) -> None:
+        if not 0 <= pattern < self.spec.num_levels:
+            raise ValueError(
+                f"pattern {pattern} out of range 0..{self.spec.num_levels - 1}"
+            )

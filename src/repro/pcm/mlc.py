@@ -1,0 +1,109 @@
+"""Generalized MLC construction: build cell specs for any bits-per-cell.
+
+The default :class:`repro.params.CellSpec` is the paper's 2-bit/4-level
+cell.  Density scaling is the whole reason MLC exists - and the whole
+reason drift hurts: packing more levels into the same resistance window
+shrinks every guard band while the drift exponents stay put.  This module
+builds consistent N-level allocations so that density-vs-reliability
+studies (benchmark A7) compare like for like:
+
+* levels are spaced evenly in log-resistance across a fixed window,
+* each level's read band spans to the midpoint toward its neighbours,
+* program bands occupy a fixed fraction of the read band around its
+  center (narrower bands = more program-and-verify iterations, captured
+  by :mod:`repro.pcm.programming`),
+* drift exponents interpolate the crystalline->amorphous physics: the
+  mean drift exponent rises with the amorphous fraction, which grows with
+  the level's target resistance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import CellSpec, DriftParams, LevelBand
+
+
+def make_mlc_spec(
+    bits_per_cell: int = 2,
+    window_low: float = 3.1,
+    window_high: float = 6.1,
+    program_band_fraction: float = 0.25,
+    nu_crystalline: float = 0.001,
+    nu_amorphous: float = 0.10,
+    nu_sigma_ratio: float = 0.4,
+    program_sigma: float = 0.05,
+) -> CellSpec:
+    """Build an N-level cell spec over a log-resistance window.
+
+    Parameters
+    ----------
+    bits_per_cell:
+        1 (SLC) to 4; the level count is ``2 ** bits_per_cell``.
+    window_low, window_high:
+        Log10 resistance of the lowest and highest level centers.  The
+        default 3-decade window matches the stock 4-level allocation.
+    program_band_fraction:
+        Fraction of each level's read band the verify loop targets.
+    nu_crystalline, nu_amorphous:
+        Mean drift exponents of the extreme levels; intermediate levels
+        interpolate linearly in level index (amorphous fraction).
+    nu_sigma_ratio:
+        sigma_nu / mean_nu for every level.
+    program_sigma:
+        Programming noise (see :class:`repro.params.CellSpec`).
+
+    >>> make_mlc_spec(3).num_levels
+    8
+    """
+    if not 1 <= bits_per_cell <= 4:
+        raise ValueError("bits_per_cell must be in 1..4")
+    if window_high <= window_low:
+        raise ValueError("window_high must exceed window_low")
+    if not 0 < program_band_fraction <= 1:
+        raise ValueError("program_band_fraction must be in (0, 1]")
+    if nu_crystalline < 0 or nu_amorphous < nu_crystalline:
+        raise ValueError("need 0 <= nu_crystalline <= nu_amorphous")
+    if nu_sigma_ratio < 0:
+        raise ValueError("nu_sigma_ratio must be >= 0")
+
+    num_levels = 1 << bits_per_cell
+    centers = np.linspace(window_low, window_high, num_levels)
+    # Read-band edges at midpoints between neighbouring centers; the
+    # bottom and top bands extend outward generously.
+    midpoints = (centers[:-1] + centers[1:]) / 2
+    read_lows = np.concatenate([[window_low - 4.0], midpoints])
+    read_highs = np.concatenate([midpoints, [window_high + 6.0]])
+
+    levels = []
+    drift = []
+    for symbol in range(num_levels):
+        center = centers[symbol]
+        # Program band: a centered slice of the read band (the top band's
+        # effective width uses the same pitch as the others so SLC/MLC
+        # verify effort is comparable).
+        pitch = (
+            (read_highs[symbol] - read_lows[symbol])
+            if 0 < symbol < num_levels - 1
+            else (centers[1] - centers[0] if num_levels > 1 else 1.0)
+        )
+        half = pitch * program_band_fraction / 2
+        levels.append(
+            LevelBand(
+                name=f"L{symbol}",
+                symbol=symbol,
+                program_low=center - half,
+                program_high=center + half,
+                read_low=float(read_lows[symbol]),
+                read_high=float(read_highs[symbol]),
+            )
+        )
+        fraction = symbol / (num_levels - 1) if num_levels > 1 else 0.0
+        nu_mean = nu_crystalline + fraction * (nu_amorphous - nu_crystalline)
+        drift.append(DriftParams(nu_mean=nu_mean, nu_sigma=nu_mean * nu_sigma_ratio))
+
+    return CellSpec(
+        levels=tuple(levels),
+        drift=tuple(drift),
+        program_sigma=program_sigma,
+    )

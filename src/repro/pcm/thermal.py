@@ -1,0 +1,152 @@
+"""Time-varying temperature: thermal profiles and effective drift age.
+
+Constant-temperature drift is handled by a single Arrhenius acceleration
+factor (:mod:`repro.pcm.drift`).  Real servers cycle: diurnal load swings,
+batch jobs, seasonal setpoints.  Because drift is structural relaxation,
+a varying temperature composes through the *effective age*
+
+    age_eff(t) = integral_0^t AF(T(u)) du
+
+where ``AF`` is the Arrhenius acceleration relative to the reference
+temperature.  A cell written at wall-clock ``w`` crosses its boundary at
+the wall-clock instant where the accumulated effective age since ``w``
+reaches the cell's (temperature-independent) reference crossing age.
+
+For piecewise-constant profiles ``age_eff`` is piecewise linear and
+strictly increasing, so both it and its inverse are exact ``np.interp``
+lookups over precomputed breakpoints - which is how the population engine
+supports thermal cycling with zero per-event overhead: sample reference
+crossing ages once, map through :meth:`ThermalProfile.wall_time_at`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .drift import arrhenius_acceleration
+
+
+@dataclass(frozen=True)
+class ThermalPhase:
+    """One constant-temperature stretch of a repeating profile."""
+
+    duration: float
+    temperature_k: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.temperature_k <= 0:
+            raise ValueError("temperature must be positive kelvin")
+
+
+class ThermalProfile:
+    """A repeating piecewise-constant temperature schedule.
+
+    Parameters
+    ----------
+    phases:
+        The cycle, e.g. ``[ThermalPhase(12h, 330), ThermalPhase(12h, 305)]``
+        for a day/night server.  The profile repeats indefinitely.
+    reference_temperature_k:
+        Temperature the drift constants are specified at.
+    activation_energy_ev:
+        Arrhenius activation energy of drift.
+    """
+
+    def __init__(
+        self,
+        phases: list[ThermalPhase],
+        reference_temperature_k: float = 300.0,
+        activation_energy_ev: float = 0.2,
+    ):
+        if not phases:
+            raise ValueError("profile needs at least one phase")
+        self.phases = list(phases)
+        self.reference_temperature_k = reference_temperature_k
+        self.activation_energy_ev = activation_energy_ev
+        self.period = sum(phase.duration for phase in phases)
+
+        # Breakpoints over one cycle: wall time -> effective age.
+        factors = [
+            arrhenius_acceleration(
+                phase.temperature_k, reference_temperature_k, activation_energy_ev
+            )
+            for phase in phases
+        ]
+        wall = [0.0]
+        eff = [0.0]
+        for phase, factor in zip(phases, factors):
+            wall.append(wall[-1] + phase.duration)
+            eff.append(eff[-1] + phase.duration * factor)
+        self._wall = np.array(wall)
+        self._eff = np.array(eff)
+        #: Effective age accumulated per full cycle.
+        self.effective_per_period = float(self._eff[-1])
+
+    @classmethod
+    def constant(
+        cls, temperature_k: float, reference_temperature_k: float = 300.0,
+        activation_energy_ev: float = 0.2,
+    ) -> "ThermalProfile":
+        """Degenerate single-phase profile (same as a constant model)."""
+        return cls(
+            [ThermalPhase(duration=86400.0, temperature_k=temperature_k)],
+            reference_temperature_k=reference_temperature_k,
+            activation_energy_ev=activation_energy_ev,
+        )
+
+    @property
+    def mean_acceleration(self) -> float:
+        """Cycle-averaged drift acceleration factor."""
+        return self.effective_per_period / self.period
+
+    # -- forward map ------------------------------------------------------------
+
+    def effective_age_at(self, wall_time: np.ndarray) -> np.ndarray:
+        """Effective (reference-temperature) age accumulated by ``wall_time``."""
+        wall_time = np.asarray(wall_time, dtype=np.float64)
+        if (wall_time < 0).any():
+            raise ValueError("wall_time must be >= 0")
+        cycles, remainder = np.divmod(wall_time, self.period)
+        return cycles * self.effective_per_period + np.interp(
+            remainder, self._wall, self._eff
+        )
+
+    # -- inverse map ------------------------------------------------------------------
+
+    def wall_time_at(self, effective_age: np.ndarray) -> np.ndarray:
+        """Wall-clock instant at which ``effective_age`` has accumulated.
+
+        Inverse of :meth:`effective_age_at`; ``inf`` maps to ``inf``.
+        """
+        effective_age = np.asarray(effective_age, dtype=np.float64)
+        if (effective_age[np.isfinite(effective_age)] < 0).any():
+            raise ValueError("effective_age must be >= 0")
+        out = np.full(effective_age.shape, np.inf)
+        finite = np.isfinite(effective_age)
+        if finite.any():
+            cycles, remainder = np.divmod(
+                effective_age[finite], self.effective_per_period
+            )
+            out[finite] = cycles * self.period + np.interp(
+                remainder, self._eff, self._wall
+            )
+        return out
+
+    def crossing_wall_times(
+        self, written_at: np.ndarray, reference_ages: np.ndarray
+    ) -> np.ndarray:
+        """Wall-clock crossing instants for cells written at ``written_at``.
+
+        ``reference_ages`` are crossing times sampled at the reference
+        temperature (what :class:`repro.sim.analytic.CrossingDistribution`
+        produces); broadcasting follows numpy rules, e.g. per-line write
+        times against per-line-per-cell ages.
+        """
+        written_at = np.asarray(written_at, dtype=np.float64)
+        reference_ages = np.asarray(reference_ages, dtype=np.float64)
+        start_eff = self.effective_age_at(written_at)
+        return self.wall_time_at(start_eff + reference_ages)

@@ -1,0 +1,69 @@
+"""Process variation: static per-cell parameter perturbations.
+
+Cell-to-cell fabrication variation perturbs two things the drift model
+cares about:
+
+* a static log-resistance offset (geometry/composition variation shifts the
+  whole R-vs-state curve of a cell), and
+* a multiplicative factor on the cell's drift-exponent mean (local
+  composition fluctuation changes how fast the amorphous phase relaxes).
+
+The bit-exact array draws these once per cell at construction; the
+population Monte-Carlo engine folds the same variances into its per-write
+draws (variation there is absorbed into the sigma of ``r0`` and ``nu``,
+which is statistically equivalent for population-level metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Magnitudes of static process variation.
+
+    The defaults are small relative to band widths, matching a mature
+    process; experiments can widen them to study marginal devices.
+    """
+
+    #: Std-dev of the per-cell static log10-resistance offset.
+    resistance_offset_sigma: float = 0.02
+    #: Std-dev of the multiplicative drift-exponent factor (mean 1.0).
+    drift_factor_sigma: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.resistance_offset_sigma < 0:
+            raise ValueError("resistance_offset_sigma must be >= 0")
+        if self.drift_factor_sigma < 0:
+            raise ValueError("drift_factor_sigma must be >= 0")
+
+
+@dataclass(frozen=True)
+class CellVariation:
+    """Static variation drawn for a population of cells."""
+
+    resistance_offset: np.ndarray
+    drift_factor: np.ndarray
+
+    @property
+    def num_cells(self) -> int:
+        return self.resistance_offset.shape[0]
+
+
+def draw_variation(
+    spec: VariationSpec, num_cells: int, rng: np.random.Generator
+) -> CellVariation:
+    """Draw static per-cell variation for ``num_cells`` cells.
+
+    Drift factors are truncated below at 0.1 so no cell is drift-immune by
+    fabrication accident - the physical lower bound is "slow", not "frozen".
+    """
+    if num_cells < 0:
+        raise ValueError("num_cells must be >= 0")
+    offsets = rng.normal(0.0, spec.resistance_offset_sigma, num_cells)
+    factors = rng.normal(1.0, spec.drift_factor_sigma, num_cells)
+    factors = np.maximum(factors, 0.1)
+    return CellVariation(resistance_offset=offsets, drift_factor=factors)

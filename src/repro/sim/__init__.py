@@ -1,0 +1,37 @@
+"""Simulation engines.
+
+Three engines at different fidelity/speed points:
+
+* :mod:`repro.sim.analytic` - closed-form per-cell error probabilities and
+  line-failure models; instant, used for design-space sweeps and to
+  cross-check the Monte-Carlo engines.
+* :mod:`repro.sim.population` - the workhorse: a vectorized Monte-Carlo
+  engine that tracks, per line, only the few smallest drift crossing times
+  (order-statistics sampling), making year-scale simulations of large line
+  populations run in seconds.
+* :mod:`repro.sim.bitexact` - drives :class:`repro.pcm.array.LineArray`
+  and the real BCH/SECDED codecs bit by bit; slow, used for validation.
+
+:mod:`repro.sim.runner` wires an engine, a scrub policy, and a workload into
+one reproducible experiment.
+"""
+
+from __future__ import annotations
+
+from .analytic import AnalyticModel, CrossingDistribution
+from .config import SimulationConfig
+from .population import LinePopulation, PopulationEngine
+from .results import RunResult
+from .rng import RngStreams
+from .runner import run_experiment
+
+__all__ = [
+    "AnalyticModel",
+    "CrossingDistribution",
+    "LinePopulation",
+    "PopulationEngine",
+    "RngStreams",
+    "RunResult",
+    "SimulationConfig",
+    "run_experiment",
+]

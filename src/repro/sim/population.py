@@ -1,0 +1,548 @@
+"""The population Monte-Carlo engine - the reproduction's workhorse.
+
+Simulating a year of scrubbing over many thousands of lines is intractable
+if every cell's resistance is stepped through time.  Two observations make
+it cheap without approximating the physics:
+
+1. **Crossing times are deterministic per write.**  Given the drawn
+   ``(r0, nu)`` of a cell, the moment it will misread is a closed form
+   (:meth:`repro.pcm.drift.DriftModel.crossing_time`), so the randomness
+   can be sampled once per write instead of per time step.
+
+2. **Only the smallest few crossing times per line matter.**  A line is
+   uncorrectable once its error count exceeds the ECC strength ``t <= 8``;
+   what happens after the ~24th error is irrelevant.  So each line keeps
+   only its ``keep`` smallest crossing times, drawn directly as order
+   statistics of the cell-crossing mixture distribution
+   (:meth:`repro.sim.analytic.CrossingDistribution.sample_smallest`) -
+   O(keep) per line per write, independent of cells-per-line.
+
+The same trick handles endurance: each line keeps its ``keep`` smallest
+per-cell write lifetimes (drawn once - lifetimes are physical, not
+per-write), and its stuck-cell count is a lookup against the line's write
+counter.
+
+:class:`PopulationEngine` plays scrub visits (via a
+:class:`repro.core.scheduler.ScrubScheduler`) and Poisson demand traffic
+against this state, delegating all decisions to a
+:class:`repro.core.policy.ScrubPolicy` and charging a
+:class:`repro.core.stats.ScrubStats` ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.policy import ScrubPolicy
+from ..core.scheduler import ScrubScheduler
+from ..core.stats import ScrubStats
+from ..pcm.endurance import EnduranceModel
+from ..pcm.thermal import ThermalProfile
+from ..workloads.generators import DemandRates, idle_rates
+from .analytic import CrossingDistribution
+from .rng import RngStreams
+
+
+class LinePopulation:
+    """Order-statistics state for a population of lines.
+
+    Parameters
+    ----------
+    num_lines, cells_per_line:
+        Geometry (cells per line counts data + check cells; the check bits
+        drift like any other cells and are protected by the same code).
+    distribution:
+        Crossing-time mixture to draw from.
+    endurance:
+        Endurance model, or ``None`` to disable wear-out.
+    rng:
+        Stream for all population draws.
+    keep:
+        Order statistics retained per line; must comfortably exceed the
+        strongest ECC strength simulated.
+    thermal:
+        Optional time-varying temperature profile.  When given, the
+        ``distribution`` must be tabulated at the profile's *reference*
+        temperature; sampled crossing ages are mapped to wall-clock
+        through the profile's effective-age inverse.
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        cells_per_line: int,
+        distribution: CrossingDistribution,
+        rng: np.random.Generator,
+        endurance: EnduranceModel | None = None,
+        keep: int = 24,
+        thermal: "ThermalProfile | None" = None,
+    ):
+        if num_lines <= 0 or cells_per_line <= 0:
+            raise ValueError("geometry must be positive")
+        if keep <= 0 or keep > cells_per_line:
+            raise ValueError("keep must be in [1, cells_per_line]")
+        self.num_lines = num_lines
+        self.cells_per_line = cells_per_line
+        self.distribution = distribution
+        self.keep = keep
+        self.rng = rng
+        self.thermal = thermal
+        #: Stuck-cell mismatch probability on a data change: a frozen cell
+        #: disagrees with fresh uniform data unless it matches by luck.
+        levels = distribution.spec.num_levels
+        self._mismatch_probability = (levels - 1) / levels
+
+        #: Absolute crossing times, ascending per row, inf past the last.
+        self.crossing = np.full((num_lines, keep), np.inf)
+        #: Cumulative full-line writes (demand + scrub + recovery).
+        self.writes = np.zeros(num_lines, dtype=np.int64)
+        #: Stuck cells currently conflicting with stored data.
+        self.hard_mismatch = np.zeros(num_lines, dtype=np.int16)
+        #: Sub-line wear accumulated by partial rewrites (cells/C units).
+        self._fractional_wear = np.zeros(num_lines)
+
+        self._endurance = endurance
+        if endurance is not None:
+            # Smallest `keep` of `cells_per_line` per-cell lifetimes, per
+            # line, drawn once: lifetimes belong to the physical cells.
+            self.lifetime = self._lifetime_order_statistics(endurance, num_lines)
+        else:
+            self.lifetime = np.full((num_lines, keep), np.inf)
+
+        # Everything is freshly written at t = 0.
+        self.rewrite(np.arange(num_lines), np.zeros(num_lines), data_changed=True)
+        # The initial fill is not an operational write; reset the counter.
+        self.writes[:] = 0
+
+    def _lifetime_order_statistics(
+        self, endurance: EnduranceModel, num_lines: int
+    ) -> np.ndarray:
+        """Smallest ``keep`` of ``cells_per_line`` lifetimes, per line."""
+        u = np.zeros((num_lines, self.keep))
+        prev = np.zeros(num_lines)
+        for i in range(self.keep):
+            v = self.rng.random(num_lines)
+            step = 1.0 - np.power(v, 1.0 / (self.cells_per_line - i))
+            prev = prev + (1.0 - prev) * step
+            u[:, i] = prev
+        # Invert the lognormal CDF at the uniform order statistics.
+        sigma_ln = endurance.spec.sigma_log10 * np.log(10.0)
+        if sigma_ln == 0:
+            return np.full(u.shape, endurance.spec.mean_writes)
+        mu_ln = np.log(endurance.spec.mean_writes) - 0.5 * sigma_ln**2
+        from scipy.special import ndtri
+
+        return np.exp(mu_ln + sigma_ln * ndtri(u))
+
+    # -- queries ------------------------------------------------------------
+
+    def drift_error_counts(self, idx: np.ndarray, now: float) -> np.ndarray:
+        """Drifted cells per line at time ``now`` (capped at ``keep``)."""
+        return (self.crossing[idx] <= now).sum(axis=1).astype(np.int64)
+
+    def stuck_counts(self, idx: np.ndarray) -> np.ndarray:
+        """Stuck (worn-out) cells per line (capped at ``keep``)."""
+        return (self.lifetime[idx] <= self.writes[idx, None]).sum(axis=1).astype(
+            np.int64
+        )
+
+    def error_counts(self, idx: np.ndarray, now: float) -> np.ndarray:
+        """Total observable errors per line: drift + conflicting stuck cells."""
+        return self.drift_error_counts(idx, now) + self.hard_mismatch[idx]
+
+    # -- mutations -----------------------------------------------------------------
+
+    def rewrite(
+        self,
+        idx: np.ndarray,
+        at_times: np.ndarray,
+        data_changed: bool,
+        extra_writes: np.ndarray | None = None,
+    ) -> None:
+        """Re-program whole lines at per-line times ``at_times``.
+
+        Drift clocks reset (fresh crossing-time order statistics anchored at
+        the write time).  The write counter advances by 1 plus
+        ``extra_writes`` (multiple demand writes between scrub visits each
+        wear the cells, but only the last one's drift clock matters).
+
+        ``data_changed`` distinguishes demand writes and UE-recovery loads
+        (new data: stuck cells re-draw whether they conflict) from scrub
+        write-backs (same data: existing conflicts persist, cells that froze
+        earlier while holding this data stay consistent).
+        """
+        idx = np.asarray(idx)
+        if idx.size == 0:
+            return
+        at_times = np.asarray(at_times, dtype=np.float64)
+        if at_times.shape != idx.shape:
+            raise ValueError("at_times must match idx")
+        relative = self.distribution.sample_smallest(
+            idx.size, self.cells_per_line, self.keep, self.rng
+        )
+        if self.thermal is None:
+            self.crossing[idx] = relative + at_times[:, None]
+        else:
+            self.crossing[idx] = self.thermal.crossing_wall_times(
+                at_times[:, None], relative
+            )
+        # Cells stuck *before* this write may conflict with the new data;
+        # cells that freeze during it hold the data just written, so they
+        # start consistent.
+        stuck_before = self.stuck_counts(idx) if data_changed else None
+        self.writes[idx] += 1
+        if extra_writes is not None:
+            self.writes[idx] += np.asarray(extra_writes, dtype=np.int64)
+        if data_changed:
+            self.hard_mismatch[idx] = self.rng.binomial(
+                stuck_before, self._mismatch_probability
+            ).astype(np.int16)
+
+    def partial_rewrite(self, idx: np.ndarray, now: float) -> np.ndarray:
+        """Re-program only the *drifted* cells of each line at time ``now``.
+
+        PCM programs cells individually, so a scrub write-back need not
+        touch the healthy cells: their programmed state (and drift clock,
+        and wear) is left alone.  In the order-statistics representation
+        the drifted cells are exactly the leading entries with
+        ``crossing <= now``; they are replaced by fresh order statistics
+        (anchored at ``now``) of that many new cell draws, merged with the
+        surviving entries.
+
+        Wear advances *fractionally*: rewriting ``j`` of ``C`` cells costs
+        ``j/C`` of a line write against the per-line wear counter (the
+        rewritten cells are a random subset over time, so average wear is
+        the right per-line statistic).  Returns the per-line rewritten-cell
+        counts so callers can charge energy proportionally.
+
+        Truncation note: replacement cells that never cross contribute
+        ``inf`` entries; untracked original cells (beyond the ``keep``
+        window) are not re-promoted into the row, slightly undercounting
+        errors at horizons where the count would exceed ``keep - j``
+        anyway - the same order-statistics truncation class as the rest of
+        the engine.
+        """
+        idx = np.asarray(idx)
+        if idx.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        rows = self.crossing[idx]
+        crossed = (rows <= now).sum(axis=1).astype(np.int64)
+
+        # Group lines by how many cells they replace so the fresh-draw
+        # sampler runs on equal-width batches.
+        for j in np.unique(crossed):
+            if j == 0:
+                continue
+            group = np.flatnonzero(crossed == j)
+            lines = idx[group]
+            fresh_keep = int(min(j, self.keep))
+            fresh = self.distribution.sample_smallest(
+                group.size, int(j), fresh_keep, self.rng
+            )
+            if self.thermal is None:
+                fresh = fresh + now
+            else:
+                fresh = self.thermal.crossing_wall_times(
+                    np.full((group.size, 1), now), fresh
+                )
+            surviving = self.crossing[lines, int(j):]
+            merged = np.sort(
+                np.concatenate([surviving, fresh], axis=1), axis=1
+            )[:, : self.keep]
+            self.crossing[lines] = merged
+
+        # Fractional wear: j/C of a full-line write.
+        self._fractional_wear[idx] += crossed / self.cells_per_line
+        whole = self._fractional_wear[idx] >= 1.0
+        if whole.any():
+            w_idx = idx[whole]
+            increments = np.floor(self._fractional_wear[w_idx]).astype(np.int64)
+            self.writes[w_idx] += increments
+            self._fractional_wear[w_idx] -= increments
+        return crossed
+
+    def retire(self, idx: np.ndarray, now: float) -> None:
+        """Replace lines with fresh spares (new cells: new lifetimes)."""
+        idx = np.asarray(idx)
+        if idx.size == 0:
+            return
+        if self._endurance is not None:
+            self.lifetime[idx] = self._fresh_lifetimes(idx.size)
+        self.writes[idx] = 0
+        self.hard_mismatch[idx] = 0
+        self.rewrite(idx, np.full(idx.size, now), data_changed=True)
+        self.writes[idx] = 0
+
+    def _fresh_lifetimes(self, count: int) -> np.ndarray:
+        endurance = self._endurance
+        if endurance is None:
+            raise RuntimeError("retirement requires an endurance model")
+        return self._lifetime_order_statistics(endurance, count)
+
+
+class PopulationEngine:
+    """Event loop: scrub visits + Poisson demand against a population.
+
+    Parameters
+    ----------
+    population:
+        Device state.
+    policy:
+        Scrub mechanism under test.
+    stats:
+        Ledger to charge; typically fresh per run.
+    streams:
+        Named RNG family (uses the ``"engine"`` and ``"workload"`` streams).
+    rates:
+        Demand traffic; ``None`` means idle memory.
+    region_size:
+        Lines per scrub region (a bank); adaptive policies steer intervals
+        at this granularity.
+    horizon:
+        Simulated wall-clock seconds.
+    retire_hard_limit:
+        Retire a line once this many of its cells are stuck (``None``
+        disables retirement).
+    read_refresh:
+        Treat demand reads as scrub probes: the read path decodes anyway,
+        so a read that observes an error count at or above the policy's
+        write-back threshold triggers an immediate refresh write, and a
+        read of an uncorrectable line surfaces the UE at the read instead
+        of at the next scrub pass.  Modelled at the last read per line per
+        inter-visit window (the one closest to the error peak).
+    spare_pool:
+        Optional finite spare budget behind retirement
+        (:class:`repro.mem.sparing.SparePool`); retirements beyond the
+        budget are refused and the broken lines stay in service.
+    """
+
+    def __init__(
+        self,
+        population: LinePopulation,
+        policy: ScrubPolicy,
+        stats: ScrubStats,
+        streams: RngStreams,
+        horizon: float,
+        rates: DemandRates | None = None,
+        region_size: int = 1024,
+        retire_hard_limit: int | None = None,
+        read_refresh: bool = False,
+        spare_pool=None,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if region_size <= 0:
+            raise ValueError("region_size must be positive")
+        if population.num_lines % region_size:
+            raise ValueError("num_lines must be a multiple of region_size")
+        self.population = population
+        self.policy = policy
+        self.stats = stats
+        self.streams = streams
+        self.horizon = horizon
+        self.rates = rates if rates is not None else idle_rates(population.num_lines)
+        if self.rates.num_lines != population.num_lines:
+            raise ValueError("demand rates must cover the whole population")
+        self.region_size = region_size
+        self.num_regions = population.num_lines // region_size
+        self.retire_hard_limit = retire_hard_limit
+        self.read_refresh = read_refresh
+        if spare_pool is not None and spare_pool.num_regions != self.num_regions:
+            raise ValueError("spare pool must cover exactly the scrub regions")
+        self.spare_pool = spare_pool
+        #: Per-line time of the last scrub visit (or start of time).
+        self._last_visit = np.zeros(population.num_lines)
+
+    def region_lines(self, region: int) -> np.ndarray:
+        start = region * self.region_size
+        return np.arange(start, start + self.region_size)
+
+    def simulate(self) -> ScrubStats:
+        """Simulate to the horizon and return the (shared) stats ledger."""
+        scheduler = ScrubScheduler(
+            self.num_regions,
+            [self.policy.initial_interval(r) for r in range(self.num_regions)],
+        )
+        engine_rng = self.streams.get("engine")
+        workload_rng = self.streams.get("workload")
+
+        while len(scheduler) and scheduler.peek_time() <= self.horizon:
+            visit = scheduler.pop()
+            next_interval = self._process_visit(
+                visit.time, visit.region, engine_rng, workload_rng
+            )
+            scheduler.push(visit.time + next_interval, visit.region)
+        self._account_demand_reads()
+        return self.stats
+
+    # -- internals ----------------------------------------------------------
+
+    def _process_visit(
+        self,
+        time: float,
+        region: int,
+        engine_rng: np.random.Generator,
+        workload_rng: np.random.Generator,
+    ) -> float:
+        idx = self.region_lines(region)
+        self._apply_demand(idx, time, workload_rng)
+        if self.read_refresh:
+            self._apply_read_refresh(idx, time, workload_rng)
+
+        error_counts = self.population.error_counts(idx, time)
+        decision = self.policy.visit(time, region, error_counts, engine_rng)
+
+        # Accounting: every visited line is read; detector-equipped schemes
+        # check every line; the decoder runs only where the policy engaged it.
+        self.stats.record_reads(idx.size)
+        if self.policy.scheme.has_detector:
+            self.stats.record_detects(idx.size)
+        num_decoded = int(decision.decoded.sum())
+        self.stats.record_decodes(num_decoded)
+        self.stats.record_error_counts(error_counts[decision.decoded])
+        self.stats.detector_misses += int(decision.missed.sum())
+
+        # Uncorrectable lines: record, then recover (the OS reloads the
+        # page); recovery is a data-changing write outside the scrub budget.
+        ue_idx = idx[decision.uncorrectable]
+        if ue_idx.size:
+            self.stats.uncorrectable += ue_idx.size
+            self.population.rewrite(
+                ue_idx, np.full(ue_idx.size, time), data_changed=True
+            )
+
+        # Write-backs: the scrub-cost metric the paper minimizes.
+        wb_idx = idx[decision.written_back]
+        if wb_idx.size:
+            if getattr(self.policy, "partial_writeback", False):
+                cells = self.population.partial_rewrite(wb_idx, time)
+                self.stats.record_partial_scrub_writes(
+                    wb_idx.size, int(cells.sum())
+                )
+            else:
+                self.stats.record_scrub_writes(wb_idx.size)
+                self.population.rewrite(
+                    wb_idx, np.full(wb_idx.size, time), data_changed=False
+                )
+
+        if self.retire_hard_limit is not None:
+            stuck = self.population.stuck_counts(idx)
+            retire_idx = idx[stuck >= self.retire_hard_limit]
+            if retire_idx.size:
+                if self.spare_pool is not None:
+                    grant = self.spare_pool.request(region, retire_idx.size)
+                    retire_idx = retire_idx[:grant]
+                if retire_idx.size:
+                    self.stats.retired += retire_idx.size
+                    self.population.retire(retire_idx, time)
+
+        self._last_visit[idx] = time
+        return decision.next_interval
+
+    def _apply_demand(
+        self, idx: np.ndarray, now: float, rng: np.random.Generator
+    ) -> None:
+        """Apply Poisson demand writes that hit ``idx`` since their last visit."""
+        rates = self.rates.write_rate[idx]
+        if not rates.any():
+            return
+        elapsed = now - self._last_visit[idx]
+        counts = rng.poisson(rates * elapsed)
+        written = counts > 0
+        if not written.any():
+            return
+        w_idx = idx[written]
+        w_counts = counts[written]
+        w_elapsed = elapsed[written]
+        # Given N uniform arrivals in the window, the last one sits at
+        # start + window * max(U_1..U_N); max of N uniforms ~ U^(1/N).
+        last_offset = w_elapsed * np.power(rng.random(w_idx.size), 1.0 / w_counts)
+        last_write = (now - w_elapsed) + last_offset
+        self.population.rewrite(
+            w_idx,
+            last_write,
+            data_changed=True,
+            extra_writes=(w_counts - 1),
+        )
+        self.stats.record_demand_writes(int(w_counts.sum()))
+
+    #: Read-refresh events processed per line per inter-visit window; the
+    #: expected count is well below this for any sane configuration.
+    _READ_REFRESH_MAX_EVENTS = 16
+
+    def _apply_read_refresh(
+        self, idx: np.ndarray, now: float, rng: np.random.Generator
+    ) -> None:
+        """Play continuous read probes against each line's crossing times.
+
+        A line becomes refresh-eligible the moment its error count reaches
+        the policy's write-back threshold - an instant the population knows
+        exactly (the theta-th smallest crossing time).  The first Poisson
+        read after that instant refreshes the line (or, if the count has
+        already passed the correction strength, surfaces the UE).  Each
+        refresh resets the line, which may become eligible again within
+        the same window, so the loop iterates until every line's next
+        event falls beyond the current visit.
+        """
+        rates = self.rates.read_rate[idx]
+        active = rates > 0
+        if not active.any():
+            return
+        threshold = getattr(self.policy, "threshold", 1)
+        t_ecc = self.policy.scheme.t
+        pending = idx[active]
+        pending_rates = rates[active]
+        window_start = self._last_visit[idx][active]
+
+        for __ in range(self._READ_REFRESH_MAX_EVENTS):
+            if pending.size == 0:
+                break
+            hard = self.population.hard_mismatch[pending].astype(np.int64)
+            crossing = self.population.crossing[pending]
+            # Instant the line's total error count reaches the threshold:
+            # the (theta - hard)-th drift crossing, or immediately when
+            # stuck mismatches alone reach it.
+            theta_index = np.clip(threshold - 1 - hard, 0, crossing.shape[1] - 1)
+            theta_time = crossing[np.arange(pending.size), theta_index]
+            theta_time = np.where(hard >= threshold, window_start, theta_time)
+            theta_time = np.maximum(theta_time, window_start)
+            # Instant the count exceeds the correction strength.
+            ue_index = np.clip(t_ecc - hard, 0, crossing.shape[1] - 1)
+            ue_time = crossing[np.arange(pending.size), ue_index]
+            ue_time = np.where(hard > t_ecc, window_start, ue_time)
+
+            # First read probe after the line became eligible.
+            probe = theta_time + rng.exponential(1.0 / pending_rates)
+            in_window = (theta_time < now) & (probe < now)
+            if not in_window.any():
+                break
+
+            hit = np.flatnonzero(in_window)
+            hit_lines = pending[hit]
+            hit_probes = probe[hit]
+            is_ue = hit_probes >= ue_time[hit]
+
+            if is_ue.any():
+                ue_lines = hit_lines[is_ue]
+                self.stats.uncorrectable += int(is_ue.sum())
+                self.population.rewrite(
+                    ue_lines, hit_probes[is_ue], data_changed=True
+                )
+            if (~is_ue).any():
+                refresh_lines = hit_lines[~is_ue]
+                self.stats.record_scrub_writes(int((~is_ue).sum()))
+                self.population.rewrite(
+                    refresh_lines, hit_probes[~is_ue], data_changed=False
+                )
+            # Only the lines that just reset can fire again this window.
+            pending = hit_lines
+            pending_rates = pending_rates[hit]
+            window_start = hit_probes
+
+    def _account_demand_reads(self) -> None:
+        """Charge expected demand-read energy over the horizon (bulk)."""
+        expected = self.rates.total_read_rate * self.horizon
+        if expected > 0:
+            self.stats.ledger.add(
+                "demand_read", self.stats.costs.read_energy, int(round(expected))
+            )

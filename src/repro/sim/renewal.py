@@ -1,0 +1,153 @@
+"""Renewal analysis of threshold scrub: steady-state rates without MC.
+
+Under an idle workload, one line's life under a threshold policy is a
+renewal process: it is (re)written, accumulates drift errors while scrub
+visits observe it every ``T`` seconds, and the cycle ends at the first
+visit whose observed count reaches the write-back threshold (a write) or
+exceeds the correction strength (an uncorrectable error).  Everything the
+benchmarks measure - UE rate, scrub-write rate, decode fraction - is a
+ratio of cycle expectations, which this module computes exactly by
+propagating the error-count distribution over visit ages:
+
+* at age ``a_n = n*T`` a cell that had not yet crossed does so within the
+  next interval with the conditional probability
+  ``p_n = (F(a_{n+1}) - F(a_n)) / (1 - F(a_n))`` (``F`` is the crossing
+  mixture CDF), so counts evolve by independent binomial increments;
+* states ``k < theta`` survive; ``theta <= k <= t`` ends the cycle in a
+  write-back; ``k > t`` ends it in a UE.
+
+The model is exact for the population engine's own assumptions (idle
+lines, iid uniform symbols, no wear), which makes it a second independent
+implementation to validate the Monte-Carlo engine against (benchmark A6)
+- and a design tool: sweeping ``(T, t, theta)`` costs microseconds per
+point instead of a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .analytic import CrossingDistribution, _binomial_pmf
+
+
+@dataclass(frozen=True)
+class RenewalSolution:
+    """Steady-state per-line rates for one (T, t, theta) configuration."""
+
+    #: Scrub interval (seconds).
+    interval: float
+    #: Expected visits per renewal cycle.
+    expected_cycle_visits: float
+    #: Probability a cycle ends in an uncorrectable error.
+    ue_probability: float
+    #: Uncorrectable errors per line per second.
+    ue_rate: float
+    #: Scrub write-backs per line per second (UE recoveries excluded).
+    write_rate: float
+    #: Fraction of visits whose line contains at least one error
+    #: (= decode fraction under a detector-gated scheme).
+    error_visit_fraction: float
+
+    @property
+    def writes_per_visit(self) -> float:
+        """Scrub writes per line visit (compare against ledger ratios)."""
+        return self.write_rate * self.interval
+
+
+class RenewalModel:
+    """Exact threshold-scrub renewal solver over a crossing distribution."""
+
+    def __init__(
+        self,
+        distribution: CrossingDistribution,
+        cells_per_line: int,
+        max_visits: int = 20_000,
+        tolerance: float = 1e-12,
+    ):
+        if cells_per_line <= 0:
+            raise ValueError("cells_per_line must be positive")
+        if max_visits < 1:
+            raise ValueError("max_visits must be >= 1")
+        self.distribution = distribution
+        self.cells_per_line = cells_per_line
+        self.max_visits = max_visits
+        self.tolerance = tolerance
+
+    def solve(self, interval: float, t_ecc: int, threshold: int) -> RenewalSolution:
+        """Propagate the count distribution until the cycle resolves.
+
+        ``threshold`` in ``[1, t_ecc]`` as for the policies; ``threshold=1``
+        recovers the immediate-write-back (basic/strong/light) algorithm.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 1 <= threshold <= t_ecc:
+            raise ValueError("need 1 <= threshold <= t_ecc")
+        C = self.cells_per_line
+
+        # Surviving states: error counts 0..threshold-1.
+        survive = np.zeros(threshold)
+        survive[0] = 1.0
+
+        end_write = 0.0
+        end_ue = 0.0
+        expected_visits = 0.0
+        error_visits = 0.0
+        prev_f = 0.0
+
+        for n in range(1, self.max_visits + 1):
+            age = n * interval
+            f = float(self.distribution.cdf(age))
+            denom = 1.0 - prev_f
+            p_step = 0.0 if denom <= 0 else min(1.0, (f - prev_f) / denom)
+            prev_f = f
+
+            alive = float(survive.sum())
+            if alive <= self.tolerance:
+                break
+            expected_visits += alive
+
+            next_survive = np.zeros(threshold)
+            for k in range(threshold):
+                mass = survive[k]
+                if mass <= 0:
+                    continue
+                remaining = C - k
+                # Increments j = 0..(t_ecc - k) kept explicitly; beyond is UE.
+                pmf = _binomial_pmf(remaining, p_step, t_ecc - k)
+                for j, pj in enumerate(pmf):
+                    total = k + j
+                    share = mass * float(pj)
+                    if share == 0.0:
+                        continue
+                    if total < threshold:
+                        next_survive[total] += share
+                        if total > 0:
+                            error_visits += share
+                    else:  # threshold <= total <= t_ecc: write-back
+                        end_write += share
+                        error_visits += share
+                ue_share = mass * max(0.0, 1.0 - float(pmf.sum()))
+                end_ue += ue_share
+                error_visits += ue_share
+            survive = next_survive
+
+        resolved = end_write + end_ue
+        leftover = float(survive.sum())
+        if resolved + leftover < 1e-6:
+            raise RuntimeError("renewal propagation lost probability mass")
+        # Treat truncated mass as censored at max_visits (conservative: it
+        # inflates the cycle length but ends in neither write nor UE).
+        total_cycles = resolved if resolved > 0 else 1.0
+        cycle_visits = expected_visits / total_cycles
+        cycle_seconds = cycle_visits * interval
+        return RenewalSolution(
+            interval=interval,
+            expected_cycle_visits=cycle_visits,
+            ue_probability=end_ue / total_cycles,
+            ue_rate=(end_ue / total_cycles) / cycle_seconds,
+            write_rate=(end_write / total_cycles) / cycle_seconds,
+            error_visit_fraction=error_visits / max(expected_visits, 1e-300),
+        )

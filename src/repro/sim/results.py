@@ -1,0 +1,98 @@
+"""Run results: metrics, comparisons, and export.
+
+:class:`RunResult` pairs a finished :class:`repro.core.stats.ScrubStats`
+with its configuration and exposes the paper's three headline comparisons
+(:meth:`RunResult.ue_reduction_vs`, :meth:`RunResult.write_factor_vs`,
+:meth:`RunResult.energy_reduction_vs`) so every benchmark states them the
+same way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.stats import ScrubStats
+from .config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One finished simulation."""
+
+    policy_name: str
+    workload_name: str
+    config: SimulationConfig
+    stats: ScrubStats
+    #: Wall-clock seconds the simulation took (not simulated time).
+    runtime_seconds: float
+    #: End-of-run device state: stuck cells, conflicting stuck cells, and
+    #: mean per-line write count (wear).  Empty when not collected.
+    final_state: dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.final_state is None:
+            object.__setattr__(self, "final_state", {})
+
+    @property
+    def stuck_cells(self) -> float:
+        """Worn-out cells at end of run (tracked order statistics)."""
+        return self.final_state.get("stuck_cells", 0.0)
+
+    @property
+    def mean_writes_per_line(self) -> float:
+        return self.final_state.get("mean_writes_per_line", 0.0)
+
+    # -- headline metrics ------------------------------------------------------
+
+    @property
+    def uncorrectable(self) -> int:
+        return self.stats.uncorrectable
+
+    @property
+    def scrub_writes(self) -> int:
+        return self.stats.scrub_writes
+
+    @property
+    def scrub_energy(self) -> float:
+        return self.stats.scrub_energy
+
+    # -- paper-style comparisons -----------------------------------------------
+
+    def ue_reduction_vs(self, baseline: "RunResult") -> float:
+        """Fractional UE reduction relative to ``baseline`` (0.965 = 96.5 %)."""
+        if baseline.uncorrectable == 0:
+            raise ZeroDivisionError("baseline saw no uncorrectable errors")
+        return 1.0 - self.uncorrectable / baseline.uncorrectable
+
+    def write_factor_vs(self, baseline: "RunResult") -> float:
+        """How many times fewer scrub writes than ``baseline`` (24.4 = 24.4x)."""
+        if self.scrub_writes == 0:
+            return float("inf")
+        return baseline.scrub_writes / self.scrub_writes
+
+    def energy_reduction_vs(self, baseline: "RunResult") -> float:
+        """Fractional scrub-energy reduction relative to ``baseline``."""
+        if baseline.scrub_energy == 0:
+            raise ZeroDivisionError("baseline consumed no scrub energy")
+        return 1.0 - self.scrub_energy / baseline.scrub_energy
+
+    # -- export ---------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Flat JSON-serializable summary."""
+        return {
+            "policy": self.policy_name,
+            "workload": self.workload_name,
+            "num_lines": self.config.num_lines,
+            "horizon_s": self.config.horizon,
+            "seed": self.config.seed,
+            "temperature_k": self.config.temperature_k,
+            "runtime_s": self.runtime_seconds,
+            **self.stats.summary(),
+            "energy_breakdown_j": self.stats.energy_breakdown(),
+            "final_state": dict(self.final_state),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,154 @@
+"""Unit helpers and SI formatting used throughout the library.
+
+All simulation time is kept in **seconds** (floats), energy in **joules**,
+and resistance in **ohms** (usually manipulated in log10 space).  These
+helpers exist so that configuration code reads like the paper ("a scrub
+interval of 128 ms", "a one-year horizon") instead of like arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Time constants (seconds)
+# ---------------------------------------------------------------------------
+
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+#: Julian year, the horizon unit used for reliability targets.
+YEAR = 365.25 * DAY
+
+# ---------------------------------------------------------------------------
+# Energy constants (joules)
+# ---------------------------------------------------------------------------
+
+PICOJOULE = 1e-12
+NANOJOULE = 1e-9
+MICROJOULE = 1e-6
+MILLIJOULE = 1e-3
+
+# ---------------------------------------------------------------------------
+# Size constants
+# ---------------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Boltzmann constant in eV/K, used by the Arrhenius drift acceleration.
+BOLTZMANN_EV = 8.617333262e-5
+
+
+def seconds(value: float, unit: float = SECOND) -> float:
+    """Convert ``value`` expressed in ``unit`` into seconds."""
+    return value * unit
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with a human-appropriate unit.
+
+    >>> format_seconds(0.128)
+    '128ms'
+    >>> format_seconds(3600)
+    '1h'
+    """
+    if t < 0:
+        return "-" + format_seconds(-t)
+    if t == 0:
+        return "0s"
+    scales = [
+        (YEAR, "yr"),
+        (WEEK, "wk"),
+        (DAY, "d"),
+        (HOUR, "h"),
+        (MINUTE, "min"),
+        (SECOND, "s"),
+        (MILLISECOND, "ms"),
+        (MICROSECOND, "us"),
+        (NANOSECOND, "ns"),
+    ]
+    for scale, label in scales:
+        if t >= scale:
+            value = t / scale
+            return _trim_number(value) + label
+    return f"{t:.3g}s"
+
+
+def format_energy(e: float) -> str:
+    """Render an energy in the closest SI unit.
+
+    >>> format_energy(2e-12)
+    '2pJ'
+    """
+    if e < 0:
+        return "-" + format_energy(-e)
+    if e == 0:
+        return "0J"
+    scales = [
+        (1.0, "J"),
+        (MILLIJOULE, "mJ"),
+        (MICROJOULE, "uJ"),
+        (NANOJOULE, "nJ"),
+        (PICOJOULE, "pJ"),
+    ]
+    for scale, label in scales:
+        if e >= scale:
+            return _trim_number(e / scale) + label
+    return f"{e:.3g}J"
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count using binary units.
+
+    >>> format_bytes(2 * 1024 * 1024)
+    '2MiB'
+    """
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for scale, label in [(GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")]:
+        if n >= scale:
+            return _trim_number(n / scale) + label
+    return f"{n}B"
+
+
+def format_count(n: float) -> str:
+    """Render a large count with K/M/G suffixes.
+
+    >>> format_count(3_200_000)
+    '3.2M'
+    """
+    if n < 0:
+        return "-" + format_count(-n)
+    for scale, label in [(1e9, "G"), (1e6, "M"), (1e3, "K")]:
+        if n >= scale:
+            return _trim_number(n / scale) + label
+    return _trim_number(n)
+
+
+def _trim_number(value: float) -> str:
+    """Format with up to 3 significant digits, dropping trailing zeros."""
+    if value == int(value) and abs(value) < 1000:
+        return str(int(value))
+    text = f"{value:.3g}"
+    return text
+
+
+def log10_safe(x: float) -> float:
+    """``log10`` that maps 0 to ``-inf`` instead of raising."""
+    if x <= 0:
+        return -math.inf
+    return math.log10(x)
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into ``[lo, hi]``."""
+    if lo > hi:
+        raise ValueError(f"empty clamp range [{lo}, {hi}]")
+    return max(lo, min(hi, x))

@@ -1,0 +1,40 @@
+"""Demand-traffic substrate.
+
+The paper drove its simulator with SPEC and server traces; we substitute
+parameterized synthetic traffic (see DESIGN.md).  Scrub interacts with
+demand traffic through two channels, and both are captured:
+
+* demand **writes** re-program whole lines, resetting their drift clocks
+  (write-hot lines need almost no scrubbing) while consuming endurance;
+* demand traffic occupies banks, competing with scrub bandwidth.
+
+Two representations are produced from one distribution description:
+
+* **rate vectors** (:class:`~repro.workloads.generators.DemandRates`) -
+  per-line Poisson read/write rates for the population engine;
+* **access traces** (:class:`~repro.workloads.trace.AccessTrace`) -
+  explicit timestamped requests for the bit-exact engine and the memory
+  controller model.
+"""
+
+from __future__ import annotations
+
+from .generators import (
+    DemandRates,
+    hotspot_rates,
+    streaming_rates,
+    uniform_rates,
+    zipf_rates,
+)
+from .trace import AccessTrace, Request, trace_from_rates
+
+__all__ = [
+    "AccessTrace",
+    "DemandRates",
+    "Request",
+    "hotspot_rates",
+    "streaming_rates",
+    "trace_from_rates",
+    "uniform_rates",
+    "zipf_rates",
+]

@@ -1,0 +1,206 @@
+"""Synthetic demand-rate generators.
+
+Each generator returns a :class:`DemandRates`: per-line Poisson rates for
+reads and writes.  The shapes mirror the workload families the paper's
+evaluation mixes span:
+
+* :func:`uniform_rates` - uniform random traffic (worst case for locality).
+* :func:`zipf_rates` - skewed popularity, the standard server-workload
+  model; high alpha concentrates writes on few lines, leaving a long cold
+  tail that only scrub protects.
+* :func:`streaming_rates` - every line rewritten on a fixed period, as in
+  sequential-sweep kernels; modelled as equal Poisson rates at the sweep
+  frequency.
+* :func:`hotspot_rates` - a hot fraction of lines takes almost all traffic
+  (banked hotspot), the sharpest soft/hard contrast across regions and the
+  workload that motivates per-region adaptive scrub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DemandRates:
+    """Per-line Poisson demand rates (events per second)."""
+
+    write_rate: np.ndarray
+    read_rate: np.ndarray
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        write = np.asarray(self.write_rate, dtype=np.float64)
+        read = np.asarray(self.read_rate, dtype=np.float64)
+        if write.shape != read.shape or write.ndim != 1:
+            raise ValueError("rate vectors must be 1-D and the same length")
+        if (write < 0).any() or (read < 0).any():
+            raise ValueError("rates must be >= 0")
+
+    @property
+    def num_lines(self) -> int:
+        return self.write_rate.shape[0]
+
+    @property
+    def total_write_rate(self) -> float:
+        return float(self.write_rate.sum())
+
+    @property
+    def total_read_rate(self) -> float:
+        return float(self.read_rate.sum())
+
+    def scaled(self, factor: float) -> "DemandRates":
+        """Same shape, total intensity scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return DemandRates(
+            write_rate=self.write_rate * factor,
+            read_rate=self.read_rate * factor,
+            name=f"{self.name}*{factor:g}",
+        )
+
+
+def idle_rates(num_lines: int) -> DemandRates:
+    """No demand traffic at all - scrub alone protects memory."""
+    zeros = np.zeros(num_lines)
+    return DemandRates(write_rate=zeros, read_rate=zeros.copy(), name="idle")
+
+
+def uniform_rates(
+    num_lines: int,
+    total_write_rate: float,
+    read_write_ratio: float = 2.0,
+) -> DemandRates:
+    """Uniformly spread traffic: every line equally likely."""
+    _check_common(num_lines, total_write_rate, read_write_ratio)
+    per_line = total_write_rate / num_lines
+    write = np.full(num_lines, per_line)
+    return DemandRates(
+        write_rate=write,
+        read_rate=write * read_write_ratio,
+        name="uniform",
+    )
+
+
+def zipf_rates(
+    num_lines: int,
+    total_write_rate: float,
+    alpha: float = 1.0,
+    read_write_ratio: float = 2.0,
+    rng: np.random.Generator | None = None,
+) -> DemandRates:
+    """Zipf(alpha)-popular traffic.
+
+    Line popularity ranks are randomly permuted (hot lines scattered across
+    the address space) unless ``rng`` is None, in which case line 0 is the
+    hottest - convenient for tests.
+    """
+    _check_common(num_lines, total_write_rate, read_write_ratio)
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    ranks = np.arange(1, num_lines + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    if rng is not None:
+        weights = rng.permutation(weights)
+    write = weights * total_write_rate
+    return DemandRates(
+        write_rate=write,
+        read_rate=write * read_write_ratio,
+        name=f"zipf({alpha:g})",
+    )
+
+
+def streaming_rates(
+    num_lines: int,
+    sweep_period: float,
+    read_write_ratio: float = 1.0,
+) -> DemandRates:
+    """Sequential-sweep traffic: each line rewritten every ``sweep_period``.
+
+    The Poisson approximation of the periodic rewrite keeps the key
+    property - drift clocks reset about once per period on every line.
+    """
+    if sweep_period <= 0:
+        raise ValueError("sweep_period must be positive")
+    _check_common(num_lines, 1.0, read_write_ratio)
+    write = np.full(num_lines, 1.0 / sweep_period)
+    return DemandRates(
+        write_rate=write,
+        read_rate=write * read_write_ratio,
+        name=f"streaming({sweep_period:g}s)",
+    )
+
+
+def hotspot_rates(
+    num_lines: int,
+    total_write_rate: float,
+    hot_fraction: float = 0.1,
+    hot_share: float = 0.9,
+    read_write_ratio: float = 2.0,
+    contiguous: bool = True,
+) -> DemandRates:
+    """Hot/cold split: ``hot_fraction`` of lines takes ``hot_share`` of writes.
+
+    ``contiguous=True`` puts the hot set at the front of the address space
+    (hot *banks*), which is the case per-region adaptive scrub exploits.
+    """
+    _check_common(num_lines, total_write_rate, read_write_ratio)
+    if not 0 < hot_fraction < 1:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    if not 0 <= hot_share <= 1:
+        raise ValueError("hot_share must be in [0, 1]")
+    num_hot = max(1, int(round(num_lines * hot_fraction)))
+    write = np.empty(num_lines)
+    hot_rate = total_write_rate * hot_share / num_hot
+    cold_count = num_lines - num_hot
+    cold_rate = (
+        total_write_rate * (1.0 - hot_share) / cold_count if cold_count else 0.0
+    )
+    if not contiguous:
+        raise NotImplementedError(
+            "scattered hotspots are expressed via zipf_rates with a rng"
+        )
+    write[:num_hot] = hot_rate
+    write[num_hot:] = cold_rate
+    return DemandRates(
+        write_rate=write,
+        read_rate=write * read_write_ratio,
+        name=f"hotspot({hot_fraction:g}/{hot_share:g})",
+    )
+
+
+def remap_rates(rates: DemandRates, physical_of_logical: np.ndarray) -> DemandRates:
+    """Permute per-line rates from logical onto physical line indices.
+
+    The generators above describe traffic over *logical* addresses; the
+    scrub engine's lines are *physical*.  Given the address map (physical
+    index of each logical line, a bijection - e.g. built from
+    :class:`repro.mem.geometry.MemoryGeometry`), this produces the rate
+    vector the engine should see.  Interleaved mappings scatter logical
+    hotspots across banks, which is exactly the effect experiment A13
+    quantifies against per-region adaptive scrub.
+    """
+    mapping = np.asarray(physical_of_logical)
+    if mapping.shape != (rates.num_lines,):
+        raise ValueError("mapping must assign one physical line per logical line")
+    if not np.array_equal(np.sort(mapping), np.arange(rates.num_lines)):
+        raise ValueError("mapping must be a bijection over the line space")
+    write = np.empty_like(rates.write_rate)
+    read = np.empty_like(rates.read_rate)
+    write[mapping] = rates.write_rate
+    read[mapping] = rates.read_rate
+    return DemandRates(
+        write_rate=write, read_rate=read, name=f"{rates.name}|remapped"
+    )
+
+
+def _check_common(num_lines: int, total_rate: float, ratio: float) -> None:
+    if num_lines <= 0:
+        raise ValueError("num_lines must be positive")
+    if total_rate < 0:
+        raise ValueError("total rate must be >= 0")
+    if ratio < 0:
+        raise ValueError("read_write_ratio must be >= 0")

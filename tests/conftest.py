@@ -1,0 +1,40 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator; tests needing other seeds make their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RngStreams:
+    return RngStreams(seed=12345)
+
+
+@pytest.fixture
+def cell_spec() -> CellSpec:
+    return CellSpec()
+
+
+@pytest.fixture
+def line_spec() -> LineSpec:
+    return LineSpec()
+
+
+@pytest.fixture
+def energy_spec() -> EnergySpec:
+    return EnergySpec()
+
+
+@pytest.fixture
+def endurance_spec() -> EnduranceSpec:
+    return EnduranceSpec()

@@ -1,0 +1,124 @@
+"""Adaptive-interval controller and policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import adaptive_scrub, combined_scrub
+from repro.core.adaptive import AdaptiveIntervalController, AdaptiveScrubPolicy
+from repro.ecc.schemes import get_scheme
+
+
+def make_controller(base=100.0, lo=25.0, hi=1600.0) -> AdaptiveIntervalController:
+    return AdaptiveIntervalController(base, lo, hi)
+
+
+class TestController:
+    def test_defaults_to_base(self):
+        controller = make_controller()
+        assert controller.interval(0) == 100.0
+        assert controller.interval(99) == 100.0
+
+    def test_panic_halves_until_floor(self):
+        controller = make_controller()
+        assert controller.panic(0) == 50.0
+        assert controller.panic(0) == 25.0
+        assert controller.panic(0) == 25.0  # clamped
+
+    def test_relax_grows_until_ceiling(self):
+        controller = make_controller(base=1000.0, lo=10.0, hi=1500.0)
+        assert controller.relax(0) == 1250.0
+        assert controller.relax(0) == 1500.0  # clamped at ceiling
+        assert controller.relax(0) == 1500.0
+
+    def test_regions_independent(self):
+        controller = make_controller()
+        controller.panic(0)
+        assert controller.interval(1) == 100.0
+
+    def test_hold_is_identity(self):
+        controller = make_controller()
+        controller.panic(2)
+        assert controller.hold(2) == 50.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveIntervalController(100.0, 200.0, 400.0)
+        with pytest.raises(ValueError):
+            AdaptiveIntervalController(100.0, 10.0, 50.0)
+        with pytest.raises(ValueError):
+            AdaptiveIntervalController(100.0, 10.0, 200.0, panic_divisor=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveIntervalController(100.0, 10.0, 200.0, relax_factor=0.9)
+
+
+class TestAdaptivePolicy:
+    def make_policy(self, threshold=2, panic=None, relax=None):
+        return AdaptiveScrubPolicy(
+            get_scheme("bch4+crc"),
+            make_controller(),
+            threshold=threshold,
+            panic_level=panic,
+            relax_level=relax,
+        )
+
+    def test_panic_on_line_at_limit(self, rng):
+        policy = self.make_policy()
+        counts = np.array([0, 1, 4, 0])  # one line at t=4
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.next_interval == 50.0
+
+    def test_panic_on_uncorrectable(self, rng):
+        policy = self.make_policy()
+        counts = np.array([0, 9, 0])
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.uncorrectable.any()
+        assert decision.next_interval == 50.0
+
+    def test_relax_when_clean(self, rng):
+        policy = self.make_policy()
+        counts = np.array([0, 1, 0, 0])  # worst below threshold 2
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.next_interval == 125.0
+
+    def test_hold_in_routine_band(self, rng):
+        policy = self.make_policy()
+        counts = np.array([0, 3, 2])  # worst 3: >= threshold, < panic 4
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.next_interval == 100.0
+
+    def test_initial_interval_tracks_controller(self):
+        policy = self.make_policy()
+        policy.controller.panic(5)
+        assert policy.initial_interval(5) == 50.0
+        assert policy.initial_interval(6) == 100.0
+
+    def test_panic_must_exceed_threshold(self):
+        with pytest.raises(ValueError):
+            self.make_policy(threshold=4)  # default panic = t = 4
+
+    def test_relax_must_be_below_panic(self):
+        with pytest.raises(ValueError):
+            self.make_policy(panic=2, relax=2)
+
+
+class TestFactories:
+    def test_adaptive_defaults(self):
+        policy = adaptive_scrub(3600.0, strength=4)
+        assert policy.threshold == 2
+        assert policy.panic_level == 4
+        assert policy.relax_level == 1
+        assert policy.controller.min_interval == pytest.approx(900.0)
+        assert policy.controller.max_interval == pytest.approx(57600.0)
+
+    def test_combined_defaults(self):
+        policy = combined_scrub(3600.0)
+        assert policy.scheme.name == "bch8+crc"
+        assert policy.threshold == 6
+        assert policy.panic_level == 8
+
+    def test_combined_custom_strength(self):
+        policy = combined_scrub(3600.0, strength=6, threshold=3)
+        assert policy.scheme.t == 6
+        assert policy.threshold == 3

@@ -1,0 +1,118 @@
+"""Bandwidth-budgeted scrub: interval solving and reliability reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budgeted import (
+    budgeted_scrub,
+    interval_for_budget,
+    reliability_at_budget,
+)
+from repro.ecc.schemes import scheme_for_strength
+from repro.params import CellSpec, EnergySpec, LineSpec
+from repro.pcm.energy import OperationCosts
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+
+LINES_PER_BANK = 1 << 20  # 64 MiB bank
+
+
+@pytest.fixture(scope="module")
+def model() -> AnalyticModel:
+    return AnalyticModel(CrossingDistribution(CellSpec()), 256)
+
+
+def make_costs(strength: int) -> OperationCosts:
+    scheme = scheme_for_strength(strength, with_detector=True)
+    return OperationCosts.for_line(
+        EnergySpec(), LineSpec(), scheme.total_overhead_bits, scheme.t
+    )
+
+
+class TestIntervalSolving:
+    def test_budget_is_respected(self, model):
+        scheme = scheme_for_strength(4, with_detector=True)
+        costs = make_costs(4)
+        budget = 1e-3
+        interval = interval_for_budget(
+            model, scheme, costs, LINES_PER_BANK, budget, threshold=3
+        )
+        # Recompute the occupancy at the solution: must fit the budget.
+        pmf = model.line_error_count_pmf(interval, scheme.t + 1)
+        p_decode = 1.0 - float(pmf[0])
+        p_write = 1.0 - float(pmf[:3].sum())
+        occupancy = LINES_PER_BANK * (
+            costs.read_latency
+            + p_decode * costs.decode_latency
+            + p_write * costs.write_latency
+        ) / interval
+        assert occupancy <= budget * 1.0001
+
+    def test_bigger_budget_buys_shorter_interval(self, model):
+        scheme = scheme_for_strength(4, with_detector=True)
+        costs = make_costs(4)
+        tight = interval_for_budget(model, scheme, costs, LINES_PER_BANK, 1e-4)
+        loose = interval_for_budget(model, scheme, costs, LINES_PER_BANK, 1e-2)
+        assert loose < tight
+
+    def test_impossible_budget_raises(self, model):
+        scheme = scheme_for_strength(4, with_detector=True)
+        costs = make_costs(4)
+        with pytest.raises(ValueError, match="cannot be met"):
+            interval_for_budget(
+                model, scheme, costs, LINES_PER_BANK, 1e-12,
+                max_interval=3600.0,
+            )
+
+    def test_validation(self, model):
+        scheme = scheme_for_strength(4, with_detector=True)
+        costs = make_costs(4)
+        with pytest.raises(ValueError):
+            interval_for_budget(model, scheme, costs, 0, 1e-3)
+        with pytest.raises(ValueError):
+            interval_for_budget(model, scheme, costs, 10, 1.5)
+        with pytest.raises(ValueError):
+            interval_for_budget(
+                model, scheme, costs, 10, 1e-3, min_interval=10.0,
+                max_interval=5.0,
+            )
+
+
+class TestPolicyFactory:
+    def test_policy_is_runnable_configuration(self, model):
+        policy = budgeted_scrub(model, LINES_PER_BANK, budget_fraction=1e-3)
+        assert policy.scheme.has_detector
+        assert policy.threshold == 3
+        assert policy.interval > 0
+        assert "budgeted" in policy.name
+
+    def test_threshold_override(self, model):
+        policy = budgeted_scrub(
+            model, LINES_PER_BANK, budget_fraction=1e-3, strength=8, threshold=5
+        )
+        assert policy.threshold == 5
+        assert policy.scheme.t == 8
+
+
+class TestProvisioning:
+    def test_stronger_code_buys_reliability_at_equal_budget(self, model):
+        # A tight budget forces multi-hour intervals, where the code
+        # strength is the whole game: t=1 fails with high probability,
+        # t=8 remains orders of magnitude safer.
+        budget = 2e-5
+        __, weak_failure = reliability_at_budget(
+            model, LINES_PER_BANK, budget, strength=1
+        )
+        __, strong_failure = reliability_at_budget(
+            model, LINES_PER_BANK, budget, strength=8
+        )
+        assert weak_failure > 1e-4
+        assert strong_failure < weak_failure / 100
+
+    def test_interval_and_failure_consistent(self, model):
+        interval, failure = reliability_at_budget(
+            model, LINES_PER_BANK, 1e-3, strength=4
+        )
+        assert failure == pytest.approx(
+            model.line_failure_probability(interval, 4)
+        )

@@ -1,0 +1,96 @@
+"""Policy base machinery: detector gating, classification, decisions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policy import ScrubPolicy, VisitDecision
+from repro.core.threshold import ThresholdScrubPolicy
+from repro.ecc.schemes import get_scheme
+
+
+def make_policy(scheme_name="bch4", threshold=1, interval=100.0):
+    return ThresholdScrubPolicy(get_scheme(scheme_name), interval, threshold)
+
+
+class TestVisitDecision:
+    def test_mask_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VisitDecision(
+                decoded=np.ones(4, dtype=bool),
+                written_back=np.ones(3, dtype=bool),
+                uncorrectable=np.zeros(4, dtype=bool),
+                missed=np.zeros(4, dtype=bool),
+                next_interval=1.0,
+            )
+
+    def test_nonpositive_interval_rejected(self):
+        masks = np.zeros(2, dtype=bool)
+        with pytest.raises(ValueError):
+            VisitDecision(masks, masks, masks, masks, next_interval=0.0)
+
+    def test_writeback_and_ue_exclusive(self):
+        flag = np.ones(1, dtype=bool)
+        clear = np.zeros(1, dtype=bool)
+        with pytest.raises(ValueError):
+            VisitDecision(flag, flag, flag, clear, next_interval=1.0)
+
+
+class TestDetectorGating:
+    def test_no_detector_decodes_everything(self, rng):
+        policy = make_policy("bch4")  # no detector
+        counts = np.array([0, 0, 1, 3, 9])
+        flagged, missed = policy._detect(counts, rng)
+        assert flagged.all()
+        assert not missed.any()
+
+    def test_detector_skips_clean_lines(self, rng):
+        policy = make_policy("bch4+crc")
+        counts = np.array([0, 0, 1, 3, 0])
+        flagged, missed = policy._detect(counts, rng)
+        assert not flagged[[0, 1, 4]].any()
+        # With miss probability 2^-16, five lines essentially never miss.
+        assert flagged[[2, 3]].all()
+        assert not missed.any()
+
+    def test_detector_miss_probability_statistics(self):
+        # Force a 1-bit "CRC": half the erroneous lines alias.
+        scheme = get_scheme("bch4+crc")
+        import dataclasses
+
+        weak = dataclasses.replace(scheme, detector_bits=1)
+        policy = ThresholdScrubPolicy(weak, 100.0, 1)
+        rng = np.random.default_rng(0)
+        counts = np.ones(20_000, dtype=np.int64)
+        flagged, missed = policy._detect(counts, rng)
+        assert missed.sum() == pytest.approx(10_000, rel=0.05)
+        assert (flagged ^ missed).all()
+
+
+class TestClassification:
+    def test_split_by_strength(self):
+        policy = make_policy("bch4")
+        counts = np.array([0, 1, 4, 5, 12])
+        decoded = np.ones(5, dtype=bool)
+        correctable, uncorrectable = policy._classify(counts, decoded)
+        assert correctable.tolist() == [True, True, True, False, False]
+        assert uncorrectable.tolist() == [False, False, False, True, True]
+
+    def test_undetected_lines_not_classified(self):
+        policy = make_policy("bch4")
+        counts = np.array([9, 9])
+        decoded = np.array([True, False])
+        correctable, uncorrectable = policy._classify(counts, decoded)
+        assert uncorrectable.tolist() == [True, False]
+        assert correctable.tolist() == [False, False]
+
+
+class TestBaseValidation:
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy(interval=0.0)
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            ScrubPolicy(get_scheme("bch4"), 1.0)

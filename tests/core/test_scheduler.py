@@ -1,0 +1,56 @@
+"""Scrub scheduler: ordering, staggering, and rescheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scheduler import ScrubScheduler
+
+
+class TestScheduling:
+    def test_initial_visits_staggered_within_interval(self):
+        scheduler = ScrubScheduler(4, [100.0] * 4)
+        times = sorted(scheduler.pop().time for __ in range(4))
+        assert times == [25.0, 50.0, 75.0, 100.0]
+
+    def test_pops_in_time_order(self):
+        scheduler = ScrubScheduler(3, [30.0, 10.0, 20.0])
+        order = [scheduler.pop() for __ in range(3)]
+        times = [visit.time for visit in order]
+        assert times == sorted(times)
+
+    def test_push_reschedules(self):
+        scheduler = ScrubScheduler(2, [10.0, 10.0])
+        first = scheduler.pop()
+        scheduler.push(first.time + 10.0, first.region)
+        assert len(scheduler) == 2
+
+    def test_heterogeneous_intervals_interleave(self):
+        scheduler = ScrubScheduler(2, [10.0, 100.0])
+        # Simulate: region 0 re-arms at +10s each pop, region 1 at +100s.
+        seen = []
+        for __ in range(12):
+            visit = scheduler.pop()
+            seen.append(visit.region)
+            interval = 10.0 if visit.region == 0 else 100.0
+            scheduler.push(visit.time + interval, visit.region)
+        assert seen.count(0) > 8  # fast region dominates
+
+    def test_empty_scheduler_raises(self):
+        scheduler = ScrubScheduler(1, [5.0])
+        scheduler.pop()
+        with pytest.raises(IndexError):
+            scheduler.pop()
+        with pytest.raises(IndexError):
+            scheduler.peek_time()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrubScheduler(0, [])
+        with pytest.raises(ValueError):
+            ScrubScheduler(2, [1.0])
+        with pytest.raises(ValueError):
+            ScrubScheduler(1, [0.0])
+        scheduler = ScrubScheduler(1, [1.0])
+        with pytest.raises(ValueError):
+            scheduler.push(2.0, region=5)

@@ -1,0 +1,79 @@
+"""Scrub statistics ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stats import ScrubStats
+from repro.params import EnergySpec, LineSpec
+from repro.pcm.energy import OperationCosts
+
+
+@pytest.fixture
+def stats() -> ScrubStats:
+    costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 80, 8)
+    return ScrubStats(costs=costs)
+
+
+class TestRecording:
+    def test_reads_count_as_visits(self, stats):
+        stats.record_reads(100)
+        assert stats.visits == 100
+        assert stats.scrub_reads == 100
+        assert stats.ledger.energy["scrub_read"] > 0
+
+    def test_energy_accumulates_per_category(self, stats):
+        stats.record_reads(10)
+        stats.record_detects(10)
+        stats.record_decodes(2)
+        stats.record_scrub_writes(1)
+        breakdown = stats.energy_breakdown()
+        assert set(breakdown) == {"read", "detect", "decode", "write"}
+        assert breakdown["write"] == pytest.approx(stats.costs.write_energy)
+        assert stats.scrub_energy == pytest.approx(sum(breakdown.values()))
+
+    def test_demand_writes_outside_scrub_energy(self, stats):
+        stats.record_demand_writes(5)
+        assert stats.scrub_energy == 0.0
+        assert stats.demand_writes == 5
+        assert stats.ledger.total_energy > 0
+
+    def test_error_histogram(self, stats):
+        stats.record_error_counts(np.array([0, 0, 1, 3, 3, 40]))
+        assert stats.error_histogram[0] == 2
+        assert stats.error_histogram[1] == 1
+        assert stats.error_histogram[3] == 2
+        assert stats.error_histogram[-1] == 1  # capped bucket
+        assert stats.visits_with_errors == 4
+
+    def test_empty_error_counts_noop(self, stats):
+        stats.record_error_counts(np.array([], dtype=np.int64))
+        assert stats.error_histogram.sum() == 0
+
+
+class TestDerived:
+    def test_busy_time(self, stats):
+        stats.record_reads(10)
+        stats.record_decodes(4)
+        stats.record_scrub_writes(2)
+        expected = (
+            10 * stats.costs.read_latency
+            + 4 * stats.costs.decode_latency
+            + 2 * stats.costs.write_latency
+        )
+        assert stats.scrub_busy_time() == pytest.approx(expected)
+
+    def test_summary_keys_stable(self, stats):
+        summary = stats.summary()
+        assert {
+            "visits",
+            "uncorrectable",
+            "scrub_reads",
+            "scrub_decodes",
+            "scrub_writes",
+            "scrub_energy_j",
+            "detector_misses",
+            "retired",
+            "demand_writes",
+        } == set(summary)

@@ -1,0 +1,89 @@
+"""Threshold write-back policy and the basic/strong/light configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import basic_scrub, light_scrub, strong_ecc_scrub, threshold_scrub
+from repro.core.threshold import ThresholdScrubPolicy
+from repro.ecc.schemes import get_scheme
+
+
+class TestThresholdSemantics:
+    def test_writes_back_only_at_threshold(self, rng):
+        policy = ThresholdScrubPolicy(get_scheme("bch4"), 100.0, threshold=3)
+        counts = np.array([0, 1, 2, 3, 4, 5])
+        decision = policy.visit(0.0, 0, counts, rng)
+        # Written back: correctable (k <= 4) and k >= 3.
+        assert decision.written_back.tolist() == [
+            False, False, False, True, True, False,
+        ]
+        assert decision.uncorrectable.tolist() == [
+            False, False, False, False, False, True,
+        ]
+
+    def test_threshold_one_writes_any_error(self, rng):
+        policy = ThresholdScrubPolicy(get_scheme("bch2"), 100.0, threshold=1)
+        counts = np.array([0, 1, 2])
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.written_back.tolist() == [False, True, True]
+
+    def test_threshold_bounds_enforced(self):
+        scheme = get_scheme("bch4")
+        with pytest.raises(ValueError):
+            ThresholdScrubPolicy(scheme, 100.0, threshold=0)
+        with pytest.raises(ValueError):
+            ThresholdScrubPolicy(scheme, 100.0, threshold=5)
+
+    def test_static_interval_returned(self, rng):
+        policy = ThresholdScrubPolicy(get_scheme("bch4"), 42.0, threshold=2)
+        decision = policy.visit(0.0, 3, np.zeros(4, dtype=np.int64), rng)
+        assert decision.next_interval == 42.0
+        assert policy.initial_interval(7) == 42.0
+
+
+class TestFactories:
+    def test_basic_is_secded_writeback_all(self):
+        policy = basic_scrub(3600.0)
+        assert policy.scheme.name == "secded"
+        assert policy.scheme.t == 1
+        assert policy.threshold == 1
+        assert not policy.scheme.has_detector
+        assert policy.name == "basic(secded)"
+
+    def test_strong_keeps_algorithm_changes_code(self):
+        policy = strong_ecc_scrub(3600.0, strength=8)
+        assert policy.scheme.t == 8
+        assert policy.threshold == 1
+        assert not policy.scheme.has_detector
+
+    def test_light_adds_detector(self):
+        policy = light_scrub(3600.0, strength=4)
+        assert policy.scheme.has_detector
+        assert policy.threshold == 1
+
+    def test_threshold_factory_default_is_t_minus_one(self):
+        policy = threshold_scrub(3600.0, strength=4)
+        assert policy.threshold == 3
+        assert policy.scheme.has_detector
+
+    def test_threshold_factory_explicit(self):
+        policy = threshold_scrub(3600.0, strength=8, threshold=5)
+        assert policy.threshold == 5
+
+
+class TestUncorrectableHandling:
+    def test_ue_lines_never_written_back(self, rng):
+        policy = ThresholdScrubPolicy(get_scheme("bch2"), 10.0, threshold=2)
+        counts = np.array([7, 2])
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.uncorrectable.tolist() == [True, False]
+        assert decision.written_back.tolist() == [False, True]
+
+    def test_secded_two_errors_uncorrectable(self, rng):
+        policy = basic_scrub(10.0)
+        counts = np.array([0, 1, 2])
+        decision = policy.visit(0.0, 0, counts, rng)
+        assert decision.uncorrectable.tolist() == [False, False, True]
+        assert decision.written_back.tolist() == [False, True, False]

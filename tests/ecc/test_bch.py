@@ -1,0 +1,146 @@
+"""BCH codec: roundtrips, correction capability, and failure detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BchCode
+
+# A small code for property tests (fast) and the production 512-bit codes.
+SMALL = BchCode(32, t=3)
+LINE4 = BchCode(512, t=4)
+LINE8 = BchCode(512, t=8)
+
+
+def corrupt(codeword: np.ndarray, positions: list[int]) -> np.ndarray:
+    out = codeword.copy()
+    for pos in positions:
+        out[pos] ^= 1
+    return out
+
+
+class TestConstruction:
+    def test_line_code_overheads(self):
+        # Shortened BCH over GF(2^10): 10 check bits per corrected error.
+        assert LINE4.check_bits == 40
+        assert LINE8.check_bits == 80
+        assert LINE4.codeword_bits == 552
+        assert LINE8.codeword_bits == 592
+
+    def test_field_choice_is_minimal(self):
+        assert BchCode(512, 4).field.m == 10
+        assert BchCode(32, 3).field.m == 6
+
+    def test_data_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            BchCode(1200, t=4, m=10)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BchCode(0, 2)
+        with pytest.raises(ValueError):
+            BchCode(64, 0)
+
+    @pytest.mark.parametrize("t", [1, 2, 3, 4, 6, 8])
+    def test_check_bits_scale_with_t(self, t):
+        code = BchCode(512, t)
+        assert code.check_bits <= 10 * t
+        assert code.check_bits >= 10 * (t - 1) + 1
+
+
+class TestRoundtrip:
+    def test_clean_decode(self, rng):
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        codeword = LINE4.encode(data)
+        result = LINE4.decode(codeword)
+        assert result.ok
+        assert result.errors_corrected == 0
+        assert np.array_equal(LINE4.extract_data(result.bits), data)
+
+    @pytest.mark.parametrize("num_errors", [1, 2, 3, 4])
+    def test_corrects_up_to_t(self, rng, num_errors):
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        codeword = LINE4.encode(data)
+        positions = rng.choice(LINE4.codeword_bits, num_errors, replace=False)
+        result = LINE4.decode(corrupt(codeword, list(positions)))
+        assert result.ok
+        assert result.errors_corrected == num_errors
+        assert np.array_equal(result.bits, codeword)
+
+    def test_eight_errors_with_strong_code(self, rng):
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        codeword = LINE8.encode(data)
+        positions = rng.choice(LINE8.codeword_bits, 8, replace=False)
+        result = LINE8.decode(corrupt(codeword, list(positions)))
+        assert result.ok
+        assert np.array_equal(result.bits, codeword)
+
+    def test_errors_in_parity_bits_corrected(self, rng):
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        codeword = LINE4.encode(data)
+        # All errors in the parity region.
+        positions = [512, 520, 551]
+        result = LINE4.decode(corrupt(codeword, positions))
+        assert result.ok
+        assert np.array_equal(result.bits, codeword)
+
+    def test_beyond_t_is_flagged_not_silently_wrong(self, rng):
+        # t+1 random errors must never be reported as a clean decode of
+        # the *original* data; they either fail (ok=False) or miscorrect to
+        # a different codeword - for BCH with d=2t+1, t+1 errors land at
+        # Hamming distance >= t from every codeword, so decoding to the
+        # original is impossible and failures are overwhelmingly detected.
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        codeword = LINE4.encode(data)
+        flagged = 0
+        for __ in range(20):
+            positions = rng.choice(LINE4.codeword_bits, 5, replace=False)
+            result = LINE4.decode(corrupt(codeword, list(positions)))
+            if not result.ok:
+                flagged += 1
+            else:
+                assert not np.array_equal(result.bits, codeword)
+        assert flagged >= 15  # detection dominates
+
+    @given(data=st.binary(min_size=4, max_size=4), seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_small_code_property_roundtrip(self, data, seed):
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8)).astype(np.int8)
+        codeword = SMALL.encode(bits)
+        rng = np.random.default_rng(seed)
+        num_errors = int(rng.integers(0, SMALL.t + 1))
+        positions = rng.choice(SMALL.codeword_bits, num_errors, replace=False)
+        result = SMALL.decode(corrupt(codeword, list(positions)))
+        assert result.ok
+        assert np.array_equal(result.bits, codeword)
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            LINE4.encode(np.zeros(100, dtype=np.int8))
+        with pytest.raises(ValueError):
+            LINE4.decode(np.zeros(100, dtype=np.int8))
+
+    def test_non_binary_rejected(self):
+        bad = np.zeros(512, dtype=np.int8)
+        bad[0] = 2
+        with pytest.raises(ValueError):
+            LINE4.encode(bad)
+
+    def test_zero_codeword_is_valid(self):
+        result = LINE4.decode(np.zeros(LINE4.codeword_bits, dtype=np.int8))
+        assert result.ok
+        assert result.errors_corrected == 0
+
+    def test_linearity_sum_of_codewords_is_codeword(self, rng):
+        a = rng.integers(0, 2, 512, dtype=np.int8)
+        b = rng.integers(0, 2, 512, dtype=np.int8)
+        cw_sum = (LINE4.encode(a) ^ LINE4.encode(b)).astype(np.int8)
+        result = LINE4.decode(cw_sum)
+        assert result.ok
+        assert result.errors_corrected == 0
+        assert np.array_equal(LINE4.extract_data(cw_sum), a ^ b)

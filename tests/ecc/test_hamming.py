@@ -1,0 +1,118 @@
+"""SECDED Hamming: single-correct, double-detect, interleaved lines."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import InterleavedSecded, SecdedCode
+
+CODE = SecdedCode(64)
+LINE = InterleavedSecded(512)
+
+
+class TestSecdedWord:
+    def test_72_64_shape(self):
+        assert CODE.check_bits == 8
+        assert CODE.codeword_bits == 72
+
+    def test_clean_roundtrip(self, rng):
+        data = rng.integers(0, 2, 64, dtype=np.int8)
+        word = CODE.encode(data)
+        result = CODE.decode(word)
+        assert result.ok and result.errors_corrected == 0
+        assert np.array_equal(CODE.extract_data(word), data)
+
+    @pytest.mark.parametrize("position", [0, 1, 31, 63, 64, 70, 71])
+    def test_single_error_any_position(self, rng, position):
+        data = rng.integers(0, 2, 64, dtype=np.int8)
+        word = CODE.encode(data)
+        corrupted = word.copy()
+        corrupted[position] ^= 1
+        result = CODE.decode(corrupted)
+        assert result.ok
+        assert result.errors_corrected == 1
+        assert np.array_equal(result.bits, word)
+
+    def test_every_single_bit_error_is_corrected(self):
+        data = np.zeros(64, dtype=np.int8)
+        data[::3] = 1
+        word = CODE.encode(data)
+        for position in range(CODE.codeword_bits):
+            corrupted = word.copy()
+            corrupted[position] ^= 1
+            result = CODE.decode(corrupted)
+            assert result.ok, f"position {position} failed"
+            assert np.array_equal(result.bits, word)
+
+    def test_double_errors_all_detected_sample(self, rng):
+        data = rng.integers(0, 2, 64, dtype=np.int8)
+        word = CODE.encode(data)
+        pairs = list(itertools.combinations(range(CODE.codeword_bits), 2))
+        for i, j in pairs[:: max(1, len(pairs) // 200)]:
+            corrupted = word.copy()
+            corrupted[i] ^= 1
+            corrupted[j] ^= 1
+            result = CODE.decode(corrupted)
+            assert not result.ok
+            assert result.double_error
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_property_single_correct_double_detect(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, 64, dtype=np.int8)
+        word = CODE.encode(data)
+        num = int(rng.integers(1, 3))
+        positions = rng.choice(CODE.codeword_bits, num, replace=False)
+        corrupted = word.copy()
+        for pos in positions:
+            corrupted[pos] ^= 1
+        result = CODE.decode(corrupted)
+        if num == 1:
+            assert result.ok and np.array_equal(result.bits, word)
+        else:
+            assert not result.ok and result.double_error
+
+    def test_arbitrary_data_width(self):
+        code = SecdedCode(32)
+        data = np.ones(32, dtype=np.int8)
+        word = code.encode(data)
+        word[5] ^= 1
+        assert code.decode(word).ok
+
+
+class TestInterleavedLine:
+    def test_line_overhead(self):
+        assert LINE.num_words == 8
+        assert LINE.check_bits == 64
+        assert LINE.codeword_bits == 576
+
+    def test_one_error_per_word_survives(self, rng):
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        stored = LINE.encode(data)
+        corrupted = stored.copy()
+        for word in range(8):
+            corrupted[word * 64 + int(rng.integers(0, 64))] ^= 1
+        result = LINE.decode(corrupted)
+        assert result.ok
+        assert result.errors_corrected == 8
+        assert np.array_equal(LINE.extract_data(result.bits), data)
+
+    def test_two_errors_same_word_fail(self, rng):
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        stored = LINE.encode(data)
+        corrupted = stored.copy()
+        corrupted[10] ^= 1
+        corrupted[20] ^= 1  # same 64-bit word
+        result = LINE.decode(corrupted)
+        assert not result.ok
+        assert result.double_error
+
+    def test_misaligned_data_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedSecded(500)

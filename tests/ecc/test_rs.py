@@ -1,0 +1,136 @@
+"""Reed-Solomon codec: roundtrips, Forney magnitudes, clustering advantage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.rs import RsCode
+
+# 512-bit line as 64 8-bit symbols.
+LINE = RsCode(data_symbols=64, t=4, m=8)
+SMALL = RsCode(data_symbols=8, t=2, m=4)
+
+
+def corrupt_symbols(codeword, rng, num, field_size):
+    out = codeword.copy()
+    positions = rng.choice(len(codeword), num, replace=False)
+    for pos in positions:
+        error = int(rng.integers(1, field_size))
+        out[pos] ^= error
+    return out
+
+
+class TestConstruction:
+    def test_overheads(self):
+        assert LINE.check_symbols == 8
+        assert LINE.check_bits == 64
+        assert LINE.codeword_symbols == 72
+
+    def test_data_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            RsCode(data_symbols=300, t=4, m=8)
+        with pytest.raises(ValueError):
+            RsCode(0, 1)
+        with pytest.raises(ValueError):
+            RsCode(8, 0)
+
+
+class TestRoundtrip:
+    def test_clean_decode(self, rng):
+        data = rng.integers(0, 256, 64)
+        codeword = LINE.encode(data)
+        result = LINE.decode(codeword)
+        assert result.ok and result.errors_corrected == 0
+        assert np.array_equal(LINE.extract_data(result.symbols), data)
+
+    @pytest.mark.parametrize("num_errors", [1, 2, 3, 4])
+    def test_corrects_up_to_t_symbol_errors(self, rng, num_errors):
+        data = rng.integers(0, 256, 64)
+        codeword = LINE.encode(data)
+        corrupted = corrupt_symbols(codeword, rng, num_errors, 256)
+        result = LINE.decode(corrupted)
+        assert result.ok
+        assert result.errors_corrected == num_errors
+        assert np.array_equal(result.symbols, codeword)
+
+    def test_errors_in_check_symbols(self, rng):
+        data = rng.integers(0, 256, 64)
+        codeword = LINE.encode(data)
+        corrupted = codeword.copy()
+        corrupted[70] ^= 0x5A
+        corrupted[64] ^= 0x01
+        result = LINE.decode(corrupted)
+        assert result.ok
+        assert np.array_equal(result.symbols, codeword)
+
+    def test_beyond_t_flagged(self, rng):
+        data = rng.integers(0, 256, 64)
+        codeword = LINE.encode(data)
+        flagged = 0
+        for __ in range(20):
+            corrupted = corrupt_symbols(codeword, rng, 5, 256)
+            result = LINE.decode(corrupted)
+            if not result.ok:
+                flagged += 1
+            else:
+                assert not np.array_equal(result.symbols, codeword)
+        assert flagged >= 15
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_small_code_property(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 16, 8)
+        codeword = SMALL.encode(data)
+        num = int(rng.integers(0, 3))
+        corrupted = corrupt_symbols(codeword, rng, num, 16)
+        result = SMALL.decode(corrupted)
+        assert result.ok
+        assert np.array_equal(result.symbols, codeword)
+
+
+class TestSymbolAdvantage:
+    def test_clustered_bit_errors_cost_one_symbol(self, rng):
+        # 8 bit-flips inside one symbol = 1 symbol error for RS.
+        data = rng.integers(0, 256, 64)
+        codeword = LINE.encode(data)
+        corrupted = codeword.copy()
+        corrupted[10] ^= 0xFF  # every bit of one symbol
+        result = LINE.decode(corrupted)
+        assert result.ok
+        assert result.errors_corrected == 1
+
+    def test_scattered_errors_cost_full_budget(self, rng):
+        # 5 flips in 5 distinct symbols exceed t=4.
+        data = rng.integers(0, 256, 64)
+        codeword = LINE.encode(data)
+        corrupted = codeword.copy()
+        for pos in (0, 10, 20, 30, 40):
+            corrupted[pos] ^= 1
+        result = LINE.decode(corrupted)
+        assert not result.ok
+
+
+class TestBitAdapter:
+    def test_bit_roundtrip(self, rng):
+        bits = rng.integers(0, 2, 64 * 8).astype(np.int8)
+        stored = LINE.encode_bits(bits)
+        assert stored.shape == (72 * 8,)
+        corrupted = stored.copy()
+        corrupted[100] ^= 1
+        corrupted[101] ^= 1
+        decoded, errors, ok = LINE.decode_bits(corrupted)
+        assert ok
+        assert errors == 1  # both flips are in the same 8-bit symbol
+        assert np.array_equal(decoded[: 64 * 8], bits)
+
+    def test_bad_lengths(self):
+        with pytest.raises(ValueError):
+            LINE.encode_bits(np.zeros(10, dtype=np.int8))
+        with pytest.raises(ValueError):
+            LINE.decode(np.zeros(10, dtype=np.int64))
+        with pytest.raises(ValueError):
+            LINE.encode(np.full(64, 300))

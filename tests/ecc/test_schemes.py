@@ -1,0 +1,76 @@
+"""ECC scheme registry: overheads, codecs, and detector wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecc.bch import BchCode
+from repro.ecc.hamming import InterleavedSecded
+from repro.ecc.schemes import (
+    SCHEMES,
+    EccScheme,
+    get_scheme,
+    scheme_for_strength,
+    secded_scheme,
+)
+
+
+class TestRegistry:
+    def test_expected_names_present(self):
+        for name in ("secded", "bch1", "bch4", "bch8", "bch8+crc", "secded+crc"):
+            assert name in SCHEMES
+
+    def test_get_scheme_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown ECC scheme"):
+            get_scheme("reed-solomon")
+
+    def test_secded_line_parameters(self):
+        scheme = get_scheme("secded")
+        assert scheme.t == 1
+        assert scheme.check_bits == 64
+        assert not scheme.has_detector
+
+    def test_bch_overheads_ten_bits_per_error(self):
+        for t in (1, 2, 3, 4, 6, 8):
+            scheme = get_scheme(f"bch{t}")
+            assert scheme.check_bits == BchCode(512, t).check_bits
+
+    def test_detector_variants_add_crc_bits(self):
+        plain = get_scheme("bch4")
+        gated = get_scheme("bch4+crc")
+        assert gated.detector_bits == 16
+        assert gated.total_overhead_bits == plain.total_overhead_bits + 16
+        assert gated.make_detector() is not None
+        assert plain.make_detector() is None
+
+    def test_strong_codes_cheaper_than_secded_storage(self):
+        # The paper's storage argument: BCH-4 (40 bits) corrects 4x more
+        # errors than SECDED (64 bits) in fewer check bits.
+        assert get_scheme("bch4").check_bits < get_scheme("secded").check_bits
+        assert get_scheme("bch6").check_bits < get_scheme("secded").check_bits
+
+    def test_overhead_fraction(self):
+        scheme = get_scheme("bch8+crc")
+        assert scheme.overhead_fraction(512) == pytest.approx((80 + 16) / 512)
+        with pytest.raises(ValueError):
+            scheme.overhead_fraction(0)
+
+
+class TestCodecs:
+    def test_bch_codec_roundtrip_through_scheme(self, rng):
+        scheme = scheme_for_strength(2)
+        codec = scheme.make_codec(512)
+        assert isinstance(codec, BchCode)
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        assert codec.decode(codec.encode(data)).ok
+
+    def test_secded_codec_is_interleaved(self):
+        codec = secded_scheme().make_codec(512)
+        assert isinstance(codec, InterleavedSecded)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            scheme_for_strength(0)
+        with pytest.raises(ValueError):
+            EccScheme("bad", t=-1, check_bits=0, detector_bits=0, make_codec=None)

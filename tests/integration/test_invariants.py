@@ -1,0 +1,126 @@
+"""Engine invariants under randomized configurations (hypothesis).
+
+Whatever the policy, workload, or seeds, certain ledger and state
+relationships must hold; these properties catch accounting bugs that
+specific-scenario tests slide past.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.core import threshold_scrub
+from repro.sim import SimulationConfig, run_experiment
+from repro.workloads.generators import uniform_rates
+
+BASE = SimulationConfig(
+    num_lines=512, region_size=128, horizon=3 * units.DAY, endurance=None
+)
+
+configurations = st.tuples(
+    st.sampled_from([0.5 * units.HOUR, units.HOUR, 4 * units.HOUR]),  # interval
+    st.sampled_from([(2, 1), (4, 1), (4, 3), (8, 6)]),  # (strength, theta)
+    st.integers(0, 3),  # workload intensity step
+    st.integers(1, 2**20),  # seed
+    st.booleans(),  # read refresh
+)
+
+
+@given(params=configurations)
+@settings(max_examples=25, deadline=None)
+def test_ledger_invariants(params):
+    interval, (strength, theta), intensity, seed, read_refresh = params
+    config = dataclasses.replace(BASE, seed=seed, read_refresh=read_refresh)
+    rates = (
+        None
+        if intensity == 0
+        else uniform_rates(
+            config.num_lines,
+            config.num_lines * intensity / (8 * units.HOUR),
+            read_write_ratio=1.0,
+        )
+    )
+    result = run_experiment(
+        threshold_scrub(interval, strength, threshold=theta), config, rates
+    )
+    stats = result.stats
+
+    # Visits happened and match the static schedule (static policy).
+    expected_visits = config.num_lines * int(config.horizon // interval)
+    assert stats.visits == expected_visits
+
+    # The decoder can only run on visited lines; with a detector it runs
+    # on a subset (read-refresh writes do not add scrub decodes).
+    assert stats.scrub_decodes <= stats.visits
+
+    # Every scrub write is justified by a decoded correctable line or a
+    # read-refresh probe; in all cases writes never exceed decodes plus
+    # refresh events, and refresh events are bounded by demand reads.
+    if not read_refresh or rates is None:
+        assert stats.scrub_writes <= stats.scrub_decodes
+
+    # Histogram counts exactly the decoded observations.
+    assert stats.error_histogram.sum() == stats.scrub_decodes
+
+    # Detector misses only exist for detector schemes.
+    if not result.stats.costs.detect_energy or not stats.detector_misses:
+        pass
+    assert stats.detector_misses >= 0
+
+    # Energy is additive and consistent with counts (float accumulation).
+    import pytest
+
+    breakdown = stats.energy_breakdown()
+    assert breakdown["read"] == pytest.approx(
+        stats.scrub_reads * stats.costs.read_energy, rel=1e-9
+    )
+    assert breakdown["write"] == pytest.approx(
+        stats.scrub_writes * stats.costs.write_energy, rel=1e-9
+    )
+    assert stats.scrub_energy == pytest.approx(sum(breakdown.values()), rel=1e-12)
+
+    # UEs and writes are disjoint outcomes of a visit.
+    assert stats.uncorrectable + stats.scrub_writes <= (
+        stats.visits + stats.demand_writes + stats.uncorrectable
+    )
+
+
+@given(
+    seed=st.integers(1, 2**20),
+    age_pair=st.sampled_from(
+        [(units.HOUR, units.DAY), (units.DAY, units.WEEK)]
+    ),
+)
+@settings(max_examples=10, deadline=None)
+def test_population_error_counts_monotone(seed, age_pair):
+    """Without writes, per-line error counts never decrease with time."""
+    from repro.params import CellSpec
+    from repro.sim.analytic import CrossingDistribution
+    from repro.sim.population import LinePopulation
+
+    early_age, late_age = age_pair
+    population = LinePopulation(
+        num_lines=256,
+        cells_per_line=256,
+        distribution=CrossingDistribution(CellSpec()),
+        rng=np.random.default_rng(seed),
+    )
+    idx = np.arange(256)
+    early = population.error_counts(idx, early_age)
+    late = population.error_counts(idx, late_age)
+    assert (late >= early).all()
+
+
+@given(seed=st.integers(1, 2**20))
+@settings(max_examples=10, deadline=None)
+def test_runs_are_seed_deterministic(seed):
+    config = dataclasses.replace(BASE, seed=seed)
+    a = run_experiment(threshold_scrub(units.HOUR, 4), config)
+    b = run_experiment(threshold_scrub(units.HOUR, 4), config)
+    assert a.stats.summary() == b.stats.summary()
+    assert a.final_state == b.final_state

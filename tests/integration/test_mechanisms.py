@@ -1,0 +1,100 @@
+"""Mechanism-ordering properties: the paper's qualitative claims.
+
+Each test pins one directional claim from the paper's argument; together
+they are the reproduction's "shape" contract (see DESIGN.md, fidelity
+expectations).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.core import (
+    basic_scrub,
+    combined_scrub,
+    light_scrub,
+    strong_ecc_scrub,
+    threshold_scrub,
+)
+from repro.sim import SimulationConfig, run_experiment
+from repro.workloads.generators import hotspot_rates
+
+CONFIG = SimulationConfig(
+    num_lines=4096, region_size=512, horizon=7 * units.DAY, endurance=None
+)
+INTERVAL = units.HOUR
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_experiment(basic_scrub(INTERVAL), CONFIG)
+
+
+class TestStrongEcc:
+    def test_orders_of_magnitude_fewer_ues(self, baseline):
+        strong = run_experiment(strong_ecc_scrub(INTERVAL, 4), CONFIG)
+        assert baseline.uncorrectable > 100
+        assert strong.uncorrectable < baseline.uncorrectable / 50
+
+    def test_does_not_reduce_writes(self, baseline):
+        # Same write-back-on-any-error algorithm: write volume comparable.
+        strong = run_experiment(strong_ecc_scrub(INTERVAL, 4), CONFIG)
+        assert strong.scrub_writes > 0.5 * baseline.scrub_writes
+
+
+class TestLightweightDetection:
+    def test_decodes_collapse_to_error_lines(self):
+        strong = run_experiment(strong_ecc_scrub(INTERVAL, 4), CONFIG)
+        light = run_experiment(light_scrub(INTERVAL, 4), CONFIG)
+        # Without the detector every visit decodes; with it only lines
+        # that contain errors do.
+        assert strong.stats.scrub_decodes == strong.stats.visits
+        assert light.stats.scrub_decodes < 0.5 * strong.stats.scrub_decodes
+
+    def test_same_protection(self):
+        strong = run_experiment(strong_ecc_scrub(INTERVAL, 4), CONFIG)
+        light = run_experiment(light_scrub(INTERVAL, 4), CONFIG)
+        # Detector misses are ~2^-16: protection is statistically identical.
+        assert abs(light.uncorrectable - strong.uncorrectable) <= max(
+            5, 0.5 * strong.uncorrectable
+        )
+
+
+class TestThresholdWriteback:
+    def test_write_reduction_grows_with_threshold(self):
+        writes = []
+        for theta in (1, 2, 3):
+            result = run_experiment(
+                threshold_scrub(INTERVAL, 4, threshold=theta), CONFIG
+            )
+            writes.append(result.scrub_writes)
+        assert writes[0] > writes[1] > writes[2]
+
+    def test_trade_off_is_bounded(self, baseline):
+        # theta = t-1 must still crush the baseline's UE count.
+        lazy = run_experiment(threshold_scrub(INTERVAL, 4, threshold=3), CONFIG)
+        assert lazy.uncorrectable < baseline.uncorrectable / 10
+
+
+class TestCombined:
+    def test_headline_directions(self, baseline):
+        ours = run_experiment(combined_scrub(INTERVAL), CONFIG)
+        # Paper: 96.5% UE reduction, 24.4x writes, 37.8% energy.
+        assert ours.ue_reduction_vs(baseline) > 0.9
+        assert ours.write_factor_vs(baseline) > 5.0
+        assert ours.energy_reduction_vs(baseline) > 0.3
+
+    def test_adaptive_relaxes_hot_regions(self):
+        # Hot half of memory sees heavy demand writes; per-region
+        # adaptation should visit it less often than a static policy would.
+        rates = hotspot_rates(
+            CONFIG.num_lines,
+            total_write_rate=CONFIG.num_lines / (10 * units.MINUTE),
+            hot_fraction=0.5,
+            hot_share=0.99,
+        )
+        static = run_experiment(threshold_scrub(INTERVAL, 8, threshold=6), CONFIG, rates)
+        adaptive = run_experiment(combined_scrub(INTERVAL), CONFIG, rates)
+        assert adaptive.stats.visits < static.stats.visits
+        assert adaptive.uncorrectable <= static.uncorrectable + 5

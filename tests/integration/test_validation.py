@@ -1,0 +1,111 @@
+"""Cross-engine validation: analytic vs population vs bit-exact.
+
+These are the experiment-E2-style checks: three independent
+implementations of the same physics must agree on population statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import strong_ecc_scrub
+from repro.core.stats import ScrubStats
+from repro.params import CellSpec, EnergySpec, LineSpec
+from repro.pcm.array import LineArray
+from repro.pcm.energy import OperationCosts
+from repro.pcm.variation import VariationSpec
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+from repro.sim.population import LinePopulation, PopulationEngine
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def distribution() -> CrossingDistribution:
+    return CrossingDistribution(CellSpec())
+
+
+class TestPopulationMatchesAnalytic:
+    def test_mean_error_counts(self, distribution):
+        population = LinePopulation(
+            num_lines=4096,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(0),
+        )
+        model = AnalyticModel(distribution, 256)
+        idx = np.arange(4096)
+        for elapsed in (units.DAY, units.WEEK):
+            mc = population.error_counts(idx, elapsed).mean()
+            analytic = model.expected_errors_per_line(elapsed)
+            assert mc == pytest.approx(analytic, rel=0.05)
+
+    def test_line_failure_fraction(self, distribution):
+        population = LinePopulation(
+            num_lines=8192,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(1),
+        )
+        model = AnalyticModel(distribution, 256)
+        idx = np.arange(8192)
+        elapsed = units.DAY
+        for t_ecc in (1, 4):
+            mc = (population.error_counts(idx, elapsed) > t_ecc).mean()
+            analytic = model.line_failure_probability(elapsed, t_ecc)
+            sigma = np.sqrt(analytic * (1 - analytic) / 8192)
+            assert abs(mc - analytic) < 5 * sigma + 0.003
+
+    def test_engine_ue_count_matches_analytic_prediction(self, distribution):
+        # Strong-ECC scrub with immediate write-back: every interval is an
+        # independent Binomial trial, so expected UE has a closed form.
+        interval = units.DAY
+        horizon = 60 * units.DAY
+        num_lines = 8192
+        population = LinePopulation(
+            num_lines=num_lines,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(2),
+        )
+        costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 40, 4)
+        stats = ScrubStats(costs=costs)
+        PopulationEngine(
+            population=population,
+            policy=strong_ecc_scrub(interval, 4),
+            stats=stats,
+            streams=RngStreams(3),
+            horizon=horizon,
+            region_size=1024,
+        ).simulate()
+        model = AnalyticModel(distribution, 256)
+        per_visit = model.line_failure_probability(interval, 4)
+        expected = per_visit * stats.visits
+        assert expected > 20  # the comparison is statistically meaningful
+        assert stats.uncorrectable == pytest.approx(
+            expected, rel=0.25
+        )
+
+
+class TestBitExactMatchesAnalytic:
+    def test_error_rate_agreement(self, distribution):
+        # The bit-exact array (with variation disabled, matching the
+        # analytic model's assumptions) must reproduce the same per-cell
+        # error probability.
+        spec = CellSpec()
+        array = LineArray(
+            num_lines=64,
+            cells_per_line=256,
+            rng=np.random.default_rng(4),
+            spec=spec,
+            variation=VariationSpec(0.0, 0.0),
+            endurance=None,
+        )
+        array.write_random(0.0)
+        elapsed = units.WEEK
+        total_cells = 64 * 256
+        errors = array.total_errors(elapsed)
+        analytic = float(distribution.cdf(elapsed)) * total_cells
+        sigma = np.sqrt(analytic)
+        assert abs(errors - analytic) < 5 * sigma + 3

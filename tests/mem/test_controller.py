@@ -1,0 +1,95 @@
+"""Bank queue model: latency, priority, and scrub interference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mem.controller import BankQueueModel, ScrubTraffic
+from repro.mem.geometry import MemoryGeometry
+from repro.params import EnergySpec, LineSpec
+from repro.pcm.energy import OperationCosts
+from repro.workloads.generators import uniform_rates
+from repro.workloads.trace import AccessTrace, Op, Request, trace_from_rates
+
+GEOMETRY = MemoryGeometry(channels=1, banks_per_channel=2, rows_per_bank=4, lines_per_row=4)
+COSTS = OperationCosts.for_line(EnergySpec(), LineSpec(), ecc_bits=64, ecc_strength=1)
+
+
+def make_model() -> BankQueueModel:
+    return BankQueueModel(GEOMETRY, COSTS)
+
+
+class TestScrubTraffic:
+    def test_from_stats(self):
+        traffic = ScrubTraffic.from_stats(
+            scrub_reads=3600, scrub_writes=360, horizon=3600.0, num_banks=2
+        )
+        assert traffic.reads_per_second == pytest.approx(0.5)
+        assert traffic.writes_per_second == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrubTraffic(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            ScrubTraffic.from_stats(1, 1, 0.0, 2)
+
+
+class TestQueueing:
+    def test_idle_bank_has_service_time_latency(self, rng):
+        trace = AccessTrace(
+            [Request(0.1, Op.READ, 0), Request(0.5, Op.WRITE, 16)], GEOMETRY.num_lines
+        )
+        report = make_model().simulate(trace, ScrubTraffic(0, 0), 1.0, rng)
+        assert report.mean_read_latency == pytest.approx(COSTS.read_latency)
+        assert report.mean_write_latency == pytest.approx(COSTS.write_latency)
+
+    def test_read_behind_write_queues(self, rng):
+        # Same bank: read arrives mid-write and waits for it.
+        trace = AccessTrace(
+            [Request(0.0, Op.WRITE, 0), Request(1e-7, Op.READ, 1)],
+            GEOMETRY.num_lines,
+        )
+        report = make_model().simulate(trace, ScrubTraffic(0, 0), 1.0, rng)
+        expected = (COSTS.write_latency - 1e-7) + COSTS.read_latency
+        assert report.mean_read_latency == pytest.approx(expected)
+
+    def test_different_banks_do_not_interfere(self, rng):
+        trace = AccessTrace(
+            [Request(0.0, Op.WRITE, 0), Request(1e-7, Op.READ, 16)],
+            GEOMETRY.num_lines,
+        )
+        report = make_model().simulate(trace, ScrubTraffic(0, 0), 1.0, rng)
+        assert report.mean_read_latency == pytest.approx(COSTS.read_latency)
+
+    def test_scrub_yields_to_demand(self):
+        # Heavy scrub load must hurt demand latency far less than an equal
+        # demand load would, because scrub has low priority.
+        rng = np.random.default_rng(3)
+        rates = uniform_rates(GEOMETRY.num_lines, total_write_rate=200.0)
+        trace = trace_from_rates(rates, duration=1.0, rng=rng)
+        light = make_model().simulate(
+            trace, ScrubTraffic(0, 0), 1.0, np.random.default_rng(4)
+        )
+        heavy = make_model().simulate(
+            trace,
+            ScrubTraffic(reads_per_second=50_000, writes_per_second=5_000),
+            1.0,
+            np.random.default_rng(4),
+        )
+        assert heavy.scrub_share > 0.005
+        # Demand latency should grow, but stay within a small multiple:
+        # each demand op waits for at most one in-flight scrub op.
+        assert heavy.mean_read_latency < 10 * light.mean_read_latency
+
+    def test_utilization_accounts_all_service(self, rng):
+        rates = uniform_rates(GEOMETRY.num_lines, total_write_rate=100.0)
+        trace = trace_from_rates(rates, duration=1.0, rng=np.random.default_rng(5))
+        scrub = ScrubTraffic(reads_per_second=1000, writes_per_second=100)
+        report = make_model().simulate(trace, scrub, 1.0, rng)
+        assert 0 < report.scrub_share < report.bank_utilization < 1
+
+    def test_invalid_duration(self, rng):
+        trace = AccessTrace([], GEOMETRY.num_lines)
+        with pytest.raises(ValueError):
+            make_model().simulate(trace, ScrubTraffic(0, 0), 0.0, rng)

@@ -1,0 +1,91 @@
+"""Memory geometry: address-mapping bijections."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.geometry import Coordinates, Interleaving, MemoryGeometry
+
+SMALL = MemoryGeometry(
+    channels=2, banks_per_channel=4, rows_per_bank=8, lines_per_row=4
+)
+INTERLEAVED = MemoryGeometry(
+    channels=2,
+    banks_per_channel=4,
+    rows_per_bank=8,
+    lines_per_row=4,
+    interleaving=Interleaving.LINE_INTERLEAVED,
+)
+
+
+class TestShape:
+    def test_counts(self):
+        assert SMALL.num_banks == 8
+        assert SMALL.lines_per_bank == 32
+        assert SMALL.num_lines == 256
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MemoryGeometry(channels=0)
+
+
+@pytest.mark.parametrize("geometry", [SMALL, INTERLEAVED], ids=["row", "interleaved"])
+class TestBijection:
+    def test_roundtrip_every_line(self, geometry):
+        seen = set()
+        for line in range(geometry.num_lines):
+            coords = geometry.coordinates(line)
+            assert geometry.line_index(coords) == line
+            seen.add((coords.channel, coords.bank, coords.row, coords.column))
+        assert len(seen) == geometry.num_lines
+
+    def test_out_of_range_line(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.coordinates(geometry.num_lines)
+        with pytest.raises(ValueError):
+            geometry.coordinates(-1)
+
+    def test_out_of_range_coords(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.line_index(Coordinates(99, 0, 0, 0))
+
+
+class TestInterleavingShapes:
+    def test_row_major_regions_contiguous(self):
+        banks = [SMALL.bank_of(line) for line in range(SMALL.num_lines)]
+        # Bank changes exactly every lines_per_bank addresses.
+        for i, bank in enumerate(banks):
+            assert bank == i // SMALL.lines_per_bank
+
+    def test_line_interleaved_rotates(self):
+        banks = [INTERLEAVED.bank_of(line) for line in range(16)]
+        assert banks[:8] == list(range(8))
+        assert banks[8:16] == list(range(8))
+
+    def test_same_population_different_layout(self):
+        row_banks = sorted(SMALL.bank_of(i) for i in range(SMALL.num_lines))
+        int_banks = sorted(INTERLEAVED.bank_of(i) for i in range(SMALL.num_lines))
+        assert row_banks == int_banks
+
+
+@given(
+    channels=st.integers(1, 4),
+    banks=st.integers(1, 8),
+    rows=st.integers(1, 16),
+    cols=st.integers(1, 16),
+    interleaving=st.sampled_from(list(Interleaving)),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_bijection_random_geometries(channels, banks, rows, cols, interleaving):
+    geometry = MemoryGeometry(
+        channels=channels,
+        banks_per_channel=banks,
+        rows_per_bank=rows,
+        lines_per_row=cols,
+        interleaving=interleaving,
+    )
+    stride = max(1, geometry.num_lines // 64)
+    for line in range(0, geometry.num_lines, stride):
+        assert geometry.line_index(geometry.coordinates(line)) == line

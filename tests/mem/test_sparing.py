@@ -1,0 +1,119 @@
+"""Spare-pool management and its engine integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import threshold_scrub
+from repro.core.stats import ScrubStats
+from repro.mem.sparing import SparePool
+from repro.params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
+from repro.pcm.endurance import EnduranceModel
+from repro.pcm.energy import OperationCosts
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.population import LinePopulation, PopulationEngine
+from repro.sim.rng import RngStreams
+from repro.workloads.generators import uniform_rates
+
+
+class TestSparePool:
+    def test_grant_until_exhausted(self):
+        pool = SparePool(num_regions=2, spares_per_region=3)
+        assert pool.request(0, 2) == 2
+        assert pool.available(0) == 1
+        assert pool.request(0, 5) == 1
+        assert pool.refused == 4
+        assert pool.available(0) == 0
+        # Region 1 untouched.
+        assert pool.available(1) == 3
+
+    def test_report(self):
+        pool = SparePool(2, 2)
+        pool.request(0, 2)
+        pool.request(0, 1)
+        report = pool.report()
+        assert report.exhausted_regions == 1
+        assert report.total_used == 2
+        assert report.refused == 1
+
+    def test_zero_provision(self):
+        pool = SparePool(1, 0)
+        assert pool.request(0, 4) == 0
+        assert pool.refused == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparePool(0, 1)
+        with pytest.raises(ValueError):
+            SparePool(1, -1)
+        pool = SparePool(1, 1)
+        with pytest.raises(ValueError):
+            pool.request(5, 1)
+        with pytest.raises(ValueError):
+            pool.request(0, -1)
+
+
+class TestEngineIntegration:
+    def run_with_pool(self, spares_per_region):
+        distribution = CrossingDistribution(CellSpec())
+        endurance = EnduranceModel(EnduranceSpec(mean_writes=25, sigma_log10=0.0))
+        population = LinePopulation(
+            num_lines=128,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(5),
+            endurance=endurance,
+        )
+        costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 40, 4)
+        stats = ScrubStats(costs=costs)
+        pool = SparePool(num_regions=2, spares_per_region=spares_per_region)
+        PopulationEngine(
+            population=population,
+            policy=threshold_scrub(units.HOUR, 4, threshold=1),
+            stats=stats,
+            streams=RngStreams(6),
+            horizon=10 * units.DAY,
+            region_size=64,
+            rates=uniform_rates(128, 128 / units.HOUR),
+            retire_hard_limit=4,
+            spare_pool=pool,
+        ).simulate()
+        return stats, pool.report()
+
+    def test_generous_pool_never_refuses(self):
+        stats, report = self.run_with_pool(spares_per_region=10_000)
+        assert stats.retired > 0
+        assert report.refused == 0
+        assert report.exhausted_regions == 0
+
+    def test_exhausted_pool_caps_retirement(self):
+        generous_stats, __ = self.run_with_pool(spares_per_region=10_000)
+        stats, report = self.run_with_pool(spares_per_region=2)
+        assert stats.retired <= 2 * 2
+        assert report.exhausted_regions == 2
+        assert report.refused > 0
+        # With retirement blocked, broken lines keep erroring: strictly
+        # more UEs than the generously-spared run.
+        assert stats.uncorrectable > generous_stats.uncorrectable
+
+    def test_pool_region_mismatch_rejected(self):
+        distribution = CrossingDistribution(CellSpec())
+        population = LinePopulation(
+            num_lines=128,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(1),
+        )
+        costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 40, 4)
+        with pytest.raises(ValueError):
+            PopulationEngine(
+                population=population,
+                policy=threshold_scrub(units.HOUR, 4),
+                stats=ScrubStats(costs=costs),
+                streams=RngStreams(1),
+                horizon=units.DAY,
+                region_size=64,
+                spare_pool=SparePool(num_regions=5, spares_per_region=1),
+            )

@@ -1,0 +1,120 @@
+"""Bit-exact line array: writes, reads, drift and hard-error overlay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.params import CellSpec, DriftParams, EnduranceSpec, replace
+from repro.pcm.array import LineArray
+from repro.pcm.variation import VariationSpec
+
+
+def make_array(seed=0, num_lines=4, cells=64, **kwargs) -> LineArray:
+    return LineArray(num_lines, cells, rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestBasics:
+    def test_fresh_read_is_clean(self, rng):
+        array = make_array()
+        symbols = np.tile(np.arange(4, dtype=np.int8), 16)
+        array.write_line(0, symbols, now=0.0)
+        result = array.read_line(0, now=0.0)
+        assert result.num_errors == 0
+        assert np.array_equal(result.symbols, symbols)
+
+    def test_read_before_write_raises(self):
+        array = make_array()
+        with pytest.raises(RuntimeError):
+            array.read_line(0, 0.0)
+
+    def test_read_before_write_time_raises(self):
+        array = make_array()
+        array.write_line(0, np.zeros(64, dtype=np.int8), now=100.0)
+        with pytest.raises(ValueError):
+            array.read_line(0, 50.0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            make_array(num_lines=0)
+        array = make_array()
+        with pytest.raises(IndexError):
+            array.read_line(10, 0.0)
+        with pytest.raises(ValueError):
+            array.write_line(0, np.zeros(10, dtype=np.int8), 0.0)
+        with pytest.raises(ValueError):
+            array.write_line(0, np.full(64, 9, dtype=np.int8), 0.0)
+
+    def test_write_returns_iterations(self):
+        array = make_array()
+        iters = array.write_line(0, np.ones(64, dtype=np.int8), 0.0)
+        assert iters >= 64  # at least one pulse per cell
+
+
+class TestDriftErrors:
+    def test_errors_accumulate_over_time(self):
+        array = make_array(seed=1, num_lines=8, cells=256)
+        array.write_random(0.0)
+        early = array.total_errors(units.HOUR)
+        late = array.total_errors(30 * units.DAY)
+        assert early <= late
+        assert late > 0  # a month of drift must hurt at default constants
+
+    def test_errors_are_upward_level_shifts(self):
+        fast_spec = replace(
+            CellSpec(),
+            drift=tuple(DriftParams(0.3, 0.1) for __ in range(4)),
+        )
+        array = make_array(seed=2, num_lines=2, cells=128, spec=fast_spec)
+        array.write_random(0.0)
+        result = array.read_line(0, 30 * units.DAY)
+        drifted = result.drift_errors
+        assert (result.symbols[drifted] > result.stored[drifted]).all()
+
+    def test_rewrite_clears_drift(self):
+        array = make_array(seed=3, num_lines=2, cells=256)
+        array.write_random(0.0)
+        later = 60 * units.DAY
+        assert array.total_errors(later) > 0
+        array.write_random(later)
+        assert array.total_errors(later) == 0
+
+
+class TestHardErrors:
+    def test_wearout_produces_stuck_cells(self):
+        # Tiny deterministic endurance: every cell dies on the 3rd write.
+        endurance = EnduranceSpec(mean_writes=3, sigma_log10=0.0)
+        array = make_array(seed=4, num_lines=1, cells=32, endurance=endurance)
+        for i in range(3):
+            array.write_line(0, np.full(32, 1, dtype=np.int8), float(i))
+        assert array.wear is not None
+        assert array.wear.num_stuck == 32
+        # Stuck in matching data: no visible error yet.
+        assert array.read_line(0, 3.0).num_hard_errors == 0
+        # New conflicting data cannot be programmed into stuck cells.
+        array.write_line(0, np.full(32, 2, dtype=np.int8), 4.0)
+        result = array.read_line(0, 4.0)
+        assert result.num_hard_errors == 32
+        assert (result.symbols == 1).all()
+
+    def test_endurance_none_disables_wear(self):
+        array = make_array(endurance=None)
+        assert array.wear is None
+        for i in range(10):
+            array.write_line(0, np.zeros(64, dtype=np.int8), float(i))
+        assert array.read_line(0, 10.0).num_hard_errors == 0
+
+
+class TestVariation:
+    def test_zero_variation_allowed(self):
+        array = make_array(variation=VariationSpec(0.0, 0.0))
+        assert np.allclose(array.variation.resistance_offset, 0.0)
+        assert np.allclose(array.variation.drift_factor, 1.0)
+
+    def test_variation_perturbs_drift(self):
+        wild = VariationSpec(resistance_offset_sigma=0.0, drift_factor_sigma=0.5)
+        array = make_array(seed=5, variation=wild)
+        array.write_random(0.0)
+        # Per-cell nu should be visibly spread by the factor.
+        assert array.nu.std() > 0

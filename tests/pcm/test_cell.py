@@ -1,0 +1,97 @@
+"""Single-cell model: write/read lifecycle and drift errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.params import CellSpec, DriftParams, replace
+from repro.pcm.cell import Cell
+
+
+def make_cell(seed: int = 0, **kwargs) -> Cell:
+    return Cell(rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestLifecycle:
+    def test_unprogrammed_read_raises(self):
+        cell = make_cell()
+        with pytest.raises(RuntimeError):
+            cell.read(0.0)
+        with pytest.raises(RuntimeError):
+            cell.crossing_time()
+
+    def test_write_then_immediate_read(self):
+        cell = make_cell()
+        for symbol in range(4):
+            cell.write(symbol, now=float(symbol))
+            assert cell.read(float(symbol)) == symbol
+
+    def test_write_count_tracks(self):
+        cell = make_cell()
+        for i in range(5):
+            cell.write(1, now=float(i))
+        assert cell.write_count == 5
+
+    def test_time_cannot_run_backwards(self):
+        cell = make_cell()
+        cell.write(1, now=10.0)
+        with pytest.raises(ValueError):
+            cell.write(2, now=5.0)
+        with pytest.raises(ValueError):
+            cell.read(5.0)
+
+    def test_invalid_symbol_rejected(self):
+        cell = make_cell()
+        with pytest.raises(ValueError):
+            cell.write(4, 0.0)
+
+
+class TestDrift:
+    def test_fast_cell_eventually_misreads(self):
+        # Force a high-drift spec so the error is guaranteed and quick.
+        spec = CellSpec()
+        fast = replace(
+            spec,
+            drift=(
+                spec.drift[0],
+                spec.drift[1],
+                DriftParams(nu_mean=0.3, nu_sigma=0.0),
+                spec.drift[3],
+            ),
+        )
+        cell = make_cell(spec=fast)
+        cell.write(2, now=0.0)
+        t_cross = cell.crossing_time()
+        assert np.isfinite(t_cross)
+        assert not cell.has_drift_error(t_cross * 0.99)
+        assert cell.has_drift_error(t_cross * 1.01)
+        assert cell.read(t_cross * 1.01) == 3
+
+    def test_rewrite_resets_drift_clock(self):
+        spec = CellSpec()
+        fast = replace(
+            spec,
+            drift=tuple(
+                DriftParams(0.3, 0.0) if i == 2 else d
+                for i, d in enumerate(spec.drift)
+            ),
+        )
+        cell = make_cell(spec=fast)
+        cell.write(2, now=0.0)
+        first_cross = cell.crossing_time()
+        cell.write(2, now=first_cross * 0.9)
+        assert cell.crossing_time() > first_cross
+
+    def test_resistance_monotone_after_write(self):
+        cell = make_cell(seed=3)
+        cell.write(2, now=0.0)
+        resistances = [cell.resistance_at(t) for t in (0.0, 10.0, 1e4, 1e7)]
+        assert resistances == sorted(resistances)
+
+    def test_top_level_immortal(self):
+        cell = make_cell()
+        cell.write(3, now=0.0)
+        assert cell.crossing_time() == float("inf")
+        assert not cell.has_drift_error(units.YEAR)

@@ -1,0 +1,93 @@
+"""Endurance model: lifetimes, wear accounting, and stuck-at semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import EnduranceSpec
+from repro.pcm.endurance import EnduranceModel
+
+
+class TestLifetimes:
+    def test_mean_matches_spec(self, rng):
+        model = EnduranceModel(EnduranceSpec(mean_writes=1e6, sigma_log10=0.25))
+        lifetimes = model.draw_lifetimes(200_000, rng)
+        assert lifetimes.mean() == pytest.approx(1e6, rel=0.02)
+
+    def test_deterministic_when_sigma_zero(self, rng):
+        model = EnduranceModel(EnduranceSpec(mean_writes=100, sigma_log10=0.0))
+        lifetimes = model.draw_lifetimes(100, rng)
+        assert np.allclose(lifetimes, 100.0)
+
+    def test_negative_count_rejected(self, rng):
+        model = EnduranceModel(EnduranceSpec())
+        with pytest.raises(ValueError):
+            model.draw_lifetimes(-1, rng)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            EnduranceSpec(mean_writes=0)
+        with pytest.raises(ValueError):
+            EnduranceSpec(sigma_log10=-1)
+
+
+class TestWear:
+    def test_cells_stick_at_lifetime(self, rng):
+        model = EnduranceModel(EnduranceSpec(mean_writes=5, sigma_log10=0.0))
+        state = model.new_state(10, rng)
+        symbols = np.arange(10, dtype=np.int8) % 4
+        for write in range(4):
+            newly = model.apply_write(state, symbols)
+            assert not newly.any()
+        newly = model.apply_write(state, symbols)
+        assert newly.all()
+        assert state.num_stuck == 10
+        assert np.array_equal(state.stuck_symbol, symbols)
+
+    def test_stuck_cells_stop_accumulating_writes(self, rng):
+        model = EnduranceModel(EnduranceSpec(mean_writes=2, sigma_log10=0.0))
+        state = model.new_state(4, rng)
+        symbols = np.zeros(4, dtype=np.int8)
+        for __ in range(5):
+            model.apply_write(state, symbols)
+        assert (state.writes == 2).all()
+
+    def test_masked_writes_only_wear_selected(self, rng):
+        model = EnduranceModel(EnduranceSpec())
+        state = model.new_state(6, rng)
+        mask = np.array([True, True, False, False, True, False])
+        model.apply_write(state, np.zeros(6, dtype=np.int8), mask)
+        assert np.array_equal(state.writes > 0, mask)
+
+    def test_hard_error_mask(self, rng):
+        model = EnduranceModel(EnduranceSpec(mean_writes=1, sigma_log10=0.0))
+        state = model.new_state(4, rng)
+        model.apply_write(state, np.array([0, 1, 2, 3], dtype=np.int8))
+        desired = np.array([0, 1, 3, 3], dtype=np.int8)
+        mask = EnduranceModel.hard_error_mask(state, desired)
+        assert mask.tolist() == [False, False, True, False]
+
+
+class TestClosedForm:
+    def test_stuck_fraction_limits(self):
+        model = EnduranceModel(EnduranceSpec(mean_writes=1e8, sigma_log10=0.25))
+        assert model.expected_stuck_fraction(0) == 0.0
+        assert model.expected_stuck_fraction(1) < 1e-6
+        assert model.expected_stuck_fraction(1e12) > 0.999
+
+    def test_stuck_fraction_monotone(self):
+        model = EnduranceModel(EnduranceSpec())
+        writes = [1e5, 1e6, 1e7, 1e8, 1e9]
+        fracs = [model.expected_stuck_fraction(w) for w in writes]
+        assert fracs == sorted(fracs)
+
+    def test_matches_empirical_cdf(self, rng):
+        spec = EnduranceSpec(mean_writes=1e4, sigma_log10=0.3)
+        model = EnduranceModel(spec)
+        lifetimes = model.draw_lifetimes(100_000, rng)
+        for writes in (3e3, 1e4, 3e4):
+            empirical = (lifetimes <= writes).mean()
+            assert model.expected_stuck_fraction(writes) == pytest.approx(
+                empirical, abs=0.01
+            )

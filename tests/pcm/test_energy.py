@@ -1,0 +1,106 @@
+"""Energy model: per-operation costs and the ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import EnergySpec, LineSpec
+from repro.pcm.energy import LEDGER_CATEGORIES, EnergyLedger, OperationCosts
+
+
+class TestOperationCosts:
+    def test_costs_cover_data_plus_check_bits(self, energy_spec, line_spec):
+        costs = OperationCosts.for_line(
+            energy_spec, line_spec, ecc_bits=64, ecc_strength=1
+        )
+        assert costs.read_energy == pytest.approx(
+            energy_spec.read_energy_per_bit * (512 + 64)
+        )
+        assert costs.write_energy == pytest.approx(
+            energy_spec.write_energy_per_bit * (512 + 64)
+        )
+
+    def test_write_dominates_read(self, energy_spec, line_spec):
+        costs = OperationCosts.for_line(energy_spec, line_spec, 64, 1)
+        assert costs.write_energy > 5 * costs.read_energy
+
+    def test_decode_scales_superlinearly(self, energy_spec, line_spec):
+        t1 = OperationCosts.for_line(energy_spec, line_spec, 10, 1)
+        t8 = OperationCosts.for_line(energy_spec, line_spec, 80, 8)
+        assert t8.decode_energy > 8 * t1.decode_energy
+        assert t8.decode_latency > 8 * t1.decode_latency
+
+    def test_detection_near_free(self, energy_spec, line_spec):
+        costs = OperationCosts.for_line(energy_spec, line_spec, 96, 8)
+        assert costs.detect_energy < 0.01 * costs.read_energy
+
+    def test_zero_strength_means_free_decode(self, energy_spec, line_spec):
+        costs = OperationCosts.for_line(energy_spec, line_spec, 16, 0)
+        assert costs.decode_energy == 0.0
+
+    def test_invalid_arguments(self, energy_spec, line_spec):
+        with pytest.raises(ValueError):
+            OperationCosts.for_line(energy_spec, line_spec, -1, 1)
+        with pytest.raises(ValueError):
+            OperationCosts.for_line(energy_spec, line_spec, 0, -1)
+
+
+class TestLedger:
+    def test_empty_ledger(self):
+        ledger = EnergyLedger()
+        assert ledger.total_energy == 0.0
+        assert ledger.scrub_energy == 0.0
+        assert ledger.scrub_writes == 0
+
+    def test_add_accumulates(self):
+        ledger = EnergyLedger()
+        ledger.add("scrub_read", 2.0, 3)
+        ledger.add("scrub_write", 10.0, 2)
+        ledger.add("demand_write", 10.0, 1)
+        assert ledger.counts["scrub_read"] == 3
+        assert ledger.scrub_energy == pytest.approx(26.0)
+        assert ledger.total_energy == pytest.approx(36.0)
+        assert ledger.scrub_writes == 2
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            EnergyLedger().add("nonsense", 1.0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().add("scrub_read", 1.0, -1)
+
+    def test_merge_is_conservative(self):
+        a = EnergyLedger()
+        b = EnergyLedger()
+        a.add("scrub_read", 1.0, 5)
+        b.add("scrub_read", 1.0, 7)
+        b.add("scrub_decode", 3.0, 2)
+        a.merge(b)
+        assert a.counts["scrub_read"] == 12
+        assert a.energy["scrub_decode"] == pytest.approx(6.0)
+
+    def test_reset_clears_everything(self):
+        ledger = EnergyLedger()
+        for cat in LEDGER_CATEGORIES:
+            ledger.add(cat, 1.0, 1)
+        ledger.reset()
+        assert ledger.total_energy == 0.0
+        assert all(count == 0 for count in ledger.counts.values())
+
+    def test_breakdown_is_a_copy(self):
+        ledger = EnergyLedger()
+        ledger.add("scrub_read", 1.0)
+        breakdown = ledger.breakdown()
+        breakdown["scrub_read"] = 999.0
+        assert ledger.energy["scrub_read"] == pytest.approx(1.0)
+
+
+class TestSpecValidation:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergySpec(read_energy_per_bit=-1.0)
+
+    def test_line_spec_validation(self):
+        with pytest.raises(ValueError):
+            LineSpec(data_bytes=0)

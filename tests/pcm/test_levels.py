@@ -1,0 +1,101 @@
+"""Level coder: Gray coding, bit packing, and resistance thresholding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import CellSpec
+from repro.pcm.levels import LevelCoder, gray_decode, gray_encode
+
+CODER = LevelCoder(CellSpec())
+
+
+class TestGrayCode:
+    @given(value=st.integers(0, 10_000))
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(value=st.integers(0, 10_000))
+    def test_adjacent_values_differ_in_one_bit(self, value):
+        a, b = gray_encode(value), gray_encode(value + 1)
+        assert (a ^ b).bit_count() == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_encode(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-1)
+
+
+class TestSymbolMapping:
+    def test_bijection(self):
+        patterns = [CODER.symbol_to_pattern(s) for s in range(4)]
+        assert sorted(patterns) == [0, 1, 2, 3]
+        for symbol in range(4):
+            assert CODER.pattern_to_symbol(CODER.symbol_to_pattern(symbol)) == symbol
+
+    def test_adjacent_symbols_one_bit_apart(self):
+        # The property that makes one drifted cell one bit error.
+        for symbol in range(3):
+            a = CODER.symbol_to_pattern(symbol)
+            b = CODER.symbol_to_pattern(symbol + 1)
+            assert CODER.bit_errors_between(a, b) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CODER.pattern_to_symbol(4)
+        with pytest.raises(ValueError):
+            CODER.symbol_to_pattern(-1)
+
+    def test_vectorized_matches_scalar(self, rng):
+        patterns = rng.integers(0, 4, 100)
+        symbols = CODER.patterns_to_symbols(patterns)
+        assert all(
+            s == CODER.pattern_to_symbol(int(p)) for s, p in zip(symbols, patterns)
+        )
+        back = CODER.symbols_to_patterns(symbols)
+        assert np.array_equal(back, patterns)
+
+
+class TestBitPacking:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=40)
+    def test_bits_symbols_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 64, dtype=np.int8)
+        symbols = CODER.bits_to_symbols(bits)
+        assert symbols.shape == (32,)
+        assert np.array_equal(CODER.symbols_to_bits(symbols), bits)
+
+    def test_misaligned_bits_rejected(self):
+        with pytest.raises(ValueError):
+            CODER.bits_to_symbols([0, 1, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            CODER.bits_to_symbols([0, 2])
+
+
+class TestSensing:
+    def test_band_centers_sense_correctly(self):
+        spec = CellSpec()
+        for level, band in enumerate(spec.levels):
+            assert CODER.sense(band.program_center) == level
+
+    def test_boundary_crossing_moves_up_one_level(self):
+        spec = CellSpec()
+        for level, band in enumerate(spec.levels[:-1]):
+            just_above = band.read_high + 1e-9
+            assert CODER.sense(just_above) == level + 1
+
+    def test_sense_many_matches_scalar(self, rng):
+        values = rng.uniform(2.0, 7.0, 200)
+        vector = CODER.sense_many(values)
+        assert all(v == CODER.sense(float(x)) for v, x in zip(vector, values))
+
+    def test_upper_boundary_top_level_infinite(self):
+        assert CODER.upper_boundary(3) == float("inf")
+        assert CODER.upper_boundary(0) == CellSpec().levels[0].read_high

@@ -1,0 +1,79 @@
+"""Generalized MLC construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.pcm.drift import DriftModel
+from repro.pcm.levels import LevelCoder
+from repro.pcm.mlc import make_mlc_spec
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_level_counts(self, bits):
+        spec = make_mlc_spec(bits)
+        assert spec.num_levels == 1 << bits
+        assert spec.bits_per_cell == bits
+
+    def test_spec_passes_cellspec_validation(self):
+        # CellSpec's __post_init__ checks band nesting and ordering;
+        # construction succeeding for all sizes is itself the test.
+        for bits in (1, 2, 3, 4):
+            make_mlc_spec(bits)
+
+    def test_drift_interpolates_crystalline_to_amorphous(self):
+        spec = make_mlc_spec(3, nu_crystalline=0.001, nu_amorphous=0.1)
+        means = [d.nu_mean for d in spec.drift]
+        assert means[0] == pytest.approx(0.001)
+        assert means[-1] == pytest.approx(0.1)
+        assert means == sorted(means)
+
+    def test_coder_and_sensing_work_at_8_levels(self):
+        spec = make_mlc_spec(3)
+        coder = LevelCoder(spec)
+        for level, band in enumerate(spec.levels):
+            assert coder.sense(band.program_center) == level
+        # Gray property holds at any size.
+        for symbol in range(7):
+            a = coder.symbol_to_pattern(symbol)
+            b = coder.symbol_to_pattern(symbol + 1)
+            assert (a ^ b).bit_count() == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_mlc_spec(0)
+        with pytest.raises(ValueError):
+            make_mlc_spec(5)
+        with pytest.raises(ValueError):
+            make_mlc_spec(2, window_low=5.0, window_high=4.0)
+        with pytest.raises(ValueError):
+            make_mlc_spec(2, nu_crystalline=0.2, nu_amorphous=0.1)
+
+
+class TestDensityReliabilityTradeoff:
+    def test_more_bits_much_worse_drift(self):
+        # The density cost: at equal window, 3-bit guard bands are ~half
+        # the 2-bit ones, so drift errors explode.
+        age = units.HOUR
+        probabilities = {}
+        for bits in (1, 2, 3):
+            spec = make_mlc_spec(bits)
+            model = DriftModel(spec)
+            worst = max(
+                model.error_probability(level, age)
+                for level in range(spec.num_levels)
+            )
+            probabilities[bits] = worst
+        assert probabilities[1] < 1e-12
+        assert probabilities[3] > 10 * probabilities[2] > 0
+
+    def test_slc_is_immortal(self):
+        spec = make_mlc_spec(1)
+        model = DriftModel(spec)
+        rng = np.random.default_rng(0)
+        symbols = rng.integers(0, 2, 10_000).astype(np.int8)
+        crossing = model.sample_crossing_times(symbols, rng)
+        assert (crossing > units.YEAR).all()

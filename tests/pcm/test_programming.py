@@ -1,0 +1,80 @@
+"""Iterative program-and-verify: convergence, bands, and cost."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import CellSpec
+from repro.pcm.programming import ProgramAndVerify
+
+
+@pytest.fixture
+def programmer(cell_spec) -> ProgramAndVerify:
+    return ProgramAndVerify(cell_spec)
+
+
+class TestConvergence:
+    def test_all_cells_land_in_band(self, programmer, cell_spec, rng):
+        symbols = rng.integers(0, 4, 5000, dtype=np.int8)
+        result = programmer.program(symbols, rng)
+        lows = np.array([b.program_low for b in cell_spec.levels])[symbols]
+        highs = np.array([b.program_high for b in cell_spec.levels])[symbols]
+        assert (result.log_resistance >= lows).all()
+        assert (result.log_resistance <= highs).all()
+
+    def test_iterations_at_least_one(self, programmer, rng):
+        result = programmer.program(np.zeros(100, dtype=np.int8), rng)
+        assert (result.iterations >= 1).all()
+        assert result.total_iterations == result.iterations.sum()
+
+    def test_mean_iterations_reasonable(self, programmer, rng):
+        # With a 0.2-decade band and 0.3 initial sigma, MLC programming
+        # needs several pulses on average - that is the whole point.
+        result = programmer.program(rng.integers(0, 4, 5000, dtype=np.int8), rng)
+        assert 1.5 < result.mean_iterations < 10.0
+
+    def test_tighter_band_needs_more_pulses(self, cell_spec, rng):
+        loose = ProgramAndVerify(cell_spec, initial_sigma=0.05)
+        tight = ProgramAndVerify(cell_spec, initial_sigma=0.6)
+        symbols = rng.integers(0, 4, 3000, dtype=np.int8)
+        r_loose = loose.program(symbols, np.random.default_rng(1))
+        r_tight = tight.program(symbols, np.random.default_rng(1))
+        assert r_tight.mean_iterations > r_loose.mean_iterations
+
+    def test_forced_cells_still_in_band(self, cell_spec, rng):
+        # One iteration max: everything out of band gets clamped + flagged.
+        harsh = ProgramAndVerify(cell_spec, max_iterations=1, initial_sigma=0.5)
+        symbols = rng.integers(0, 4, 2000, dtype=np.int8)
+        result = harsh.program(symbols, rng)
+        assert result.forced.any()
+        lows = np.array([b.program_low for b in cell_spec.levels])[symbols]
+        highs = np.array([b.program_high for b in cell_spec.levels])[symbols]
+        assert (result.log_resistance >= lows).all()
+        assert (result.log_resistance <= highs).all()
+
+
+class TestVariationCompensation:
+    def test_offsets_are_compensated(self, programmer, cell_spec, rng):
+        symbols = np.full(2000, 2, dtype=np.int8)
+        offsets = np.full(2000, 0.15)
+        result = programmer.program(symbols, rng, resistance_offset=offsets)
+        band = cell_spec.levels[2]
+        assert (result.log_resistance >= band.program_low).all()
+        assert (result.log_resistance <= band.program_high).all()
+
+    def test_offset_shape_mismatch_rejected(self, programmer, rng):
+        with pytest.raises(ValueError):
+            programmer.program(
+                np.zeros(10, dtype=np.int8), rng, resistance_offset=np.zeros(5)
+            )
+
+
+class TestValidation:
+    def test_bad_parameters(self, cell_spec):
+        with pytest.raises(ValueError):
+            ProgramAndVerify(cell_spec, initial_sigma=0)
+        with pytest.raises(ValueError):
+            ProgramAndVerify(cell_spec, convergence=1.0)
+        with pytest.raises(ValueError):
+            ProgramAndVerify(cell_spec, max_iterations=0)

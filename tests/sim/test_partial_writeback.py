@@ -1,0 +1,137 @@
+"""Partial (cell-selective) write-back."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import partial_scrub, threshold_scrub
+from repro.params import CellSpec
+from repro.sim import SimulationConfig, run_experiment
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.population import LinePopulation
+
+CONFIG = SimulationConfig(
+    num_lines=2048, region_size=256, horizon=14 * units.DAY, endurance=None
+)
+
+
+@pytest.fixture(scope="module")
+def distribution() -> CrossingDistribution:
+    return CrossingDistribution(CellSpec())
+
+
+class TestPartialRewrite:
+    def make_population(self, distribution, seed=1):
+        return LinePopulation(
+            num_lines=64,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_clears_exactly_the_drifted_cells(self, distribution):
+        population = self.make_population(distribution)
+        idx = np.arange(64)
+        late = 30 * units.DAY
+        before = population.drift_error_counts(idx, late)
+        assert before.sum() > 0
+        cells = population.partial_rewrite(idx, late)
+        assert np.array_equal(cells, before)
+        assert population.drift_error_counts(idx, late).sum() == 0
+
+    def test_healthy_cells_keep_their_clocks(self, distribution):
+        population = self.make_population(distribution, seed=2)
+        idx = np.arange(64)
+        mid = 10 * units.DAY
+        # Crossing times strictly beyond `mid` must be untouched.
+        surviving_before = [
+            population.crossing[line][population.crossing[line] > mid].copy()
+            for line in range(64)
+        ]
+        population.partial_rewrite(idx, mid)
+        for line in range(64):
+            after = set(population.crossing[line].tolist())
+            for value in surviving_before[line][: 24 - 4]:
+                # Each surviving time either remains stored or was pushed
+                # past the keep window by fresh draws (never *advanced*).
+                if np.isfinite(value):
+                    assert value in after or value >= sorted(after)[-1]
+
+    def test_fractional_wear_accumulates_to_whole_writes(self, distribution):
+        population = self.make_population(distribution, seed=3)
+        idx = np.arange(64)
+        # Force j = cells_per_line by crossing everything: impossible with
+        # keep=24, so drive wear with many small partial rewrites instead.
+        total_cells = 0
+        now = 10 * units.DAY
+        for step in range(40):
+            cells = population.partial_rewrite(idx, now)
+            total_cells += int(cells.sum())
+            now += 10 * units.DAY
+        expected_whole = total_cells // 256
+        assert population.writes.sum() == pytest.approx(expected_whole, abs=64)
+
+    def test_composes_with_thermal_profiles(self, distribution):
+        from repro.pcm.thermal import ThermalPhase, ThermalProfile
+
+        profile = ThermalProfile(
+            [
+                ThermalPhase(12 * units.HOUR, 330.0),
+                ThermalPhase(12 * units.HOUR, 300.0),
+            ]
+        )
+        population = LinePopulation(
+            num_lines=64,
+            cells_per_line=256,
+            distribution=distribution,
+            rng=np.random.default_rng(8),
+            thermal=profile,
+        )
+        idx = np.arange(64)
+        late = 30 * units.DAY
+        before = population.drift_error_counts(idx, late)
+        cells = population.partial_rewrite(idx, late)
+        assert np.array_equal(cells, before)
+        assert population.drift_error_counts(idx, late).sum() == 0
+        # Fresh draws went through the profile: rows stay sorted (inf
+        # entries - replacement cells that never cross - sort to the end).
+        rows = population.crossing
+        assert (rows[:, :-1] <= rows[:, 1:]).all()
+
+    def test_empty_and_clean_calls_are_noops(self, distribution):
+        population = self.make_population(distribution, seed=4)
+        assert population.partial_rewrite(np.array([], dtype=int), 0.0).size == 0
+        cells = population.partial_rewrite(np.arange(64), 1.0)  # nothing drifted
+        assert cells.sum() == 0
+        assert (population.writes == 0).all()
+
+
+class TestPartialPolicy:
+    def test_same_protection_less_energy(self):
+        full = run_experiment(
+            threshold_scrub(units.HOUR, 4, threshold=3), CONFIG
+        )
+        partial = run_experiment(partial_scrub(units.HOUR, 4, threshold=3), CONFIG)
+        # Partial write-back culls fast-drifting cells and keeps the
+        # proven-slow survivors, so lines "harden" over time and need
+        # *fewer* write-back events as well - a selection effect full
+        # rewrites (which redraw every cell) do not get.
+        assert partial.scrub_writes < full.scrub_writes
+        # ...but write energy collapses to the touched cells.
+        full_write_energy = full.stats.energy_breakdown()["write"]
+        partial_write_energy = partial.stats.energy_breakdown()["write"]
+        assert partial_write_energy < full_write_energy / 20
+        # Protection unchanged within noise.
+        assert partial.uncorrectable <= 2 * max(full.uncorrectable, 10)
+        assert partial.stats.partial_cells > 0
+
+    def test_partial_reduces_wear(self):
+        full = run_experiment(
+            threshold_scrub(units.HOUR, 4, threshold=3), CONFIG
+        )
+        partial = run_experiment(partial_scrub(units.HOUR, 4, threshold=3), CONFIG)
+        assert partial.mean_writes_per_line < 0.2 * max(
+            full.mean_writes_per_line, 0.01
+        )

@@ -1,0 +1,239 @@
+"""Population state and engine mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import basic_scrub, threshold_scrub
+from repro.core.stats import ScrubStats
+from repro.params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
+from repro.pcm.endurance import EnduranceModel
+from repro.pcm.energy import OperationCosts
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.population import LinePopulation, PopulationEngine
+from repro.sim.rng import RngStreams
+from repro.workloads.generators import uniform_rates
+
+
+@pytest.fixture(scope="module")
+def distribution() -> CrossingDistribution:
+    return CrossingDistribution(CellSpec())
+
+
+def make_population(distribution, num_lines=64, endurance=None, seed=1, keep=24):
+    return LinePopulation(
+        num_lines=num_lines,
+        cells_per_line=256,
+        distribution=distribution,
+        rng=np.random.default_rng(seed),
+        endurance=endurance,
+        keep=keep,
+    )
+
+
+def make_stats() -> ScrubStats:
+    costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 64, 1)
+    return ScrubStats(costs=costs)
+
+
+class TestLinePopulation:
+    def test_fresh_population_clean(self, distribution):
+        population = make_population(distribution)
+        idx = np.arange(64)
+        assert population.error_counts(idx, 0.0).sum() == 0
+        assert (population.writes == 0).all()
+
+    def test_errors_accumulate_then_reset_on_rewrite(self, distribution):
+        population = make_population(distribution)
+        idx = np.arange(64)
+        late = 60 * units.DAY
+        before = population.error_counts(idx, late).sum()
+        assert before > 0
+        population.rewrite(idx, np.full(64, late), data_changed=True)
+        assert population.error_counts(idx, late).sum() == 0
+        assert (population.writes == 1).all()
+
+    def test_error_counts_monotone_in_time(self, distribution):
+        population = make_population(distribution)
+        idx = np.arange(64)
+        counts = [
+            population.error_counts(idx, t).sum()
+            for t in (units.HOUR, units.DAY, units.WEEK, 30 * units.DAY)
+        ]
+        assert counts == sorted(counts)
+
+    def test_extra_writes_accumulate_wear(self, distribution):
+        population = make_population(distribution)
+        idx = np.array([0, 1])
+        population.rewrite(
+            idx, np.zeros(2), data_changed=True, extra_writes=np.array([4, 9])
+        )
+        assert population.writes[0] == 5
+        assert population.writes[1] == 10
+
+    def test_stuck_cells_appear_with_wear(self, distribution):
+        # 10-write deterministic endurance: all 24 tracked cells stick fast.
+        endurance = EnduranceModel(EnduranceSpec(mean_writes=10, sigma_log10=0.0))
+        population = make_population(distribution, endurance=endurance)
+        idx = np.arange(64)
+        assert population.stuck_counts(idx).sum() == 0
+        for i in range(10):
+            population.rewrite(idx, np.full(64, float(i)), data_changed=False)
+        assert (population.stuck_counts(idx) == 24).all()
+
+    def test_hard_mismatch_appears_on_data_change(self, distribution):
+        endurance = EnduranceModel(EnduranceSpec(mean_writes=2, sigma_log10=0.0))
+        population = make_population(distribution, endurance=endurance, seed=3)
+        idx = np.arange(64)
+        population.rewrite(idx, np.zeros(64), data_changed=False)
+        population.rewrite(idx, np.zeros(64), data_changed=False)
+        # Cells are now stuck but hold the data written: no mismatch yet.
+        assert (population.hard_mismatch[idx] == 0).all()
+        population.rewrite(idx, np.zeros(64), data_changed=True)
+        # New data: ~3/4 of the 24 stuck cells should conflict.
+        mean_mismatch = population.hard_mismatch[idx].mean()
+        assert mean_mismatch == pytest.approx(18.0, rel=0.15)
+
+    def test_scrub_writeback_preserves_mismatch(self, distribution):
+        endurance = EnduranceModel(EnduranceSpec(mean_writes=1, sigma_log10=0.0))
+        population = make_population(distribution, endurance=endurance, seed=4)
+        idx = np.arange(64)
+        population.rewrite(idx, np.zeros(64), data_changed=False)  # all stick
+        population.rewrite(idx, np.zeros(64), data_changed=True)  # mismatch drawn
+        mismatch = population.hard_mismatch[idx].copy()
+        population.rewrite(idx, np.zeros(64), data_changed=False)  # scrub wb
+        assert np.array_equal(population.hard_mismatch[idx], mismatch)
+
+    def test_retire_resets_everything(self, distribution):
+        endurance = EnduranceModel(EnduranceSpec(mean_writes=1, sigma_log10=0.0))
+        population = make_population(distribution, endurance=endurance, seed=5)
+        idx = np.arange(8)
+        population.rewrite(idx, np.zeros(8), data_changed=False)
+        population.rewrite(idx, np.zeros(8), data_changed=True)
+        assert population.stuck_counts(idx).sum() > 0
+        population.retire(idx, now=10.0)
+        assert population.stuck_counts(idx).sum() == 0
+        assert (population.hard_mismatch[idx] == 0).all()
+        assert (population.writes[idx] == 0).all()
+
+    def test_retire_without_endurance_still_resets(self, distribution):
+        population = make_population(distribution, endurance=None)
+        idx = np.array([0])
+        late = 60 * units.DAY
+        assert population.error_counts(idx, late).sum() >= 0
+        population.retire(idx, now=late)
+        # Fresh line: drift clock restarts at the retirement instant.
+        assert population.error_counts(idx, late).sum() == 0
+        assert population.writes[0] == 0
+
+    def test_validation(self, distribution):
+        with pytest.raises(ValueError):
+            make_population(distribution, num_lines=0)
+        with pytest.raises(ValueError):
+            LinePopulation(4, 8, distribution, np.random.default_rng(0), keep=9)
+
+    def test_empty_rewrite_noop(self, distribution):
+        population = make_population(distribution)
+        population.rewrite(np.array([], dtype=int), np.array([]), data_changed=True)
+        assert (population.writes == 0).all()
+
+
+class TestPopulationEngine:
+    def test_visit_counts(self, distribution):
+        population = make_population(distribution, num_lines=64)
+        stats = make_stats()
+        engine = PopulationEngine(
+            population=population,
+            policy=basic_scrub(interval=units.HOUR),
+            stats=stats,
+            streams=RngStreams(9),
+            horizon=units.DAY,
+            region_size=32,
+        )
+        engine.simulate()
+        # 2 regions x 24 hourly visits x 32 lines each = 1536 line-visits.
+        assert stats.visits == 2 * 24 * 32
+
+    def test_demand_writes_recorded_and_reduce_scrub_work(self, distribution):
+        def run(rates):
+            population = make_population(distribution, num_lines=64, seed=7)
+            stats = make_stats()
+            PopulationEngine(
+                population=population,
+                policy=basic_scrub(interval=units.HOUR),
+                stats=stats,
+                streams=RngStreams(10),
+                horizon=30 * units.DAY,
+                region_size=32,
+                rates=rates,
+            ).simulate()
+            return stats
+
+        idle = run(None)
+        # Every line rewritten by demand every ~15 minutes on average:
+        # drift clocks rarely age a full scrub interval.
+        busy = run(uniform_rates(64, total_write_rate=64 / (0.25 * units.HOUR)))
+        assert busy.demand_writes > 0
+        assert busy.scrub_writes < idle.scrub_writes
+        assert busy.uncorrectable <= idle.uncorrectable
+
+    def test_rates_length_checked(self, distribution):
+        population = make_population(distribution, num_lines=64)
+        with pytest.raises(ValueError):
+            PopulationEngine(
+                population=population,
+                policy=basic_scrub(units.HOUR),
+                stats=make_stats(),
+                streams=RngStreams(1),
+                horizon=units.DAY,
+                region_size=32,
+                rates=uniform_rates(32, 1.0),
+            )
+
+    def test_region_size_must_divide(self, distribution):
+        population = make_population(distribution, num_lines=64)
+        with pytest.raises(ValueError):
+            PopulationEngine(
+                population=population,
+                policy=basic_scrub(units.HOUR),
+                stats=make_stats(),
+                streams=RngStreams(1),
+                horizon=units.DAY,
+                region_size=48,
+            )
+
+    def test_retirement_flow(self, distribution):
+        endurance = EnduranceModel(EnduranceSpec(mean_writes=20, sigma_log10=0.0))
+        population = make_population(distribution, num_lines=64, endurance=endurance)
+        stats = make_stats()
+        engine = PopulationEngine(
+            population=population,
+            policy=threshold_scrub(units.HOUR, strength=4, threshold=1),
+            stats=stats,
+            streams=RngStreams(2),
+            horizon=10 * units.DAY,
+            region_size=32,
+            rates=uniform_rates(64, total_write_rate=64 / units.HOUR),
+            retire_hard_limit=4,
+        )
+        engine.simulate()
+        assert stats.retired > 0
+
+    def test_deterministic_given_seed(self, distribution):
+        def run(seed):
+            population = make_population(distribution, num_lines=64, seed=seed)
+            stats = make_stats()
+            PopulationEngine(
+                population=population,
+                policy=basic_scrub(units.HOUR),
+                stats=stats,
+                streams=RngStreams(seed),
+                horizon=3 * units.DAY,
+                region_size=32,
+            ).simulate()
+            return stats.summary()
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

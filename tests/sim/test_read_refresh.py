@@ -1,0 +1,75 @@
+"""Read-triggered refresh: demand reads as scrub probes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import threshold_scrub
+from repro.sim import SimulationConfig, run_experiment
+from repro.workloads.generators import DemandRates, uniform_rates
+
+BASE = SimulationConfig(
+    num_lines=2048, region_size=256, horizon=14 * units.DAY, endurance=None
+)
+
+
+def read_only_rates(num_lines: int, reads_per_line_per_hour: float) -> DemandRates:
+    reads = np.full(num_lines, reads_per_line_per_hour / units.HOUR)
+    return DemandRates(
+        write_rate=np.zeros(num_lines), read_rate=reads, name="read-only"
+    )
+
+
+class TestReadRefresh:
+    def test_reads_substitute_for_scrub_writes(self):
+        # Long scrub interval + frequent reads: with read_refresh the reads
+        # find and refresh drifting lines long before the scrubber does.
+        rates = read_only_rates(BASE.num_lines, reads_per_line_per_hour=2.0)
+        policy = lambda: threshold_scrub(12 * units.HOUR, 4, threshold=3)
+
+        plain = run_experiment(policy(), BASE, rates)
+        refreshed = run_experiment(
+            policy(), dataclasses.replace(BASE, read_refresh=True), rates
+        )
+        # Reads surface errors earlier: strictly fewer UEs.
+        assert refreshed.uncorrectable < plain.uncorrectable
+        # And the refresh writes appear in the scrub-write ledger.
+        assert refreshed.scrub_writes > plain.scrub_writes
+
+    def test_no_reads_means_no_effect(self):
+        plain = run_experiment(threshold_scrub(units.HOUR, 4), BASE)
+        refreshed = run_experiment(
+            threshold_scrub(units.HOUR, 4),
+            dataclasses.replace(BASE, read_refresh=True),
+        )
+        assert plain.stats.summary() == refreshed.stats.summary()
+
+    def test_write_traffic_unaffected_by_flag(self):
+        # Pure write workload: read refresh must change nothing.
+        rates = uniform_rates(
+            BASE.num_lines, BASE.num_lines / (2 * units.HOUR),
+            read_write_ratio=0.0,
+        )
+        plain = run_experiment(threshold_scrub(units.HOUR, 4), BASE, rates)
+        refreshed = run_experiment(
+            threshold_scrub(units.HOUR, 4),
+            dataclasses.replace(BASE, read_refresh=True),
+            rates,
+        )
+        assert plain.uncorrectable == refreshed.uncorrectable
+
+    def test_ue_surfaces_at_read(self):
+        # Scrub far too slow to protect anything; reads still encounter
+        # the corrupt lines and the UEs are counted.
+        rates = read_only_rates(BASE.num_lines, reads_per_line_per_hour=0.5)
+        config = dataclasses.replace(BASE, read_refresh=True)
+        result = run_experiment(
+            threshold_scrub(7 * units.DAY, 1, threshold=1, with_detector=False),
+            config,
+            rates,
+        )
+        assert result.uncorrectable > 0

@@ -1,0 +1,104 @@
+"""Renewal model: internal consistency and agreement with Monte Carlo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import threshold_scrub
+from repro.params import CellSpec
+from repro.sim import SimulationConfig, run_experiment
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.renewal import RenewalModel
+
+
+@pytest.fixture(scope="module")
+def model() -> RenewalModel:
+    return RenewalModel(CrossingDistribution(CellSpec()), cells_per_line=256)
+
+
+class TestBasics:
+    def test_probabilities_are_probabilities(self, model):
+        solution = model.solve(units.HOUR, t_ecc=4, threshold=3)
+        assert 0 <= solution.ue_probability <= 1
+        assert 0 <= solution.error_visit_fraction <= 1
+        assert solution.expected_cycle_visits >= 1
+        assert solution.ue_rate >= 0
+        assert solution.write_rate > 0
+
+    def test_higher_threshold_fewer_writes_more_ue(self, model):
+        eager = model.solve(units.HOUR, t_ecc=4, threshold=1)
+        lazy = model.solve(units.HOUR, t_ecc=4, threshold=3)
+        assert lazy.write_rate < eager.write_rate
+        assert lazy.ue_rate >= eager.ue_rate
+        assert lazy.expected_cycle_visits > eager.expected_cycle_visits
+
+    def test_stronger_code_fewer_ues(self, model):
+        weak = model.solve(units.HOUR, t_ecc=2, threshold=1)
+        strong = model.solve(units.HOUR, t_ecc=8, threshold=1)
+        assert strong.ue_rate < weak.ue_rate
+
+    def test_longer_interval_fewer_visits_per_second(self, model):
+        short = model.solve(0.5 * units.HOUR, t_ecc=4, threshold=3)
+        long = model.solve(2 * units.HOUR, t_ecc=4, threshold=3)
+        # Cycle *visits* shrink with longer intervals (errors accumulate
+        # faster relative to the visit cadence).
+        assert long.expected_cycle_visits < short.expected_cycle_visits
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.solve(0.0, 4, 1)
+        with pytest.raises(ValueError):
+            model.solve(1.0, 4, 5)
+        with pytest.raises(ValueError):
+            RenewalModel(CrossingDistribution(CellSpec()), 0)
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize("threshold", [1, 2, 3])
+    def test_write_rate_matches_engine(self, model, threshold):
+        interval = units.HOUR
+        config = SimulationConfig(
+            num_lines=4096, region_size=512, horizon=14 * units.DAY,
+            endurance=None,
+        )
+        result = run_experiment(
+            threshold_scrub(interval, strength=4, threshold=threshold), config
+        )
+        mc_write_rate = result.scrub_writes / (
+            config.num_lines * config.horizon
+        )
+        solution = model.solve(interval, t_ecc=4, threshold=threshold)
+        assert mc_write_rate == pytest.approx(solution.write_rate, rel=0.1)
+
+    def test_ue_rate_matches_engine(self, model):
+        # Pick a configuration with measurable UE counts.
+        interval = units.HOUR
+        config = SimulationConfig(
+            num_lines=8192, region_size=1024, horizon=14 * units.DAY,
+            endurance=None,
+        )
+        result = run_experiment(
+            threshold_scrub(interval, strength=4, threshold=3), config
+        )
+        mc_ue_rate = result.uncorrectable / (config.num_lines * config.horizon)
+        solution = model.solve(interval, t_ecc=4, threshold=3)
+        assert solution.ue_rate > 0
+        # Poisson noise on a few hundred events: generous 30% tolerance.
+        assert mc_ue_rate == pytest.approx(solution.ue_rate, rel=0.3)
+
+    def test_error_visit_fraction_matches_decode_ratio(self, model):
+        interval = units.HOUR
+        config = SimulationConfig(
+            num_lines=4096, region_size=512, horizon=14 * units.DAY,
+            endurance=None,
+        )
+        result = run_experiment(
+            threshold_scrub(interval, strength=4, threshold=3), config
+        )
+        mc_fraction = result.stats.scrub_decodes / result.stats.visits
+        solution = model.solve(interval, t_ecc=4, threshold=3)
+        assert mc_fraction == pytest.approx(
+            solution.error_visit_fraction, rel=0.1
+        )

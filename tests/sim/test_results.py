@@ -1,0 +1,66 @@
+"""Run results: headline comparisons and export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stats import ScrubStats
+from repro.params import EnergySpec, LineSpec
+from repro.pcm.energy import OperationCosts
+from repro.sim.config import SimulationConfig
+from repro.sim.results import RunResult
+
+
+def make_result(ue=100, writes=1000, energy_ops=50) -> RunResult:
+    costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 64, 1)
+    stats = ScrubStats(costs=costs)
+    stats.uncorrectable = ue
+    stats.record_scrub_writes(writes)
+    stats.record_reads(energy_ops)
+    return RunResult(
+        policy_name="test",
+        workload_name="idle",
+        config=SimulationConfig(num_lines=1024, region_size=256),
+        stats=stats,
+        runtime_seconds=0.1,
+    )
+
+
+class TestComparisons:
+    def test_ue_reduction(self):
+        base = make_result(ue=1000)
+        ours = make_result(ue=35)
+        assert ours.ue_reduction_vs(base) == pytest.approx(0.965)
+
+    def test_write_factor(self):
+        base = make_result(writes=24400)
+        ours = make_result(writes=1000)
+        assert ours.write_factor_vs(base) == pytest.approx(24.4)
+
+    def test_write_factor_infinite_when_zero(self):
+        base = make_result(writes=100)
+        ours = make_result(writes=0)
+        assert ours.write_factor_vs(base) == float("inf")
+
+    def test_energy_reduction(self):
+        base = make_result(writes=1000)
+        ours = make_result(writes=100)
+        reduction = ours.energy_reduction_vs(base)
+        assert 0 < reduction < 1
+
+    def test_zero_baseline_raises(self):
+        base = make_result(ue=0)
+        with pytest.raises(ZeroDivisionError):
+            make_result().ue_reduction_vs(base)
+
+
+class TestExport:
+    def test_to_dict_roundtrips_json(self):
+        result = make_result()
+        blob = json.loads(result.to_json())
+        assert blob["policy"] == "test"
+        assert blob["uncorrectable"] == 100.0
+        assert "energy_breakdown_j" in blob
+        assert blob["num_lines"] == 1024

@@ -1,0 +1,43 @@
+"""Named RNG streams: determinism and independence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+class TestStreams:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(7).get("drift").random(10)
+        b = RngStreams(7).get("drift").random(10)
+        assert (a == b).all()
+
+    def test_different_names_different_draws(self):
+        streams = RngStreams(7)
+        a = streams.get("drift").random(10)
+        b = streams.get("workload").random(10)
+        assert not (a == b).all()
+
+    def test_different_seeds_different_draws(self):
+        a = RngStreams(7).get("drift").random(10)
+        b = RngStreams(8).get("drift").random(10)
+        assert not (a == b).all()
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_spawn_is_deterministic_and_distinct(self):
+        parent = RngStreams(7)
+        child_a = parent.spawn("region0").get("engine").random(5)
+        child_b = RngStreams(7).spawn("region0").get("engine").random(5)
+        other = parent.spawn("region1").get("engine").random(5)
+        assert (child_a == child_b).all()
+        assert not (child_a == other).all()
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            RngStreams(-1)
+        with pytest.raises(ValueError):
+            RngStreams(2**63)

@@ -1,0 +1,104 @@
+"""Analysis helpers: tables, statistics, sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis.stats import mean_confidence_interval, poisson_interval, summarize
+from repro.analysis.sweeps import sweep_intervals, sweep_policies
+from repro.analysis.tables import format_series, format_table
+from repro.core import basic_scrub, strong_ecc_scrub
+from repro.sim.config import SimulationConfig
+
+SMALL = SimulationConfig(
+    num_lines=256, region_size=64, horizon=units.DAY, endurance=None
+)
+
+
+class TestTables:
+    def test_basic_table(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[1.23456e-7], [123456.0], [0.0]])
+        assert "1.235e-07" in text
+        assert "1.235e+05" in text
+
+    def test_series(self):
+        text = format_series("t", [1, 2], {"a": [0.1, 0.2], "b": [3, 4]})
+        header = text.splitlines()[0].split()
+        assert header == ["t", "a", "b"]
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("t", [1, 2], {"a": [1]})
+
+
+class TestStatistics:
+    def test_summarize_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.half_width == 0.0
+
+    def test_summarize_interval_contains_truth(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 1.0, 40)
+        mean, low, high = mean_confidence_interval(values)
+        assert low < 10.0 < high
+        assert mean == pytest.approx(10.0, abs=0.6)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_poisson_interval_zero(self):
+        low, high = poisson_interval(0)
+        assert low == 0.0
+        assert 3.0 < high < 4.0  # the "rule of three"-ish bound
+
+    def test_poisson_interval_contains_count(self):
+        low, high = poisson_interval(100)
+        assert low < 100 < high
+        assert high - low < 50
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_interval(-1)
+
+
+class TestSweeps:
+    def test_interval_sweep_shapes(self):
+        results = sweep_intervals(
+            basic_scrub, [units.HOUR, 2 * units.HOUR], SMALL
+        )
+        assert len(results) == 2
+        assert results[0].stats.visits > results[1].stats.visits
+
+    def test_policy_sweep(self):
+        results = sweep_policies(
+            [basic_scrub(units.HOUR), strong_ecc_scrub(units.HOUR, 4)], SMALL
+        )
+        assert [r.policy_name for r in results] == ["basic(secded)", "strong(bch4)"]
+        assert results[1].uncorrectable <= results[0].uncorrectable
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_intervals(basic_scrub, [], SMALL)
+        with pytest.raises(ValueError):
+            sweep_policies([], SMALL)

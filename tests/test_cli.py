@@ -1,0 +1,86 @@
+"""Command-line interface smoke and content tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--lines", "512", "--horizon-days", "1"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.seed == 2012
+        assert args.workload == "idle"
+
+
+class TestCommands:
+    def test_drift_curve(self, capsys):
+        assert main(["drift-curve", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "L0" in out and "L3" in out
+        assert out.count("\n") >= 7
+
+    def test_compare(self, capsys):
+        assert main([*FAST, "compare", "--interval", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "basic(secded)" in out
+        assert "combined" in out
+
+    def test_compare_with_workload(self, capsys):
+        assert (
+            main([*FAST, "compare", "--workload", "zipf", "--write-rate", "50"]) == 0
+        )
+        assert "Mechanism comparison" in capsys.readouterr().out
+
+    def test_headline(self, capsys):
+        assert main([*FAST, "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "96.5%" in out  # the paper targets are printed alongside
+        assert "24.4x" in out
+        assert "37.8%" in out
+
+    def test_sweep(self, capsys):
+        assert (
+            main([*FAST, "sweep", "--policy", "threshold", "--intervals", "3600", "7200"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1h" in out and "2h" in out
+
+    def test_provision(self, capsys):
+        assert main(["provision", "--budget", "1e-4", "--strengths", "1", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "bch1" in out and "bch8" in out
+        assert "affordable interval" in out
+
+    def test_lifetime(self, capsys):
+        assert main(["lifetime", "--demand-writes-per-hour", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "years to wear-out" in out
+        assert "bch8 theta=6" in out
+
+    def test_compare_compensated(self, capsys):
+        assert main([*FAST, "compare", "--compensated"]) == 0
+        assert "Mechanism comparison" in capsys.readouterr().out
+
+    def test_export_csv(self, capsys, tmp_path):
+        out = tmp_path / "runs.csv"
+        assert main([*FAST, "export", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("policy,")
+        assert "combined" in text
+        assert "wrote 5 runs" in capsys.readouterr().out
+
+    def test_seed_changes_output(self, capsys):
+        main([*FAST, "compare"])
+        first = capsys.readouterr().out
+        main([*FAST, "--seed", "77", "compare"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,42 @@
+"""Run the library's inline doctests.
+
+Public-API docstrings carry usage examples; this keeps them honest.
+Modules whose examples are stochastic or expensive are exercised by their
+own test files instead.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+DOCTESTED_MODULES = [
+    "repro.units",
+    "repro.params",
+    "repro.pcm.levels",
+    "repro.pcm.drift",
+    "repro.pcm.mlc",
+    "repro.pcm.thermal",
+    "repro.ecc.crc",
+    "repro.ecc.schemes",
+    "repro.ecc.hamming",
+    "repro.core.basic",
+    "repro.core.strong",
+    "repro.core.light",
+    "repro.core.combined",
+    "repro.core.scheduler",
+    "repro.analysis.tables",
+    "repro.analysis.plots",
+    "repro.analysis.export",
+    "repro.analysis.stats",
+    "repro.sim.lifetime",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTESTED_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,71 @@
+"""Result export formats."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import units
+from repro.analysis.export import (
+    RESULT_COLUMNS,
+    results_to_csv,
+    results_to_jsonl,
+    write_results,
+)
+from repro.core import basic_scrub
+from repro.sim import SimulationConfig, run_experiment
+
+CONFIG = SimulationConfig(
+    num_lines=256, region_size=64, horizon=units.DAY, endurance=None
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_experiment(basic_scrub(units.HOUR), CONFIG),
+        run_experiment(basic_scrub(2 * units.HOUR), CONFIG),
+    ]
+
+
+class TestCsv:
+    def test_header_and_rows(self, results):
+        text = results_to_csv(results)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert set(rows[0]) == set(RESULT_COLUMNS)
+        assert rows[0]["policy"] == "basic(secded)"
+        assert float(rows[0]["scrub_energy_j"]) > 0
+
+    def test_empty_is_just_header(self):
+        text = results_to_csv([])
+        assert len(text.strip().splitlines()) == 1
+
+
+class TestJsonl:
+    def test_roundtrips(self, results):
+        lines = results_to_jsonl(results).splitlines()
+        assert len(lines) == 2
+        blob = json.loads(lines[0])
+        assert blob["policy"] == "basic(secded)"
+        assert "energy_breakdown_j" in blob
+        assert "final_state" in blob
+
+
+class TestWrite:
+    def test_csv_file(self, results, tmp_path):
+        path = tmp_path / "runs.csv"
+        write_results(path, results)
+        assert path.read_text().startswith("policy,")
+
+    def test_jsonl_file(self, results, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        write_results(path, results)
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_unknown_suffix(self, results, tmp_path):
+        with pytest.raises(ValueError):
+            write_results(tmp_path / "runs.parquet", results)

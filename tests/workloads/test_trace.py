@@ -1,0 +1,81 @@
+"""Access traces: ordering, serialization, and Poisson realization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generators import uniform_rates, zipf_rates
+from repro.workloads.trace import AccessTrace, Op, Request, trace_from_rates
+
+
+class TestTraceContainer:
+    def test_sorts_requests(self):
+        trace = AccessTrace(
+            [Request(2.0, Op.READ, 1), Request(1.0, Op.WRITE, 0)], num_lines=4
+        )
+        assert [r.time for r in trace] == [1.0, 2.0]
+        assert trace.duration == 2.0
+        assert trace.num_writes == 1
+        assert trace.num_reads == 1
+
+    def test_line_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            AccessTrace([Request(0.0, Op.READ, 10)], num_lines=4)
+        with pytest.raises(ValueError):
+            Request(-1.0, Op.READ, 0)
+
+    def test_empty_trace(self):
+        trace = AccessTrace([], num_lines=8)
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self, rng):
+        rates = uniform_rates(32, total_write_rate=100.0)
+        trace = trace_from_rates(rates, duration=1.0, rng=rng)
+        parsed = AccessTrace.from_csv(trace.to_csv(), num_lines=32)
+        assert len(parsed) == len(trace)
+        for a, b in zip(trace, parsed):
+            assert a == b
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace.from_csv("x,y,z\n", num_lines=4)
+
+
+class TestPoissonRealization:
+    def test_request_volume_matches_rates(self):
+        rng = np.random.default_rng(11)
+        rates = uniform_rates(256, total_write_rate=500.0, read_write_ratio=1.0)
+        trace = trace_from_rates(rates, duration=4.0, rng=rng)
+        # Expect ~2000 writes and ~2000 reads; Poisson noise ~ +-3*45.
+        assert trace.num_writes == pytest.approx(2000, abs=150)
+        assert trace.num_reads == pytest.approx(2000, abs=150)
+
+    def test_skew_realized(self):
+        rng = np.random.default_rng(12)
+        rates = zipf_rates(100, total_write_rate=2000.0, alpha=1.5)
+        trace = trace_from_rates(rates, duration=1.0, rng=rng)
+        writes_to_line0 = sum(
+            1 for r in trace if r.line == 0 and r.op is Op.WRITE
+        )
+        assert writes_to_line0 > 0.3 * trace.num_writes
+
+    def test_times_ordered_and_bounded(self, rng):
+        rates = uniform_rates(64, 100.0)
+        trace = trace_from_rates(rates, duration=2.0, rng=rng)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+        assert all(0 <= t <= 2.0 for t in times)
+
+    def test_runaway_trace_guard(self, rng):
+        rates = uniform_rates(10, total_write_rate=1e9)
+        with pytest.raises(ValueError, match="max_requests"):
+            trace_from_rates(rates, duration=10.0, rng=rng)
+
+    def test_invalid_duration(self, rng):
+        rates = uniform_rates(10, 1.0)
+        with pytest.raises(ValueError):
+            trace_from_rates(rates, duration=0.0, rng=rng)
