@@ -10,41 +10,44 @@ dominance of strong codes is starkest exactly where budgets are tightest.
 
 from __future__ import annotations
 
+import time
+
 from repro import units
+from repro.analysis.sweeps import provision_grid
 from repro.analysis.tables import format_table
-from repro.core.budgeted import reliability_at_budget
-from repro.params import CellSpec
-from repro.sim.analytic import AnalyticModel, CrossingDistribution
 
 LINES_PER_BANK = 1 << 22  # 256 MiB bank
 BUDGETS = [1e-3, 1e-4, 3e-5, 1e-5]
 STRENGTHS = [1, 2, 4, 8]
 
 
-def compute() -> list[list[object]]:
-    model = AnalyticModel(CrossingDistribution(CellSpec()), 256)
+def compute(jobs: int = 1) -> list[list[object]]:
     rows = []
-    for budget in BUDGETS:
-        for strength in STRENGTHS:
-            try:
-                interval, failure = reliability_at_budget(
-                    model, LINES_PER_BANK, budget, strength
-                )
-                rows.append(
-                    [
-                        f"{budget:.0e}",
-                        f"bch{strength}",
-                        units.format_seconds(interval),
-                        f"{failure:.3e}",
-                    ]
-                )
-            except ValueError:
-                rows.append([f"{budget:.0e}", f"bch{strength}", "infeasible", "-"])
+    for budget, strength, interval, failure in provision_grid(
+        BUDGETS, STRENGTHS, LINES_PER_BANK, jobs=jobs
+    ):
+        if interval is None:
+            rows.append([f"{budget:.0e}", f"bch{strength}", "infeasible", "-"])
+        else:
+            rows.append(
+                [
+                    f"{budget:.0e}",
+                    f"bch{strength}",
+                    units.format_seconds(interval),
+                    f"{failure:.3e}",
+                ]
+            )
     return rows
 
 
-def test_a05_budget_provisioning(benchmark, emit):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_a05_budget_provisioning(benchmark, emit, bench_jobs, bench_summary):
+    started = time.perf_counter()
+    rows = benchmark.pedantic(compute, args=(bench_jobs,), rounds=1, iterations=1)
+    bench_summary["a05_budget_provisioning"] = {
+        "runs": len(rows),
+        "jobs": bench_jobs,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
     emit(
         "a05_budget_provisioning",
         format_table(

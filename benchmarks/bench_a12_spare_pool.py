@@ -5,23 +5,22 @@ provision under accelerated wear shows the three regimes: generous pools
 absorb every wear-terminal line (UEs stay drift-only), thin pools exhaust
 mid-deployment (UE inflection as broken lines stay in service), and zero
 provision turns the first wear-outs directly into recurring UEs.
+
+Runs through the public ``run_experiment`` entry point (the
+``spares_per_region`` config field builds the pool) and fans the
+provision sweep across the process pool.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import time
+from dataclasses import replace
 
 from repro import units
 from repro.analysis.tables import format_table
-from repro.core import threshold_scrub
-from repro.core.stats import ScrubStats
-from repro.mem.sparing import SparePool
-from repro.params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
-from repro.pcm.endurance import EnduranceModel
-from repro.pcm.energy import OperationCosts
-from repro.sim.analytic import CrossingDistribution
-from repro.sim.population import LinePopulation, PopulationEngine
-from repro.sim.rng import RngStreams
+from repro.params import EnduranceSpec
+from repro.sim import RunSpec, SimulationConfig, run_many
+from repro.sim.parallel import timing_summary
 from repro.workloads.generators import uniform_rates
 
 NUM_LINES = 4096
@@ -34,51 +33,50 @@ HORIZON = 21 * units.DAY
 ENDURANCE = EnduranceSpec(mean_writes=1500, sigma_log10=0.25)
 PROVISIONS = [0, 2, 8, 512]
 
-
-def run(spares_per_region: int):
-    distribution = CrossingDistribution(CellSpec())
-    population = LinePopulation(
-        num_lines=NUM_LINES,
-        cells_per_line=256,
-        distribution=distribution,
-        rng=np.random.default_rng(13),
-        endurance=EnduranceModel(ENDURANCE),
-    )
-    costs = OperationCosts.for_line(EnergySpec(), LineSpec(), 40, 4)
-    stats = ScrubStats(costs=costs)
-    pool = SparePool(num_regions=REGIONS, spares_per_region=spares_per_region)
-    PopulationEngine(
-        population=population,
-        policy=threshold_scrub(units.HOUR, 4, threshold=1),
-        stats=stats,
-        streams=RngStreams(14),
-        horizon=HORIZON,
-        region_size=REGION_SIZE,
-        rates=uniform_rates(NUM_LINES, NUM_LINES / (2 * units.HOUR)),
-        retire_hard_limit=4,
-        spare_pool=pool,
-    ).simulate()
-    return stats, pool.report()
+CONFIG = SimulationConfig(
+    num_lines=NUM_LINES,
+    region_size=REGION_SIZE,
+    horizon=HORIZON,
+    seed=14,
+    endurance=ENDURANCE,
+    retire_hard_limit=4,
+)
 
 
-def compute() -> list[list[object]]:
+def compute(jobs: int = 1) -> tuple[list[list[object]], list]:
+    rates = uniform_rates(NUM_LINES, NUM_LINES / (2 * units.HOUR))
+    specs = [
+        RunSpec(
+            "threshold",
+            replace(CONFIG, spares_per_region=provision),
+            {"interval": units.HOUR, "strength": 4, "threshold": 1},
+            rates,
+        )
+        for provision in PROVISIONS
+    ]
+    results = run_many(specs, jobs=jobs)
     rows = []
-    for provision in PROVISIONS:
-        stats, report = run(provision)
+    for provision, result in zip(PROVISIONS, results):
         rows.append(
             [
                 provision,
                 f"{provision / REGION_SIZE:.1%}",
-                stats.retired,
-                report.exhausted_regions,
-                stats.uncorrectable,
+                result.stats.retired,
+                int(result.final_state["spare_exhausted_regions"]),
+                result.uncorrectable,
             ]
         )
-    return rows
+    return rows, results
 
 
-def test_a12_spare_pool(benchmark, emit):
-    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_a12_spare_pool(benchmark, emit, bench_jobs, bench_summary):
+    started = time.perf_counter()
+    rows, results = benchmark.pedantic(
+        compute, args=(bench_jobs,), rounds=1, iterations=1
+    )
+    bench_summary["a12_spare_pool"] = timing_summary(
+        results, time.perf_counter() - started, bench_jobs
+    )
     emit(
         "a12_spare_pool",
         format_table(

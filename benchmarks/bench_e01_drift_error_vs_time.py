@@ -16,23 +16,29 @@ from repro import units
 from repro.analysis.tables import format_series
 from repro.params import CellSpec
 from repro.pcm.drift import DriftModel
+from repro.sim.parallel import parallel_map
 
 POINTS = 13
 
 
-def compute_series() -> tuple[list[str], dict[str, list[float]]]:
+def _level_curve(level: int) -> list[float]:
     model = DriftModel(CellSpec())
     times = np.logspace(0, 7.5, POINTS)  # 1 s .. ~1 yr
+    return [model.error_probability(level, t) for t in times]
+
+
+def compute_series(jobs: int = 1) -> tuple[list[str], dict[str, list[float]]]:
+    times = np.logspace(0, 7.5, POINTS)
     labels = [units.format_seconds(t) for t in times]
-    series = {
-        f"P(err) L{level}": [model.error_probability(level, t) for t in times]
-        for level in range(4)
-    }
+    curves = parallel_map(_level_curve, range(4), jobs=jobs)
+    series = {f"P(err) L{level}": curve for level, curve in enumerate(curves)}
     return labels, series
 
 
-def test_e01_drift_error_vs_time(benchmark, emit):
-    labels, series = benchmark.pedantic(compute_series, rounds=1, iterations=1)
+def test_e01_drift_error_vs_time(benchmark, emit, bench_jobs):
+    labels, series = benchmark.pedantic(
+        compute_series, args=(bench_jobs,), rounds=1, iterations=1
+    )
     emit(
         "e01_drift_error_vs_time",
         format_series(

@@ -10,12 +10,14 @@ over the drift mixture).
 
 from __future__ import annotations
 
-import numpy as np
+import time
 
 from repro import units
 from repro.analysis.tables import format_series, format_table
 from repro.params import CellSpec
-from repro.sim.analytic import AnalyticModel, CrossingDistribution
+from repro.sim.analytic import AnalyticModel
+from repro.sim.parallel import parallel_map
+from repro.sim.runner import cached_crossing_distribution
 
 INTERVALS = [
     units.MINUTE,
@@ -31,21 +33,36 @@ STRENGTHS = [1, 2, 4, 8]
 TARGET = 1e-9
 
 
-def compute() -> tuple[dict[str, list[float]], list[list[object]]]:
-    model = AnalyticModel(CrossingDistribution(CellSpec()), cells_per_line=256)
-    series = {
-        f"t={t}": [model.line_failure_probability(T, t) for T in INTERVALS]
-        for t in STRENGTHS
-    }
+def _strength_task(strength: int) -> tuple[int, list[float], float]:
+    spec = CellSpec()
+    model = AnalyticModel(
+        cached_crossing_distribution(spec, spec.reference_temperature_k),
+        cells_per_line=256,
+    )
+    failures = [model.line_failure_probability(T, strength) for T in INTERVALS]
+    return strength, failures, model.required_interval(strength, TARGET)
+
+
+def compute(jobs: int = 1) -> tuple[dict[str, list[float]], list[list[object]]]:
+    per_strength = parallel_map(_strength_task, STRENGTHS, jobs=jobs)
+    series = {f"t={t}": failures for t, failures, _ in per_strength}
     required = [
-        [f"t={t}", units.format_seconds(model.required_interval(t, TARGET))]
-        for t in STRENGTHS
+        [f"t={t}", units.format_seconds(interval)]
+        for t, _, interval in per_strength
     ]
     return series, required
 
 
-def test_e04_ue_vs_interval(benchmark, emit):
-    series, required = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_e04_ue_vs_interval(benchmark, emit, bench_jobs, bench_summary):
+    started = time.perf_counter()
+    series, required = benchmark.pedantic(
+        compute, args=(bench_jobs,), rounds=1, iterations=1
+    )
+    bench_summary["e04_ue_vs_interval"] = {
+        "runs": len(STRENGTHS),
+        "jobs": bench_jobs,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
     figure = format_series(
         "interval",
         [units.format_seconds(T) for T in INTERVALS],

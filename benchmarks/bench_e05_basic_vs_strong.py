@@ -8,10 +8,12 @@ does nothing for write volume (that takes the threshold mechanism, E6).
 
 from __future__ import annotations
 
+import time
+
 from repro import units
 from repro.analysis.tables import format_series
-from repro.core import basic_scrub, strong_ecc_scrub
-from repro.sim import SimulationConfig, run_experiment
+from repro.sim import RunSpec, SimulationConfig, run_many
+from repro.sim.parallel import timing_summary
 
 CONFIG = SimulationConfig(
     num_lines=8192, region_size=1024, horizon=14 * units.DAY, endurance=None
@@ -19,22 +21,32 @@ CONFIG = SimulationConfig(
 INTERVALS = [0.5 * units.HOUR, units.HOUR, 2 * units.HOUR, 4 * units.HOUR]
 
 
-def compute() -> dict[str, list[float]]:
+def compute(jobs: int = 1) -> tuple[dict[str, list[float]], list]:
+    specs = []
+    for interval in INTERVALS:
+        specs.append(RunSpec("basic", CONFIG, {"interval": interval}))
+        specs.append(RunSpec("strong", CONFIG, {"interval": interval, "strength": 4}))
+    results = run_many(specs, jobs=jobs)
     out: dict[str, list[float]] = {
         "basic UE": [], "bch4 UE": [], "basic writes": [], "bch4 writes": [],
     }
-    for interval in INTERVALS:
-        base = run_experiment(basic_scrub(interval), CONFIG)
-        strong = run_experiment(strong_ecc_scrub(interval, 4), CONFIG)
+    for i in range(len(INTERVALS)):
+        base, strong = results[2 * i], results[2 * i + 1]
         out["basic UE"].append(base.uncorrectable)
         out["bch4 UE"].append(strong.uncorrectable)
         out["basic writes"].append(base.scrub_writes)
         out["bch4 writes"].append(strong.scrub_writes)
-    return out
+    return out, results
 
 
-def test_e05_basic_vs_strong(benchmark, emit):
-    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_e05_basic_vs_strong(benchmark, emit, bench_jobs, bench_summary):
+    started = time.perf_counter()
+    series, results = benchmark.pedantic(
+        compute, args=(bench_jobs,), rounds=1, iterations=1
+    )
+    bench_summary["e05_basic_vs_strong"] = timing_summary(
+        results, time.perf_counter() - started, bench_jobs
+    )
     emit(
         "e05_basic_vs_strong",
         format_series(

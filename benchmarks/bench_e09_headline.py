@@ -16,12 +16,14 @@ direction and rough magnitude.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import units
 from repro.analysis.tables import format_table
-from repro.core import basic_scrub, combined_scrub
-from repro.sim import SimulationConfig, run_experiment
+from repro.sim import RunSpec, SimulationConfig, run_many
+from repro.sim.parallel import timing_summary
 from repro.workloads.generators import zipf_rates
 
 CONFIG = SimulationConfig(
@@ -41,15 +43,24 @@ def workload():
     )
 
 
-def compute():
+def compute(jobs: int = 1):
     rates = workload()
-    base = run_experiment(basic_scrub(INTERVAL), CONFIG, rates)
-    ours = run_experiment(combined_scrub(INTERVAL), CONFIG, rates)
+    specs = [
+        RunSpec("basic", CONFIG, {"interval": INTERVAL}, rates),
+        RunSpec("combined", CONFIG, {"interval": INTERVAL}, rates),
+    ]
+    base, ours = run_many(specs, jobs=jobs)
     return base, ours
 
 
-def test_e09_headline(benchmark, emit):
-    base, ours = benchmark.pedantic(compute, rounds=1, iterations=1)
+def test_e09_headline(benchmark, emit, bench_jobs, bench_summary):
+    started = time.perf_counter()
+    base, ours = benchmark.pedantic(
+        compute, args=(bench_jobs,), rounds=1, iterations=1
+    )
+    bench_summary["e09_headline"] = timing_summary(
+        [base, ours], time.perf_counter() - started, bench_jobs
+    )
     ue_reduction = ours.ue_reduction_vs(base)
     write_factor = ours.write_factor_vs(base)
     energy_reduction = ours.energy_reduction_vs(base)

@@ -9,16 +9,20 @@ banks - fewer visits, fewer reads, equal-or-better UE.
 
 from __future__ import annotations
 
+import time
+
 from repro import units
 from repro.analysis.tables import format_table
-from repro.core import combined_scrub, threshold_scrub
-from repro.sim import SimulationConfig, run_experiment
+from repro.sim import RunSpec, SimulationConfig, run_many
+from repro.sim.parallel import timing_summary
 from repro.workloads.generators import hotspot_rates
 
 CONFIG = SimulationConfig(
     num_lines=8192, region_size=512, horizon=14 * units.DAY, endurance=None
 )
 INTERVAL = units.HOUR
+
+STATIC_KWARGS = {"interval": INTERVAL, "strength": 8, "threshold": 6}
 
 
 def workload():
@@ -30,22 +34,26 @@ def workload():
     )
 
 
-def compute():
+def compute(jobs: int = 1):
     rates = workload()
-    static = run_experiment(
-        threshold_scrub(INTERVAL, strength=8, threshold=6), CONFIG, rates
-    )
-    adaptive = run_experiment(combined_scrub(INTERVAL), CONFIG, rates)
-    idle_static = run_experiment(
-        threshold_scrub(INTERVAL, strength=8, threshold=6), CONFIG
-    )
-    idle_adaptive = run_experiment(combined_scrub(INTERVAL), CONFIG)
-    return static, adaptive, idle_static, idle_adaptive
+    specs = [
+        RunSpec("threshold", CONFIG, STATIC_KWARGS, rates),
+        RunSpec("combined", CONFIG, {"interval": INTERVAL}, rates),
+        RunSpec("threshold", CONFIG, STATIC_KWARGS),
+        RunSpec("combined", CONFIG, {"interval": INTERVAL}),
+    ]
+    return tuple(run_many(specs, jobs=jobs))
 
 
-def test_e14_adaptive_interval(benchmark, emit):
+def test_e14_adaptive_interval(benchmark, emit, bench_jobs, bench_summary):
+    started = time.perf_counter()
     static, adaptive, idle_static, idle_adaptive = benchmark.pedantic(
-        compute, rounds=1, iterations=1
+        compute, args=(bench_jobs,), rounds=1, iterations=1
+    )
+    bench_summary["e14_adaptive_interval"] = timing_summary(
+        [static, adaptive, idle_static, idle_adaptive],
+        time.perf_counter() - started,
+        bench_jobs,
     )
 
     def row(label, result):

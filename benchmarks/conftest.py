@@ -11,13 +11,25 @@ Every experiment (E1..E14 in DESIGN.md) is a pytest-benchmark test that
 Benchmark scale is chosen so the full suite finishes in a few minutes;
 every experiment accepts larger populations/horizons by editing one
 module-level constant.
+
+Parallel execution: heavyweight experiments fan their independent runs
+across a process pool (``repro.sim.parallel``).  The worker count comes
+from the ``bench_jobs`` fixture (``REPRO_BENCH_JOBS`` overrides the
+CPU-aware default).  The session writes ``benchmarks/out/bench_summary.json``
+mapping experiment id -> wall time / runs / jobs / speedup, plus the
+distribution-cache hit counters, to seed the repo's perf trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
 
 import pytest
+
+from repro.sim.parallel import default_jobs
+from repro.sim.runner import DISTRIBUTION_CACHE_COUNTERS
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -38,3 +50,28 @@ def emit(artifact_dir, capsys):
             print(f"\n{text}\n")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker processes for parallel-capable experiments."""
+    override = os.environ.get("REPRO_BENCH_JOBS")
+    if override:
+        return max(1, int(override))
+    return default_jobs()
+
+
+@pytest.fixture(scope="session")
+def bench_summary(artifact_dir):
+    """Session-wide timing registry, persisted as ``bench_summary.json``.
+
+    Tests record ``bench_summary["<experiment>"] = {...}`` (typically via
+    :func:`repro.sim.parallel.timing_summary`); the session finalizer adds
+    the distribution-cache counters and writes the file.
+    """
+    summary: dict[str, object] = {}
+    yield summary
+    summary["_distribution_cache"] = dict(DISTRIBUTION_CACHE_COUNTERS)
+    (artifact_dir / "bench_summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )

@@ -11,7 +11,7 @@ Poisson confidence intervals) the reported numbers carry.
 from __future__ import annotations
 
 from .stats import mean_confidence_interval, poisson_interval, summarize
-from .sweeps import sweep_intervals, sweep_policies
+from .sweeps import provision_grid, sweep_intervals, sweep_policies
 from .tables import format_series, format_table
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "mean_confidence_interval",
     "poisson_interval",
     "summarize",
+    "provision_grid",
     "sweep_intervals",
     "sweep_policies",
 ]

@@ -30,19 +30,12 @@ from .core import (
     strong_ecc_scrub,
     threshold_scrub,
 )
+from .analysis.sweeps import provision_grid, sweep_policies
 from .params import CellSpec
 from .pcm.drift import DriftModel
-from .sim import SimulationConfig, run_experiment
+from .sim import RunSpec, SimulationConfig, default_jobs, run_experiment, run_many
+from .sim.parallel import POLICY_FACTORIES, parallel_map
 from .workloads import uniform_rates, zipf_rates
-
-POLICY_FACTORIES = {
-    "basic": lambda interval, strength: basic_scrub(interval),
-    "strong": strong_ecc_scrub,
-    "light": light_scrub,
-    "threshold": lambda interval, strength: threshold_scrub(interval, strength),
-    "adaptive": lambda interval, strength: adaptive_scrub(interval, strength),
-    "combined": lambda interval, strength: combined_scrub(interval, strength),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--temperature", type=float, default=300.0, help="kelvin"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for sweeps (default: CPU-count aware)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -125,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _jobs(args: argparse.Namespace) -> int:
+    if args.jobs is None:
+        return default_jobs()
+    return max(1, args.jobs)
+
+
 def _config(args: argparse.Namespace) -> SimulationConfig:
     region = 512 if args.lines % 512 == 0 else args.lines
     return SimulationConfig(
@@ -177,8 +180,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         combined_scrub(args.interval),
     ]
     rows = []
-    for policy in policies:
-        result = run_experiment(policy, config, rates)
+    for result in sweep_policies(policies, config, rates, jobs=_jobs(args)):
         rows.append(
             [
                 result.policy_name,
@@ -203,8 +205,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_headline(args: argparse.Namespace) -> int:
     config = _config(args)
-    base = run_experiment(basic_scrub(args.interval), config)
-    ours = run_experiment(combined_scrub(args.interval), config)
+    base, ours = sweep_policies(
+        [basic_scrub(args.interval), combined_scrub(args.interval)],
+        config,
+        jobs=_jobs(args),
+    )
     rows = [
         ["uncorrectable errors", base.uncorrectable, ours.uncorrectable,
          f"{ours.ue_reduction_vs(base):.1%} reduction (paper: 96.5%)"],
@@ -226,10 +231,16 @@ def cmd_headline(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = _config(args)
-    factory = POLICY_FACTORIES[args.policy]
-    rows = []
+    specs = []
     for interval in args.intervals:
-        result = run_experiment(factory(interval, args.strength), config)
+        kwargs = {"interval": interval}
+        if args.policy != "basic":
+            kwargs["strength"] = args.strength
+        specs.append(RunSpec(policy=args.policy, config=config, policy_kwargs=kwargs))
+    rows = []
+    for interval, result in zip(
+        args.intervals, run_many(specs, jobs=_jobs(args))
+    ):
         rows.append(
             [
                 units.format_seconds(interval),
@@ -249,25 +260,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_provision(args: argparse.Namespace) -> int:
-    from .core.budgeted import reliability_at_budget
-    from .sim.analytic import AnalyticModel, CrossingDistribution
-
-    model = AnalyticModel(
-        CrossingDistribution(CellSpec(), temperature_k=args.temperature), 256
+    grid = provision_grid(
+        args.budget,
+        args.strengths,
+        args.lines_per_bank,
+        temperature_k=args.temperature,
+        jobs=_jobs(args),
     )
     rows = []
-    for budget in args.budget:
-        for strength in args.strengths:
-            try:
-                interval, failure = reliability_at_budget(
-                    model, args.lines_per_bank, budget, strength
-                )
-                rows.append(
-                    [f"{budget:.0e}", f"bch{strength}",
-                     units.format_seconds(interval), f"{failure:.3e}"]
-                )
-            except ValueError:
-                rows.append([f"{budget:.0e}", f"bch{strength}", "infeasible", "-"])
+    for budget, strength, interval, failure in grid:
+        if interval is None:
+            rows.append([f"{budget:.0e}", f"bch{strength}", "infeasible", "-"])
+        else:
+            rows.append(
+                [f"{budget:.0e}", f"bch{strength}",
+                 units.format_seconds(interval), f"{failure:.3e}"]
+            )
     print(
         format_table(
             ["bank budget", "code", "affordable interval", "P(UE per visit)"],
@@ -281,29 +289,48 @@ def cmd_provision(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_lifetime(args: argparse.Namespace) -> int:
-    from .sim.analytic import CrossingDistribution
+def _lifetime_task(
+    task: tuple[float, int, int, float, float, float],
+) -> tuple[int, int, float, float, float]:
+    from .params import EnduranceSpec
     from .sim.lifetime import project_lifetime
     from .sim.renewal import RenewalModel
-    from .params import EnduranceSpec
+    from .sim.runner import cached_crossing_distribution
 
+    interval, strength, theta, endurance_mean, demand, temperature = task
     renewal = RenewalModel(
-        CrossingDistribution(CellSpec(), temperature_k=args.temperature), 256
+        cached_crossing_distribution(CellSpec(), temperature), 256
     )
-    endurance = EnduranceSpec(mean_writes=args.endurance)
+    report = project_lifetime(
+        renewal, interval, strength, theta,
+        EnduranceSpec(mean_writes=endurance_mean),
+        demand_write_rate=demand,
+    )
+    return (
+        strength,
+        theta,
+        report.scrub_write_rate,
+        report.soft_ue_rate,
+        report.years_to_wearout,
+    )
+
+
+def cmd_lifetime(args: argparse.Namespace) -> int:
     demand = args.demand_writes_per_hour / units.HOUR
+    tasks = [
+        (args.interval, strength, theta, args.endurance, demand, args.temperature)
+        for strength, theta in [(4, 1), (4, 3), (8, 1), (8, 6)]
+    ]
     rows = []
-    for strength, theta in [(4, 1), (4, 3), (8, 1), (8, 6)]:
-        report = project_lifetime(
-            renewal, args.interval, strength, theta, endurance,
-            demand_write_rate=demand,
-        )
+    for strength, theta, write_rate, ue_rate, years in parallel_map(
+        _lifetime_task, tasks, jobs=_jobs(args)
+    ):
         rows.append(
             [
                 f"bch{strength} theta={theta}",
-                f"{report.scrub_write_rate:.2e}",
-                f"{report.soft_ue_rate:.2e}",
-                f"{report.years_to_wearout:.0f}",
+                f"{write_rate:.2e}",
+                f"{ue_rate:.2e}",
+                f"{years:.0f}",
             ]
         )
     print(

@@ -81,6 +81,44 @@ def _bch_check_bits(t: int, data_bits: int = LINE_DATA_BITS) -> int:
     return BchCode(data_bits, t).check_bits
 
 
+# Codec factories are module-level dataclasses rather than closures so
+# that schemes — and the policies that embed them — pickle cleanly for
+# the process-pool sweep path (repro.sim.parallel).
+
+
+@dataclass(frozen=True)
+class _BchCodecFactory:
+    data_bits: int
+    t: int
+
+    def __call__(self, data_bits: int | None = None) -> BchCode:
+        return BchCode(self.data_bits if data_bits is None else data_bits, self.t)
+
+
+@dataclass(frozen=True)
+class _SecdedCodecFactory:
+    data_bits: int
+
+    def __call__(self, data_bits: int | None = None) -> InterleavedSecded:
+        return InterleavedSecded(self.data_bits if data_bits is None else data_bits)
+
+
+@dataclass(frozen=True)
+class _RsCodecFactory:
+    data_bits: int
+    t: int
+    symbol_bits: int
+
+    def __call__(self, data_bits: int | None = None):
+        from .rs import RsBitCodec
+
+        return RsBitCodec(
+            self.data_bits if data_bits is None else data_bits,
+            self.t,
+            self.symbol_bits,
+        )
+
+
 def scheme_for_strength(
     t: int,
     with_detector: bool = False,
@@ -99,7 +137,7 @@ def scheme_for_strength(
         t=t,
         check_bits=_bch_check_bits(t, data_bits),
         detector_bits=DETECTOR_BITS if with_detector else 0,
-        make_codec=lambda bits=data_bits, t=t: BchCode(bits, t),
+        make_codec=_BchCodecFactory(data_bits, t),
     )
 
 
@@ -112,7 +150,7 @@ def secded_scheme(with_detector: bool = False, data_bits: int = LINE_DATA_BITS) 
         t=1,
         check_bits=8 * words,
         detector_bits=DETECTOR_BITS if with_detector else 0,
-        make_codec=lambda bits=data_bits: InterleavedSecded(bits),
+        make_codec=_SecdedCodecFactory(data_bits),
     )
 
 
@@ -129,8 +167,6 @@ def rs_scheme(
     corrections absorb at least ``t`` cell errors (more when errors
     cluster within symbols - the bit-exact engine captures that upside).
     """
-    from .rs import RsBitCodec
-
     if t <= 0:
         raise ValueError("t must be positive")
     name = f"rs{t}" + ("+crc" if with_detector else "")
@@ -139,7 +175,7 @@ def rs_scheme(
         t=t,
         check_bits=2 * t * symbol_bits,
         detector_bits=DETECTOR_BITS if with_detector else 0,
-        make_codec=lambda bits=data_bits, t=t, m=symbol_bits: RsBitCodec(bits, t, m),
+        make_codec=_RsCodecFactory(data_bits, t, symbol_bits),
     )
 
 

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from .analytic import AnalyticModel, CrossingDistribution
 from .config import SimulationConfig
+from .parallel import RunSpec, default_jobs, parallel_map, run_many
 from .population import LinePopulation, PopulationEngine
 from .results import RunResult
 from .rng import RngStreams
-from .runner import run_experiment
+from .runner import clear_distribution_cache, run_experiment
 
 __all__ = [
     "AnalyticModel",
@@ -32,6 +33,11 @@ __all__ = [
     "PopulationEngine",
     "RngStreams",
     "RunResult",
+    "RunSpec",
     "SimulationConfig",
+    "clear_distribution_cache",
+    "default_jobs",
+    "parallel_map",
     "run_experiment",
+    "run_many",
 ]

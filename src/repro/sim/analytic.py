@@ -13,13 +13,21 @@ Two consumers:
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
+import tempfile
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
 from ..params import CellSpec
 from ..pcm.drift import DriftModel
+
+#: Bumped whenever the tabulation layout or semantics change; stale disk
+#: cache entries from older formats are silently ignored.
+TABULATION_FORMAT = 1
 
 
 class CrossingDistribution:
@@ -59,6 +67,7 @@ class CrossingDistribution:
         t_max: float = 1e12,
         points: int = 768,
         model=None,
+        _tabulation: tuple[np.ndarray, np.ndarray] | None = None,
     ):
         if t_min <= 0 or t_max <= t_min:
             raise ValueError("need 0 < t_min < t_max")
@@ -70,13 +79,25 @@ class CrossingDistribution:
         else:
             self.spec = spec if spec is not None else CellSpec()
             self.drift = DriftModel(self.spec, temperature_k=temperature_k)
-        self.grid = np.logspace(math.log10(t_min), math.log10(t_max), points)
+        self.t_min = float(t_min)
+        self.t_max = float(t_max)
+        self.points = int(points)
         levels = self.spec.num_levels
-        per_level = np.zeros((levels, points))
-        for level in range(levels):
-            per_level[level] = [
-                self.drift.error_probability(level, t) for t in self.grid
-            ]
+        if _tabulation is not None:
+            # Precomputed grid (e.g. loaded from the disk cache); trusted to
+            # match this model - callers must key the arrays correctly.
+            grid, per_level = _tabulation
+            if grid.shape != (points,) or per_level.shape != (levels, points):
+                raise ValueError("tabulation arrays do not match grid params")
+            self.grid = np.ascontiguousarray(grid, dtype=np.float64)
+            per_level = np.ascontiguousarray(per_level, dtype=np.float64)
+        else:
+            self.grid = np.logspace(math.log10(t_min), math.log10(t_max), points)
+            per_level = np.zeros((levels, points))
+            for level in range(levels):
+                per_level[level] = [
+                    self.drift.error_probability(level, t) for t in self.grid
+                ]
         #: Per-level CDFs on the grid (row = level).
         self.per_level_cdf = per_level
         #: Mixture CDF for a uniformly random symbol.
@@ -126,11 +147,14 @@ class CrossingDistribution:
     ) -> np.ndarray:
         """Draw the ``keep`` smallest crossing times for each of many lines.
 
-        Uses the sequential uniform order-statistics recurrence
+        Uses the uniform order-statistics recurrence
         ``u_(i+1) = u_(i) + (1 - u_(i)) * (1 - V^(1/(C-i)))`` with
-        ``V ~ U(0,1)``, then maps through the inverse CDF.  Cost is
-        O(num_lines * keep) regardless of ``cells_per_line`` - the trick
-        that makes year-scale population simulation cheap.
+        ``V ~ U(0,1)``, i.e. ``1 - u_(i)`` is the running product of
+        ``V_j^(1/(C-j))``, then maps through the inverse CDF.  All
+        ``num_lines * keep`` uniforms are drawn in one generator call and
+        the recurrence collapses to a row-wise cumulative product, so the
+        cost is one vectorized pass regardless of ``cells_per_line`` - the
+        trick that makes year-scale population simulation cheap.
 
         Returns an array of shape ``(num_lines, keep)``, ascending along
         axis 1, with ``inf`` past the line's last crossing.
@@ -139,15 +163,125 @@ class CrossingDistribution:
             raise ValueError("keep must be positive")
         if keep > cells_per_line:
             raise ValueError("cannot keep more order statistics than cells")
-        u = np.zeros((num_lines, keep))
-        prev = np.zeros(num_lines)
-        for i in range(keep):
-            v = rng.random(num_lines)
-            # min of (C - i) remaining uniforms on (prev, 1).
-            step = 1.0 - np.power(v, 1.0 / (cells_per_line - i))
-            prev = prev + (1.0 - prev) * step
-            u[:, i] = prev
+        v = rng.random((num_lines, keep))
+        # 1 - u_(i) = prod_{j <= i} V_j^(1/(C-j)): min of C-j remaining
+        # uniforms on (u_(j-1), 1), telescoped into one cumulative product.
+        exponents = 1.0 / (cells_per_line - np.arange(keep))
+        u = 1.0 - np.cumprod(np.power(v, exponents), axis=1)
         return self.quantile(u)
+
+
+# -- persistent tabulation cache ------------------------------------------------
+
+
+def tabulation_cache_key(
+    spec: CellSpec,
+    temperature_k: float | None,
+    compensated: bool = False,
+    t_min: float = 1e-2,
+    t_max: float = 1e12,
+    points: int = 768,
+) -> str:
+    """Content hash identifying one tabulated crossing distribution.
+
+    Everything the tabulated arrays depend on goes into the hash: the full
+    cell specification (dataclass repr covers every field), the operating
+    temperature, whether a drift-compensated reference model was used, and
+    the log-grid parameters.  Two configurations with equal keys have
+    bit-identical tabulations.
+    """
+    if temperature_k is None:
+        temperature_k = spec.reference_temperature_k
+    payload = "|".join(
+        [
+            f"v{TABULATION_FORMAT}",
+            repr(spec),
+            repr(float(temperature_k)),
+            repr(bool(compensated)),
+            repr((float(t_min), float(t_max), int(points))),
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def tabulation_cache_dir() -> Path | None:
+    """Directory for persisted tabulations, or ``None`` when disabled.
+
+    ``REPRO_CACHE_DIR`` overrides the default ``~/.cache/repro``;
+    ``REPRO_NO_DISK_CACHE`` (any non-empty value) disables persistence.
+    """
+    if os.environ.get("REPRO_NO_DISK_CACHE"):
+        return None
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def tabulation_cache_path(key: str, directory: Path) -> Path:
+    return directory / f"crossing-{key}.npz"
+
+
+def save_tabulation(
+    distribution: CrossingDistribution, key: str, directory: Path
+) -> Path | None:
+    """Persist a tabulated grid under ``key``; best-effort, atomic.
+
+    Concurrent writers (parallel sweep workers racing on a cold cache) are
+    safe: each writes a private temp file and renames it into place.
+    Returns the cache path, or ``None`` when the write failed (read-only
+    cache dirs are tolerated, not fatal).
+    """
+    path = tabulation_cache_path(key, directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    key=np.array(key),
+                    grid=distribution.grid,
+                    per_level_cdf=distribution.per_level_cdf,
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    return path
+
+
+def load_tabulation(
+    key: str, num_levels: int, points: int, directory: Path
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Load the tabulated ``(grid, per_level_cdf)`` for ``key``.
+
+    Returns ``None`` on any miss: absent file, corrupted archive, key
+    mismatch (hash collision on the truncated filename, or a stale format),
+    or array shapes that do not match the requested grid.  Never raises -
+    a bad cache entry must degrade to re-tabulation, not failure.
+    """
+    path = tabulation_cache_path(key, directory)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if str(data["key"]) != key:
+                return None
+            grid = np.asarray(data["grid"], dtype=np.float64)
+            per_level = np.asarray(data["per_level_cdf"], dtype=np.float64)
+    except Exception:
+        return None
+    if grid.shape != (points,) or per_level.shape != (num_levels, points):
+        return None
+    if not (np.isfinite(grid).all() and np.isfinite(per_level).all()):
+        return None
+    return grid, per_level
 
 
 class AnalyticModel:

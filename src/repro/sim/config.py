@@ -55,6 +55,10 @@ class SimulationConfig:
     #: Order statistics kept per line; must exceed the strongest ECC t
     #: by a comfortable margin.
     keep: int = 24
+    #: Spare lines provisioned per scrub region (``None`` disables the
+    #: spare pool).  Retired lines draw replacements from their region's
+    #: pool; see :class:`repro.mem.sparing.SparePool`.
+    spares_per_region: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_lines <= 0:
@@ -67,6 +71,8 @@ class SimulationConfig:
             raise ValueError("temperature_k must be positive kelvin")
         if self.keep <= 8:
             raise ValueError("keep must exceed the strongest ECC strength")
+        if self.spares_per_region is not None and self.spares_per_region < 0:
+            raise ValueError("spares_per_region must be non-negative")
         if self.compensated_sensing and self.thermal_profile is not None:
             raise ValueError(
                 "compensated sensing and thermal profiles do not compose; "

@@ -7,27 +7,103 @@ engine, runs to the horizon, and returns a :class:`RunResult`.
 
 Crossing distributions are memoized per (cell spec, temperature) because
 tabulating the analytic CDF costs a few hundred milliseconds and sweeps
-reuse it across dozens of runs.
+reuse it across dozens of runs.  The memo is two-level: a small in-process
+LRU in front of a persistent on-disk cache (``~/.cache/repro``, overridable
+via ``REPRO_CACHE_DIR``, disabled by ``REPRO_NO_DISK_CACHE``), so parallel
+sweep workers and repeated CLI invocations pay the tabulation once per
+configuration instead of once per process.
 """
 
 from __future__ import annotations
 
 import time as _time
+from collections import OrderedDict
 
 import numpy as np
 
 from ..core.policy import ScrubPolicy
 from ..core.stats import ScrubStats
+from ..mem.sparing import SparePool
+from ..params import CellSpec
 from ..pcm.endurance import EnduranceModel
 from ..pcm.energy import OperationCosts
 from ..workloads.generators import DemandRates
-from .analytic import CrossingDistribution
+from .analytic import (
+    CrossingDistribution,
+    load_tabulation,
+    save_tabulation,
+    tabulation_cache_dir,
+    tabulation_cache_key,
+)
 from .config import SimulationConfig
 from .population import LinePopulation, PopulationEngine
 from .results import RunResult
 from .rng import RngStreams
 
-_DISTRIBUTION_CACHE: dict[tuple, CrossingDistribution] = {}
+#: In-process memo, LRU-bounded: sweeps over many cell specs/temperatures
+#: must not accumulate tabulations without bound.
+_DISTRIBUTION_CACHE: OrderedDict[str, CrossingDistribution] = OrderedDict()
+_DISTRIBUTION_CACHE_MAX = 8
+
+#: Where each distribution request was satisfied (process-lifetime tally):
+#: ``memory`` (LRU hit), ``disk`` (loaded a persisted tabulation), or
+#: ``tabulated`` (computed from scratch).  Exposed for perf observability.
+DISTRIBUTION_CACHE_COUNTERS = {"memory": 0, "disk": 0, "tabulated": 0}
+
+
+def clear_distribution_cache() -> None:
+    """Drop the in-process distribution memo and reset its counters.
+
+    The on-disk cache is untouched; tests wanting full cold starts should
+    also point ``REPRO_CACHE_DIR`` at a fresh directory or set
+    ``REPRO_NO_DISK_CACHE``.
+    """
+    _DISTRIBUTION_CACHE.clear()
+    for name in DISTRIBUTION_CACHE_COUNTERS:
+        DISTRIBUTION_CACHE_COUNTERS[name] = 0
+
+
+def cached_crossing_distribution(
+    spec: CellSpec,
+    temperature_k: float,
+    compensated: bool = False,
+) -> CrossingDistribution:
+    """Crossing distribution via the memory -> disk -> tabulate cache chain."""
+    key = tabulation_cache_key(spec, temperature_k, compensated)
+    cached = _DISTRIBUTION_CACHE.get(key)
+    if cached is not None:
+        DISTRIBUTION_CACHE_COUNTERS["memory"] += 1
+        _DISTRIBUTION_CACHE.move_to_end(key)
+        return cached
+
+    cache_dir = tabulation_cache_dir()
+    tabulation = None
+    if cache_dir is not None:
+        tabulation = load_tabulation(key, spec.num_levels, 768, cache_dir)
+
+    if compensated:
+        from ..pcm.reference import CompensatedSensing
+
+        distribution = CrossingDistribution(
+            model=CompensatedSensing(spec, temperature_k=temperature_k),
+            _tabulation=tabulation,
+        )
+    else:
+        distribution = CrossingDistribution(
+            spec, temperature_k=temperature_k, _tabulation=tabulation
+        )
+
+    if tabulation is not None:
+        DISTRIBUTION_CACHE_COUNTERS["disk"] += 1
+    else:
+        DISTRIBUTION_CACHE_COUNTERS["tabulated"] += 1
+        if cache_dir is not None:
+            save_tabulation(distribution, key, cache_dir)
+
+    _DISTRIBUTION_CACHE[key] = distribution
+    while len(_DISTRIBUTION_CACHE) > _DISTRIBUTION_CACHE_MAX:
+        _DISTRIBUTION_CACHE.popitem(last=False)
+    return distribution
 
 
 def crossing_distribution_for(config: SimulationConfig) -> CrossingDistribution:
@@ -41,21 +117,9 @@ def crossing_distribution_for(config: SimulationConfig) -> CrossingDistribution:
         temperature = config.thermal_profile.reference_temperature_k
     else:
         temperature = config.temperature_k
-    key = (config.cell_spec, temperature, config.compensated_sensing)
-    if key not in _DISTRIBUTION_CACHE:
-        if config.compensated_sensing:
-            from ..pcm.reference import CompensatedSensing
-
-            _DISTRIBUTION_CACHE[key] = CrossingDistribution(
-                model=CompensatedSensing(
-                    config.cell_spec, temperature_k=temperature
-                )
-            )
-        else:
-            _DISTRIBUTION_CACHE[key] = CrossingDistribution(
-                config.cell_spec, temperature_k=temperature
-            )
-    return _DISTRIBUTION_CACHE[key]
+    return cached_crossing_distribution(
+        config.cell_spec, temperature, config.compensated_sensing
+    )
 
 
 def build_population(
@@ -109,6 +173,12 @@ def run_experiment(
     streams = RngStreams(config.seed)
     population = build_population(config, streams)
     stats = build_stats(policy, config)
+    spare_pool = None
+    if config.spares_per_region is not None:
+        spare_pool = SparePool(
+            num_regions=config.num_lines // config.region_size,
+            spares_per_region=config.spares_per_region,
+        )
     engine = PopulationEngine(
         population=population,
         policy=policy,
@@ -119,6 +189,7 @@ def run_experiment(
         region_size=config.region_size,
         retire_hard_limit=config.retire_hard_limit,
         read_refresh=config.read_refresh,
+        spare_pool=spare_pool,
     )
     started = _time.perf_counter()
     engine.simulate()
@@ -129,6 +200,11 @@ def run_experiment(
         "hard_mismatch_cells": float(population.hard_mismatch.sum()),
         "mean_writes_per_line": float(population.writes.mean()),
     }
+    if spare_pool is not None:
+        report = spare_pool.report()
+        final_state["spares_used"] = float(report.total_used)
+        final_state["spare_refusals"] = float(report.refused)
+        final_state["spare_exhausted_regions"] = float(report.exhausted_regions)
     return RunResult(
         policy_name=policy.name,
         workload_name=engine.rates.name,

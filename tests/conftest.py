@@ -7,6 +7,33 @@ import pytest
 
 from repro.params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
 from repro.sim.rng import RngStreams
+from repro.sim.runner import clear_distribution_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the tabulation disk cache at a per-session scratch directory.
+
+    Tests must neither read a developer's warm ``~/.cache/repro`` (it
+    could mask tabulation bugs) nor pollute it.
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(autouse=True)
+def _fresh_distribution_cache():
+    """Keep the in-process distribution memo from leaking across tests."""
+    clear_distribution_cache()
+    yield
 
 
 @pytest.fixture

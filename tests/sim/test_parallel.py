@@ -1,0 +1,213 @@
+"""Determinism and cache suite for the parallel execution layer.
+
+The contract under test: ``run_many`` is bit-identical to serial execution
+for any ``jobs`` (randomness derives from each spec's config seed, never
+worker identity), and the persistent tabulation cache round-trips exactly
+while degrading gracefully on corrupted or stale entries.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import basic_scrub
+from repro.params import CellSpec
+from repro.sim import RunSpec, SimulationConfig, run_experiment, run_many
+from repro.sim.analytic import (
+    CrossingDistribution,
+    load_tabulation,
+    save_tabulation,
+    tabulation_cache_key,
+    tabulation_cache_path,
+)
+from repro.sim.parallel import parallel_map
+from repro.sim.runner import (
+    DISTRIBUTION_CACHE_COUNTERS,
+    cached_crossing_distribution,
+    clear_distribution_cache,
+    crossing_distribution_for,
+)
+from repro.analysis.sweeps import sweep_intervals
+
+SMALL = SimulationConfig(
+    num_lines=256, region_size=64, horizon=2 * units.DAY, endurance=None
+)
+INTERVALS = [0.5 * units.HOUR, units.HOUR, 2 * units.HOUR, 4 * units.HOUR]
+
+
+def _specs() -> list[RunSpec]:
+    return [
+        RunSpec("basic", SMALL, {"interval": interval}) for interval in INTERVALS
+    ]
+
+
+def _fingerprint(result):
+    return (
+        result.uncorrectable,
+        result.scrub_writes,
+        result.scrub_energy,
+        result.stats.visits,
+        tuple(sorted(result.final_state.items())),
+    )
+
+
+class TestRunManyDeterminism:
+    def test_jobs4_bit_identical_to_serial(self):
+        specs = _specs()
+        sequential = [spec.run() for spec in specs]
+        serial = run_many(specs, jobs=1)
+        parallel = run_many(specs, jobs=4)
+        for seq, one, four in zip(sequential, serial, parallel):
+            assert _fingerprint(seq) == _fingerprint(one) == _fingerprint(four)
+
+    def test_matches_plain_run_experiment(self):
+        spec = _specs()[0]
+        direct = run_experiment(basic_scrub(INTERVALS[0]), SMALL)
+        (via_many,) = run_many([spec], jobs=4)
+        assert _fingerprint(direct) == _fingerprint(via_many)
+
+    def test_order_preserved(self):
+        results = run_many(_specs(), jobs=2)
+        # Shorter intervals scrub more often: visits strictly ordered.
+        visits = [result.stats.visits for result in results]
+        assert visits == sorted(visits, reverse=True)
+
+    def test_empty_and_single(self):
+        assert run_many([], jobs=4) == []
+        (only,) = run_many(_specs()[:1], jobs=4)
+        assert only.policy_name == "basic(secded)"
+
+    def test_specs_pickle(self):
+        for spec in _specs():
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy factory"):
+            RunSpec("nonsense", SMALL, {"interval": units.HOUR})
+
+    def test_worker_failure_surfaces_spec(self):
+        bad = RunSpec("basic", SMALL, {"interval": units.HOUR, "bogus": 1})
+        with pytest.raises(RuntimeError, match="bogus"):
+            run_many([_specs()[0], bad], jobs=2)
+
+
+class TestSweepParity:
+    def test_named_factory_matches_callable(self):
+        by_name = sweep_intervals("basic", INTERVALS[:2], SMALL, jobs=2)
+        by_callable = sweep_intervals(basic_scrub, INTERVALS[:2], SMALL, jobs=1)
+        for a, b in zip(by_name, by_callable):
+            assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestParallelMap:
+    def test_inline_fallback_and_order(self):
+        assert parallel_map(abs, [-3, 1, -2], jobs=1) == [3, 1, 2]
+
+    def test_pool_preserves_order(self):
+        assert parallel_map(abs, [-3, 1, -2, -9], jobs=2) == [3, 1, 2, 9]
+
+
+class TestDiskCache:
+    def test_round_trip_exact(self, _isolated_disk_cache):
+        fresh = crossing_distribution_for(SMALL)
+        clear_distribution_cache()
+        reloaded = crossing_distribution_for(SMALL)
+        assert DISTRIBUTION_CACHE_COUNTERS["disk"] == 1
+        assert np.array_equal(fresh.grid, reloaded.grid)
+        assert np.array_equal(fresh.per_level_cdf, reloaded.per_level_cdf)
+        assert np.array_equal(fresh.cdf_values, reloaded.cdf_values)
+        times = np.logspace(-1, 11, 64)
+        assert np.array_equal(fresh.cdf(times), reloaded.cdf(times))
+        u = np.linspace(0.0, 1.0, 129)
+        assert np.array_equal(fresh.quantile(u), reloaded.quantile(u))
+
+    def test_corrupted_file_ignored(self, _isolated_disk_cache):
+        spec = CellSpec()
+        key = tabulation_cache_key(spec, 300.0)
+        path = tabulation_cache_path(key, _isolated_disk_cache)
+        path.write_bytes(b"not an npz archive")
+        assert load_tabulation(key, spec.num_levels, 768, _isolated_disk_cache) is None
+        # The full chain re-tabulates instead of failing.
+        cached_crossing_distribution(spec, 300.0)
+        assert DISTRIBUTION_CACHE_COUNTERS["tabulated"] == 1
+
+    def test_stale_key_ignored(self, _isolated_disk_cache):
+        spec = CellSpec()
+        distribution = CrossingDistribution(spec, temperature_k=300.0)
+        key = tabulation_cache_key(spec, 300.0)
+        other = tabulation_cache_key(spec, 310.0)
+        # A file whose embedded key disagrees with its name (stale format
+        # or collision) must be treated as a miss.
+        saved = save_tabulation(distribution, key, _isolated_disk_cache)
+        assert saved is not None
+        saved.rename(tabulation_cache_path(other, _isolated_disk_cache))
+        assert load_tabulation(other, spec.num_levels, 768, _isolated_disk_cache) is None
+
+    def test_shape_mismatch_ignored(self, _isolated_disk_cache):
+        spec = CellSpec()
+        distribution = CrossingDistribution(spec, temperature_k=300.0)
+        key = tabulation_cache_key(spec, 300.0)
+        save_tabulation(distribution, key, _isolated_disk_cache)
+        assert load_tabulation(key, spec.num_levels, 512, _isolated_disk_cache) is None
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        crossing_distribution_for(SMALL)
+        clear_distribution_cache()
+        crossing_distribution_for(SMALL)
+        assert DISTRIBUTION_CACHE_COUNTERS["disk"] == 0
+        assert DISTRIBUTION_CACHE_COUNTERS["tabulated"] == 1
+
+
+class TestMemoryCache:
+    def test_lru_bounded(self, monkeypatch):
+        import repro.sim.runner as runner
+
+        monkeypatch.setattr(runner, "_DISTRIBUTION_CACHE_MAX", 2)
+        spec = CellSpec()
+        for temperature in (300.0, 305.0, 310.0):
+            cached_crossing_distribution(spec, temperature)
+        assert len(runner._DISTRIBUTION_CACHE) == 2
+
+    def test_memory_hit_counted(self):
+        first = crossing_distribution_for(SMALL)
+        second = crossing_distribution_for(SMALL)
+        assert first is second
+        assert DISTRIBUTION_CACHE_COUNTERS["memory"] == 1
+
+    def test_clear_resets(self):
+        crossing_distribution_for(SMALL)
+        clear_distribution_cache()
+        assert DISTRIBUTION_CACHE_COUNTERS == {
+            "memory": 0,
+            "disk": 0,
+            "tabulated": 0,
+        }
+
+
+class TestSparesPlumbing:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="spares_per_region"):
+            SimulationConfig(num_lines=256, region_size=64, spares_per_region=-1)
+
+    def test_final_state_reports_pool(self):
+        config = SimulationConfig(
+            num_lines=256,
+            region_size=64,
+            horizon=units.DAY,
+            retire_hard_limit=2,
+            spares_per_region=2,
+        )
+        result = run_experiment(basic_scrub(units.HOUR), config)
+        assert "spares_used" in result.final_state
+        assert "spare_refusals" in result.final_state
+        assert "spare_exhausted_regions" in result.final_state
+
+    def test_no_pool_when_unset(self):
+        result = run_experiment(basic_scrub(units.HOUR), SMALL)
+        assert "spares_used" not in result.final_state
