@@ -10,6 +10,8 @@ Carlo.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro import units
@@ -35,10 +37,17 @@ def compute_series(jobs: int = 1) -> tuple[list[str], dict[str, list[float]]]:
     return labels, series
 
 
-def test_e01_drift_error_vs_time(benchmark, emit, bench_jobs):
-    labels, series = benchmark.pedantic(
-        compute_series, args=(bench_jobs,), rounds=1, iterations=1
-    )
+def test_e01_drift_error_vs_time(benchmark, emit, bench_jobs, bench_summary, bench_profiler):
+    started = time.perf_counter()
+    with bench_profiler.span("e01.curves"):
+        labels, series = benchmark.pedantic(
+            compute_series, args=(bench_jobs,), rounds=1, iterations=1
+        )
+    bench_summary["e01_drift_error_vs_time"] = {
+        "points": POINTS,
+        "jobs": bench_jobs,
+        "wall_seconds": round(time.perf_counter() - started, 4),
+    }
     emit(
         "e01_drift_error_vs_time",
         format_series(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro import units
 from repro.analysis.tables import format_table
+from repro.obs import NULL_PROFILER
 from repro.sim import RunSpec, SimulationConfig, run_many
 from repro.sim.parallel import timing_summary
 from repro.workloads.generators import zipf_rates
@@ -43,20 +44,22 @@ def workload():
     )
 
 
-def compute(jobs: int = 1):
-    rates = workload()
+def compute(jobs: int = 1, profiler=NULL_PROFILER):
+    with profiler.span("e09.workload"):
+        rates = workload()
     specs = [
         RunSpec("basic", CONFIG, {"interval": INTERVAL}, rates),
         RunSpec("combined", CONFIG, {"interval": INTERVAL}, rates),
     ]
-    base, ours = run_many(specs, jobs=jobs)
+    with profiler.span("e09.run_many"):
+        base, ours = run_many(specs, jobs=jobs)
     return base, ours
 
 
-def test_e09_headline(benchmark, emit, bench_jobs, bench_summary):
+def test_e09_headline(benchmark, emit, bench_jobs, bench_summary, bench_profiler):
     started = time.perf_counter()
     base, ours = benchmark.pedantic(
-        compute, args=(bench_jobs,), rounds=1, iterations=1
+        compute, args=(bench_jobs, bench_profiler), rounds=1, iterations=1
     )
     bench_summary["e09_headline"] = timing_summary(
         [base, ours], time.perf_counter() - started, bench_jobs

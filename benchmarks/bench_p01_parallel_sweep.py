@@ -17,6 +17,7 @@ import time
 
 from repro import units
 from repro.analysis.sweeps import sweep_intervals
+from repro.obs import NULL_PROFILER
 from repro.sim import SimulationConfig, clear_distribution_cache
 from repro.sim.analytic import CrossingDistribution, tabulation_cache_dir
 from repro.sim.runner import DISTRIBUTION_CACHE_COUNTERS, crossing_distribution_for
@@ -28,20 +29,22 @@ INTERVALS = [0.5 * units.HOUR, units.HOUR, 2 * units.HOUR, 4 * units.HOUR]
 JOBS = 4
 
 
-def compute():
+def compute(profiler=NULL_PROFILER):
     serial_started = time.perf_counter()
-    serial = sweep_intervals("basic", INTERVALS, CONFIG, jobs=1)
+    with profiler.span("p01.serial_sweep"):
+        serial = sweep_intervals("basic", INTERVALS, CONFIG, jobs=1)
     serial_wall = time.perf_counter() - serial_started
 
     parallel_started = time.perf_counter()
-    parallel = sweep_intervals("basic", INTERVALS, CONFIG, jobs=JOBS)
+    with profiler.span("p01.parallel_sweep"):
+        parallel = sweep_intervals("basic", INTERVALS, CONFIG, jobs=JOBS)
     parallel_wall = time.perf_counter() - parallel_started
     return serial, parallel, serial_wall, parallel_wall
 
 
-def test_p01_parallel_sweep(benchmark, emit, bench_summary):
+def test_p01_parallel_sweep(benchmark, emit, bench_summary, bench_profiler):
     serial, parallel, serial_wall, parallel_wall = benchmark.pedantic(
-        compute, rounds=1, iterations=1
+        compute, args=(bench_profiler,), rounds=1, iterations=1
     )
 
     # Bit-identical ScrubStats between serial and parallel execution.
@@ -54,13 +57,15 @@ def test_p01_parallel_sweep(benchmark, emit, bench_summary):
 
     # Disk-cache reload: a fresh tabulation vs loading the persisted grid.
     tabulate_started = time.perf_counter()
-    CrossingDistribution(CONFIG.cell_spec, temperature_k=CONFIG.temperature_k)
+    with bench_profiler.span("p01.tabulate"):
+        CrossingDistribution(CONFIG.cell_spec, temperature_k=CONFIG.temperature_k)
     tabulate_seconds = time.perf_counter() - tabulate_started
 
     crossing_distribution_for(CONFIG)  # ensure the disk entry exists
     clear_distribution_cache()
     reload_started = time.perf_counter()
-    crossing_distribution_for(CONFIG)
+    with bench_profiler.span("p01.disk_reload"):
+        crossing_distribution_for(CONFIG)
     reload_seconds = time.perf_counter() - reload_started
 
     disk_enabled = tabulation_cache_dir() is not None

@@ -17,7 +17,9 @@ across a process pool (``repro.sim.parallel``).  The worker count comes
 from the ``bench_jobs`` fixture (``REPRO_BENCH_JOBS`` overrides the
 CPU-aware default).  The session writes ``benchmarks/out/bench_summary.json``
 mapping experiment id -> wall time / runs / jobs / speedup, plus the
-distribution-cache hit counters, to seed the repo's perf trajectory.
+distribution-cache hit counters and the session's per-phase wall-time
+profile (the ``bench_profiler`` fixture, ``repro.obs``), to seed the
+repo's perf trajectory.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import Profiler
 from repro.sim.parallel import default_jobs
 from repro.sim.runner import DISTRIBUTION_CACHE_COUNTERS
 
@@ -62,16 +65,33 @@ def bench_jobs() -> int:
 
 
 @pytest.fixture(scope="session")
-def bench_summary(artifact_dir):
+def bench_profiler() -> Profiler:
+    """Session-wide wall-time profiler for per-phase bench timings.
+
+    Experiments wrap their stages in ``with bench_profiler.span("<id>.<phase>")``;
+    the accumulated report lands in ``bench_summary.json`` under ``_profile``.
+    """
+    return Profiler()
+
+
+@pytest.fixture(scope="session")
+def bench_summary(artifact_dir, bench_profiler):
     """Session-wide timing registry, persisted as ``bench_summary.json``.
 
     Tests record ``bench_summary["<experiment>"] = {...}`` (typically via
     :func:`repro.sim.parallel.timing_summary`); the session finalizer adds
-    the distribution-cache counters and writes the file.
+    the distribution-cache counters and the per-phase profile and writes
+    the file.
     """
     summary: dict[str, object] = {}
     yield summary
     summary["_distribution_cache"] = dict(DISTRIBUTION_CACHE_COUNTERS)
+    profile = bench_profiler.report()
+    if profile:
+        summary["_profile"] = {
+            name: {"calls": entry["calls"], "seconds": round(entry["seconds"], 4)}
+            for name, entry in profile.items()
+        }
     (artifact_dir / "bench_summary.json").write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"
     )

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro import units
 from repro.params import CellSpec
-from repro.pcm import Cell, DriftModel, LineArray
+from repro.pcm import Cell, LineArray
 from repro.pcm.variation import VariationSpec
 
 

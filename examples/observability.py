@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Observability walkthrough: trace, sample, and profile one simulation.
+
+Runs the paper's combined mechanism with all three `repro.obs` pillars
+enabled, then shows what each one collected:
+
+* the structured event trace (what happened, when, where),
+* the periodic time series (how the run's health evolved), whose final
+  sample matches the end-of-run ``ScrubStats`` aggregates exactly,
+* the per-phase wall-time profile (where the simulation spent its time).
+
+Telemetry is opt-in per run via ``ObsConfig`` and never perturbs results:
+an instrumented run is bit-identical to an uninstrumented one.
+
+    python examples/observability.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import units
+from repro.core import combined_scrub
+from repro.sim import ObsConfig, SimulationConfig, run_experiment
+
+
+def main() -> None:
+    horizon = 7 * units.DAY
+    config = SimulationConfig(
+        num_lines=4096,
+        region_size=512,
+        horizon=horizon,
+        endurance=None,
+        obs=ObsConfig(
+            trace=True,                     # record every structured event
+            sample_every=horizon / 16,      # 16 time-series samples
+            profile=True,                   # per-phase wall-time spans
+        ),
+    )
+
+    print("simulating the combined mechanism with full observability...")
+    result = run_experiment(combined_scrub(interval=units.HOUR), config)
+
+    # --- pillar 1: the event trace -------------------------------------
+    counts = Counter(event["event"] for event in result.trace)
+    print(f"\ntrace: {len(result.trace)} events")
+    for name, count in counts.most_common():
+        print(f"  {name:<18}{count:>8}")
+    first = result.trace[0]
+    print(f"  first event: {first['event']} at t={units.format_seconds(first['t'])}")
+
+    # --- pillar 2: the time series -------------------------------------
+    series = result.timeseries
+    print(f"\ntime series: {len(series.samples)} samples, every "
+          f"{units.format_seconds(horizon / 16)}")
+    print(f"  {'t':>8}  {'uncorrectable':>14}  {'stuck_cells':>12}  {'scrub_writes':>13}")
+    for sample in series.samples:
+        print(f"  {units.format_seconds(sample['t']):>8}  "
+              f"{sample['uncorrectable']:>14.0f}  "
+              f"{sample['stuck_cells']:>12.0f}  {sample['scrub_writes']:>13.0f}")
+
+    # The final sample IS the run's end-of-run aggregate - no drift
+    # between "what the sampler saw" and "what the run reports".
+    final = series.final
+    summary = result.stats.summary()
+    assert all(final[key] == value for key, value in summary.items())
+    print("  final sample == stats.summary(): verified")
+
+    # --- pillar 3: the profile -----------------------------------------
+    print("\nprofile (per-phase wall time):")
+    for name, entry in sorted(
+        result.profile.items(), key=lambda kv: -kv[1]["seconds"]
+    ):
+        print(f"  {name:<10}{entry['calls']:>8} calls  {entry['seconds']:>8.3f}s")
+
+    # --- the zero-overhead guarantee -----------------------------------
+    plain = run_experiment(
+        combined_scrub(interval=units.HOUR),
+        SimulationConfig(
+            num_lines=4096, region_size=512, horizon=horizon, endurance=None
+        ),
+    )
+    assert plain.stats.summary() == summary
+    assert plain.final_state == result.final_state
+    print("\nobs-off run is bit-identical to the instrumented run: verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,11 @@
 Benchmarks print human tables; sweeps that feed plotting pipelines or
 regression dashboards want machine-readable rows.  One row per
 :class:`~repro.sim.results.RunResult`, flat columns, stable ordering.
+
+Runs that collected telemetry (:mod:`repro.obs`) carry it through the
+JSONL export automatically (``to_dict`` adds ``timeseries``/``profile``
+keys when present); :func:`write_timeseries` exports a sweep's per-run
+time series plus their merged fleet view as one JSON document.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ import csv
 import io
 import json
 from collections.abc import Sequence
+from pathlib import Path
 
+from ..obs.sampler import merge_timeseries
 from ..sim.results import RunResult
 
 #: Flat columns exported for every run, in order.
@@ -59,10 +66,33 @@ def results_to_jsonl(results: Sequence[RunResult]) -> str:
     return "\n".join(json.dumps(result.to_dict()) for result in results)
 
 
+def write_timeseries(
+    path, labels: Sequence[str], results: Sequence[RunResult]
+) -> None:
+    """Write per-run labeled time series plus their merged sum as JSON.
+
+    Every result must have been run with sampling enabled
+    (``config.obs.sample_every``); the ``merged`` entry is the sample-wise
+    sum across runs (:func:`repro.obs.sampler.merge_timeseries`) - the
+    fleet view of a sweep.
+    """
+    if len(labels) != len(results):
+        raise ValueError("one label per result required")
+    missing = [label for label, r in zip(labels, results) if r.timeseries is None]
+    if missing:
+        raise ValueError(f"runs without time series: {missing}")
+    payload = {
+        "runs": [
+            {"label": str(label), **result.timeseries.to_dict()}
+            for label, result in zip(labels, results)
+        ],
+        "merged": merge_timeseries([r.timeseries for r in results]).to_dict(),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def write_results(path, results: Sequence[RunResult]) -> None:
     """Write results to ``path``; format chosen by suffix (.csv / .jsonl)."""
-    from pathlib import Path
-
     path = Path(path)
     if path.suffix == ".csv":
         payload = results_to_csv(results)

@@ -8,15 +8,19 @@ Subcommands::
     pcm-scrub compare --interval 3600     # all mechanisms head-to-head
     pcm-scrub headline                    # the abstract's three numbers
     pcm-scrub sweep --policy basic ...    # UE/writes/energy vs interval
+    pcm-scrub trace --policy combined ... # full-telemetry run -> trace.jsonl
 
 Every command prints a deterministic fixed-width table; ``--seed``,
 ``--lines``, ``--horizon`` control the Monte-Carlo configuration.
+``sweep`` and ``headline`` accept ``--timeseries``/``--profile`` to collect
+telemetry (see :mod:`repro.obs`) without changing any simulated result.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -31,11 +35,16 @@ from .core import (
     threshold_scrub,
 )
 from .analysis.sweeps import provision_grid, sweep_policies
+from .obs import ObsConfig, merge_profiles, write_trace
 from .params import CellSpec
 from .pcm.drift import DriftModel
 from .sim import RunSpec, SimulationConfig, default_jobs, run_experiment, run_many
 from .sim.parallel import POLICY_FACTORIES, parallel_map
 from .workloads import uniform_rates, zipf_rates
+
+#: Time-series samples taken over the horizon when ``--timeseries`` or the
+#: ``trace`` subcommand's default sampling is in effect.
+DEFAULT_SAMPLES = 64
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     headline = sub.add_parser("headline", help="combined vs basic, abstract style")
     headline.add_argument("--interval", type=float, default=units.HOUR)
+    _add_obs_flags(headline)
 
     sweep = sub.add_parser("sweep", help="one policy across intervals")
     sweep.add_argument("--policy", choices=sorted(POLICY_FACTORIES), default="basic")
@@ -83,6 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         nargs="+",
         default=[0.25 * units.HOUR, 0.5 * units.HOUR, units.HOUR, 2 * units.HOUR],
+    )
+    _add_obs_flags(sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with full telemetry and write the artifacts",
+    )
+    trace.add_argument(
+        "--policy", choices=sorted(POLICY_FACTORIES), default="combined"
+    )
+    trace.add_argument("--interval", type=float, default=units.HOUR)
+    trace.add_argument("--strength", type=int, default=4)
+    trace.add_argument(
+        "--workload", choices=["idle", "uniform", "zipf"], default="idle"
+    )
+    trace.add_argument("--write-rate", type=float, default=100.0)
+    trace.add_argument(
+        "--samples", type=int, default=DEFAULT_SAMPLES,
+        help="time-series samples over the horizon",
+    )
+    trace.add_argument(
+        "--out", default="obs-out",
+        help="output directory for trace.jsonl / timeseries.json",
     )
 
     provision = sub.add_parser(
@@ -122,22 +155,63 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeseries", metavar="PATH", default=None,
+        help="sample metrics over simulated time and write them as JSON",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect per-phase wall-time spans and print the profile",
+    )
+
+
 def _jobs(args: argparse.Namespace) -> int:
     if args.jobs is None:
         return default_jobs()
     return max(1, args.jobs)
 
 
+def _obs_config(args: argparse.Namespace, horizon: float) -> ObsConfig:
+    """Telemetry selection from CLI flags (everything off by default)."""
+    return ObsConfig(
+        trace=getattr(args, "trace", False),
+        sample_every=(
+            horizon / DEFAULT_SAMPLES
+            if getattr(args, "timeseries", None)
+            else None
+        ),
+        profile=getattr(args, "profile", False),
+    )
+
+
 def _config(args: argparse.Namespace) -> SimulationConfig:
     region = 512 if args.lines % 512 == 0 else args.lines
+    horizon = args.horizon_days * units.DAY
     return SimulationConfig(
         num_lines=args.lines,
         region_size=region,
-        horizon=args.horizon_days * units.DAY,
+        horizon=horizon,
         seed=args.seed,
         temperature_k=args.temperature,
         compensated_sensing=getattr(args, "compensated", False),
+        obs=_obs_config(args, horizon),
     )
+
+
+def _profile_table(profile: dict[str, dict[str, float]], title: str) -> str:
+    rows = [
+        [name, entry["calls"], f"{entry['seconds']:.3f}s"]
+        for name, entry in profile.items()
+    ]
+    return format_table(["phase", "calls", "wall time"], rows, title=title)
+
+
+def _write_timeseries(path: str, labels: list[str], results: list) -> None:
+    from .analysis.export import write_timeseries
+
+    write_timeseries(path, labels, results)
+    print(f"wrote time series for {len(results)} runs to {path}")
 
 
 def _workload(args: argparse.Namespace, num_lines: int):
@@ -203,6 +277,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reduction_cell(compute, paper: str) -> str:
+    """A '<x>% reduction' cell, or 'n/a' when the baseline count is zero.
+
+    Short horizons (or tiny populations) can leave the baseline with zero
+    uncorrectable errors or zero scrub energy; that makes the *ratio*
+    undefined, not the run invalid, so the table degrades gracefully.
+    """
+    try:
+        return f"{compute():.1%} reduction (paper: {paper})"
+    except ZeroDivisionError:
+        return f"n/a - baseline saw none (paper: {paper})"
+
+
 def cmd_headline(args: argparse.Namespace) -> int:
     config = _config(args)
     base, ours = sweep_policies(
@@ -212,12 +299,12 @@ def cmd_headline(args: argparse.Namespace) -> int:
     )
     rows = [
         ["uncorrectable errors", base.uncorrectable, ours.uncorrectable,
-         f"{ours.ue_reduction_vs(base):.1%} reduction (paper: 96.5%)"],
+         _reduction_cell(lambda: ours.ue_reduction_vs(base), "96.5%")],
         ["scrub writes", base.scrub_writes, ours.scrub_writes,
          f"{ours.write_factor_vs(base):.1f}x fewer (paper: 24.4x)"],
         ["scrub energy", units.format_energy(base.scrub_energy),
          units.format_energy(ours.scrub_energy),
-         f"{ours.energy_reduction_vs(base):.1%} reduction (paper: 37.8%)"],
+         _reduction_cell(lambda: ours.energy_reduction_vs(base), "37.8%")],
     ]
     print(
         format_table(
@@ -226,6 +313,15 @@ def cmd_headline(args: argparse.Namespace) -> int:
             title="Headline comparison (abstract of the paper)",
         )
     )
+    if args.timeseries:
+        _write_timeseries(args.timeseries, ["basic", "combined"], [base, ours])
+    if args.profile:
+        print(
+            _profile_table(
+                merge_profiles([base.profile, ours.profile]),
+                "Wall-time profile (both runs merged)",
+            )
+        )
     return 0
 
 
@@ -237,10 +333,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if args.policy != "basic":
             kwargs["strength"] = args.strength
         specs.append(RunSpec(policy=args.policy, config=config, policy_kwargs=kwargs))
+    results = run_many(specs, jobs=_jobs(args))
     rows = []
-    for interval, result in zip(
-        args.intervals, run_many(specs, jobs=_jobs(args))
-    ):
+    for interval, result in zip(args.intervals, results):
         rows.append(
             [
                 units.format_seconds(interval),
@@ -256,6 +351,75 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title=f"Interval sweep for {args.policy}",
         )
     )
+    if args.timeseries:
+        labels = [units.format_seconds(i) for i in args.intervals]
+        _write_timeseries(args.timeseries, labels, results)
+    if args.profile:
+        print(
+            _profile_table(
+                merge_profiles([r.profile for r in results]),
+                f"Wall-time profile ({len(results)} runs merged)",
+            )
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    horizon = args.horizon_days * units.DAY
+    config = SimulationConfig(
+        num_lines=args.lines,
+        region_size=512 if args.lines % 512 == 0 else args.lines,
+        horizon=horizon,
+        seed=args.seed,
+        temperature_k=args.temperature,
+        obs=ObsConfig(
+            trace=True, sample_every=horizon / args.samples, profile=True
+        ),
+    )
+    rates = _workload(args, config.num_lines)
+    kwargs: dict = {"interval": args.interval}
+    if args.policy != "basic":
+        kwargs["strength"] = args.strength
+    spec = RunSpec(
+        policy=args.policy, config=config, policy_kwargs=kwargs, rates=rates
+    )
+    result = spec.run()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    events = write_trace(result.trace, out / "trace.jsonl")
+    result.timeseries.write(out / "timeseries.json")
+
+    print(
+        format_table(
+            ["artifact", "contents"],
+            [
+                [str(out / "trace.jsonl"), f"{events} events"],
+                [str(out / "timeseries.json"),
+                 f"{len(result.timeseries)} samples"],
+            ],
+            title=(
+                f"Telemetry for {result.policy_name} @ "
+                f"{units.format_seconds(args.interval)}, "
+                f"{config.num_lines} lines, "
+                f"{units.format_seconds(config.horizon)}"
+            ),
+        )
+    )
+    final = result.timeseries.final
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["uncorrectable", int(final["uncorrectable"])],
+                ["scrub writes", int(final["scrub_writes"])],
+                ["scrub energy", units.format_energy(final["scrub_energy_j"])],
+                ["stuck cells", int(final["stuck_cells"])],
+            ],
+            title="Final time-series sample (== end-of-run aggregates)",
+        )
+    )
+    print(_profile_table(result.profile, "Wall-time profile"))
     return 0
 
 
@@ -370,6 +534,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "headline": cmd_headline,
     "sweep": cmd_sweep,
+    "trace": cmd_trace,
     "provision": cmd_provision,
     "lifetime": cmd_lifetime,
     "export": cmd_export,

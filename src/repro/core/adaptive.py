@@ -148,10 +148,22 @@ class AdaptiveScrubPolicy(ScrubPolicy):
         worst = int(observed.max()) if observed.size else 0
         if worst >= self.panic_level or bool(uncorrectable.any()):
             next_interval = self.controller.panic(region)
+            action = "panic"
         elif worst <= self.relax_level:
             next_interval = self.controller.relax(region)
+            action = "relax"
         else:
             next_interval = self.controller.hold(region)
+            action = None
+        if action is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "interval_adapted",
+                time,
+                region=region,
+                action=action,
+                interval=float(next_interval),
+                worst=worst,
+            )
 
         return VisitDecision(
             decoded=decoded,

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ecc.schemes import EccScheme
+from ..obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,10 @@ class ScrubPolicy(ABC):
             raise ValueError("scrub interval must be positive")
         self.scheme = scheme
         self.interval = interval
+        #: Event sink for policy-level decisions (``interval_adapted``).
+        #: The engine rebinds this to the run's tracer at construction;
+        #: outside an engine it stays the no-op tracer.
+        self.tracer: Tracer = NULL_TRACER
 
     @property
     def name(self) -> str:

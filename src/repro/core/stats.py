@@ -40,8 +40,9 @@ class ScrubStats:
     demand_writes: int = 0
     #: Cells rewritten by partial write-backs (0 under full write-back).
     partial_cells: int = 0
-    #: Scrub-induced cell-writes = scrub_writes * cells_per_line, tracked
-    #: in line units here; wear analysis converts.
+    #: Observed per-line error counts across all scrub decodes:
+    #: ``error_histogram[k]`` counts lines seen with exactly ``k`` errors
+    #: (capped into the last bucket).
     error_histogram: np.ndarray = field(
         default_factory=lambda: np.zeros(33, dtype=np.int64)
     )
@@ -94,6 +95,11 @@ class ScrubStats:
 
     @property
     def scrub_writes(self) -> int:
+        """Scrub write-back events, in line units.
+
+        Scrub-induced cell-writes = ``scrub_writes * cells_per_line`` for
+        full write-backs; wear analysis converts.
+        """
         return self.ledger.counts["scrub_write"]
 
     @property

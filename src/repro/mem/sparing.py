@@ -91,6 +91,16 @@ class SparePool:
             refused=self.refused,
         )
 
+    def metrics(self) -> dict[str, float]:
+        """Live counters for time-series sampling (same keys as
+        ``RunResult.final_state`` reports at end of run)."""
+        report = self.report()
+        return {
+            "spares_used": float(report.total_used),
+            "spare_refusals": float(report.refused),
+            "spare_exhausted_regions": float(report.exhausted_regions),
+        }
+
     def _check_region(self, region: int) -> None:
         if not 0 <= region < self.num_regions:
             raise ValueError(f"region {region} out of range")

@@ -1,0 +1,42 @@
+"""Observability configuration.
+
+:class:`ObsConfig` rides on :class:`repro.sim.config.SimulationConfig` and
+selects which of the three pillars a run collects:
+
+* ``trace`` - structured event tracing (:mod:`repro.obs.trace`),
+* ``sample_every`` - periodic time-series sampling (:mod:`repro.obs.sampler`),
+* ``profile`` - per-phase wall-time profiling (:mod:`repro.obs.profile`).
+
+The default is everything off, which must cost (essentially) nothing: the
+engine keeps a single no-op tracer/profiler check per visit and draws no
+extra randomness, so disabled runs are bit-identical to runs of a build
+without the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What telemetry one simulation run collects (default: nothing)."""
+
+    #: Record structured events in memory (``RunResult.trace``).
+    trace: bool = False
+    #: Simulated seconds between time-series samples (``None`` disables
+    #: sampling).  A final sample is always taken exactly at the horizon,
+    #: so the last sample of ``RunResult.timeseries`` agrees with the
+    #: end-of-run :class:`repro.core.stats.ScrubStats` aggregates.
+    sample_every: float | None = None
+    #: Accumulate per-phase wall-time spans (``RunResult.profile``).
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_every is not None and self.sample_every <= 0:
+            raise ValueError("sample_every must be positive (or None)")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any pillar is on (the engine then builds telemetry)."""
+        return self.trace or self.profile or self.sample_every is not None

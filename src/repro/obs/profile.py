@@ -1,0 +1,113 @@
+"""Per-phase wall-time profiling.
+
+A :class:`Profiler` accumulates named spans (``tabulate``, ``simulate``,
+``visit``, ``demand``, ``decode``, ...) into call counts and total seconds;
+its :meth:`Profiler.report` is a plain dict that rides on
+:class:`repro.sim.results.RunResult` and merges across sweep runs with
+:func:`merge_profiles`.
+
+Spans nest: ``visit`` encloses ``demand`` and ``decode``, so totals are
+*inclusive* - the report answers "where does wall-clock go" per phase, not
+a strict flame-graph decomposition.
+
+The shared :data:`NULL_PROFILER` keeps disabled runs cheap: its
+:meth:`NullProfiler.span` hands back one reusable no-op context manager,
+so a profiled-off hot path costs a method call per span.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections.abc import Sequence
+
+
+class _Span:
+    """Context manager charging its elapsed wall time to one phase."""
+
+    __slots__ = ("_profiler", "_name", "_started")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._started = _time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.add(self._name, _time.perf_counter() - self._started)
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Profiler:
+    """Accumulates per-phase call counts and wall-clock seconds."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._calls: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall time to phase ``name`` directly."""
+        self._calls[name] = self._calls.get(name, 0) + 1
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """``{phase: {"calls": n, "seconds": s}}``, insertion-ordered."""
+        return {
+            name: {"calls": self._calls[name], "seconds": self._seconds[name]}
+            for name in self._calls
+        }
+
+    def reset(self) -> None:
+        self._calls.clear()
+        self._seconds.clear()
+
+
+class NullProfiler(Profiler):
+    """Profiling off: spans are shared no-ops, nothing accumulates."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+
+#: Shared default instance; safe because it never accumulates state.
+NULL_PROFILER = NullProfiler()
+
+
+def merge_profiles(
+    profiles: Sequence[dict[str, dict[str, float]] | None],
+) -> dict[str, dict[str, float]]:
+    """Sum per-run profile reports phase-by-phase (``None`` runs skipped)."""
+    merged: dict[str, dict[str, float]] = {}
+    for profile in profiles:
+        if not profile:
+            continue
+        for name, entry in profile.items():
+            slot = merged.setdefault(name, {"calls": 0, "seconds": 0.0})
+            slot["calls"] += entry["calls"]
+            slot["seconds"] += entry["seconds"]
+    return merged

@@ -1,0 +1,52 @@
+"""The per-run telemetry bundle the engine threads through a simulation.
+
+:class:`Observation` owns one run's tracer, metrics registry, time series,
+and profiler, built from an :class:`repro.obs.config.ObsConfig`.  The
+runner creates it (or ``None`` when observability is off), hands it to the
+engine, and harvests its contents onto the :class:`RunResult` - which is
+also how worker processes ship telemetry back to a sweeping parent: the
+bundle's products are plain picklable data.
+"""
+
+from __future__ import annotations
+
+from .config import ObsConfig
+from .metrics import MetricsRegistry
+from .profile import NULL_PROFILER, Profiler
+from .sampler import TimeSeries
+from .trace import NULL_TRACER, RecordingTracer, Tracer
+
+
+class Observation:
+    """Telemetry collectors for one simulation run."""
+
+    def __init__(self, config: ObsConfig):
+        self.config = config
+        self.tracer: Tracer = RecordingTracer() if config.trace else NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.timeseries = TimeSeries()
+        self.profiler: Profiler = Profiler() if config.profile else NULL_PROFILER
+
+    @classmethod
+    def maybe(cls, config: ObsConfig | None) -> "Observation | None":
+        """An :class:`Observation` when any pillar is enabled, else ``None``."""
+        if config is None or not config.enabled:
+            return None
+        return cls(config)
+
+    # -- harvesting (runner-facing) ------------------------------------------
+
+    @property
+    def trace_events(self) -> list[dict] | None:
+        """Recorded events, or ``None`` when tracing is off."""
+        if isinstance(self.tracer, RecordingTracer):
+            return self.tracer.events
+        return None
+
+    @property
+    def timeseries_or_none(self) -> TimeSeries | None:
+        return self.timeseries if self.config.sample_every is not None else None
+
+    @property
+    def profile_or_none(self) -> dict[str, dict[str, float]] | None:
+        return self.profiler.report() if self.config.profile else None

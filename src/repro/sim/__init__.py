@@ -18,6 +18,7 @@ one reproducible experiment.
 
 from __future__ import annotations
 
+from ..obs import ObsConfig
 from .analytic import AnalyticModel, CrossingDistribution
 from .config import SimulationConfig
 from .parallel import RunSpec, default_jobs, parallel_map, run_many
@@ -30,6 +31,7 @@ __all__ = [
     "AnalyticModel",
     "CrossingDistribution",
     "LinePopulation",
+    "ObsConfig",
     "PopulationEngine",
     "RngStreams",
     "RunResult",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import units
+from ..obs.config import ObsConfig
 from ..params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
 from ..pcm.thermal import ThermalProfile
 
@@ -59,6 +60,10 @@ class SimulationConfig:
     #: spare pool).  Retired lines draw replacements from their region's
     #: pool; see :class:`repro.mem.sparing.SparePool`.
     spares_per_region: int | None = None
+    #: Telemetry to collect (tracing / time-series sampling / profiling);
+    #: everything off by default, and disabled runs are bit-identical to
+    #: the pre-observability engine.  See :mod:`repro.obs`.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.num_lines <= 0:

@@ -36,6 +36,10 @@ import numpy as np
 from ..core.policy import ScrubPolicy
 from ..core.scheduler import ScrubScheduler
 from ..core.stats import ScrubStats
+from ..obs.profile import NULL_PROFILER
+from ..obs.sampler import PeriodicSampler
+from ..obs.session import Observation
+from ..obs.trace import NULL_TRACER
 from ..pcm.endurance import EnduranceModel
 from ..pcm.thermal import ThermalProfile
 from ..workloads.generators import DemandRates, idle_rates
@@ -314,6 +318,12 @@ class PopulationEngine:
         Optional finite spare budget behind retirement
         (:class:`repro.mem.sparing.SparePool`); retirements beyond the
         budget are refused and the broken lines stay in service.
+    obs:
+        Optional telemetry bundle (:class:`repro.obs.session.Observation`).
+        When ``None`` (the default) the engine runs its exact
+        pre-observability path: the no-op tracer/profiler guards draw no
+        randomness and cost one attribute check per visit, so results are
+        bit-identical with observability on or off.
     """
 
     def __init__(
@@ -328,6 +338,7 @@ class PopulationEngine:
         retire_hard_limit: int | None = None,
         read_refresh: bool = False,
         spare_pool=None,
+        obs: Observation | None = None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -350,8 +361,17 @@ class PopulationEngine:
         if spare_pool is not None and spare_pool.num_regions != self.num_regions:
             raise ValueError("spare pool must cover exactly the scrub regions")
         self.spare_pool = spare_pool
+        self.obs = obs
+        #: Event sink and wall-time spans; the shared no-op singletons when
+        #: observability is off, so hot paths pay one ``enabled`` check.
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._profiler = obs.profiler if obs is not None else NULL_PROFILER
+        # Policies emit their own events (e.g. ``interval_adapted``); bind
+        # this run's tracer so a reused policy object never leaks one.
+        policy.tracer = self._tracer
         #: Per-line time of the last scrub visit (or start of time).
         self._last_visit = np.zeros(population.num_lines)
+        self._all_lines = np.arange(population.num_lines)
 
     def region_lines(self, region: int) -> np.ndarray:
         start = region * self.region_size
@@ -366,13 +386,26 @@ class PopulationEngine:
         engine_rng = self.streams.get("engine")
         workload_rng = self.streams.get("workload")
 
-        while len(scheduler) and scheduler.peek_time() <= self.horizon:
-            visit = scheduler.pop()
-            next_interval = self._process_visit(
-                visit.time, visit.region, engine_rng, workload_rng
+        sampler = None
+        if self.obs is not None and self.obs.config.sample_every is not None:
+            sampler = PeriodicSampler(
+                self.obs.config.sample_every,
+                self._collect_sample,
+                self.obs.timeseries,
             )
-            scheduler.push(visit.time + next_interval, visit.region)
-        self._account_demand_reads()
+
+        with self._profiler.span("simulate"):
+            while len(scheduler) and scheduler.peek_time() <= self.horizon:
+                visit = scheduler.pop()
+                if sampler is not None:
+                    sampler.advance_to(visit.time)
+                next_interval = self._process_visit(
+                    visit.time, visit.region, engine_rng, workload_rng
+                )
+                scheduler.push(visit.time + next_interval, visit.region)
+            self._account_demand_reads()
+            if sampler is not None:
+                sampler.finalize(self.horizon)
         return self.stats
 
     # -- internals ----------------------------------------------------------
@@ -384,63 +417,106 @@ class PopulationEngine:
         engine_rng: np.random.Generator,
         workload_rng: np.random.Generator,
     ) -> float:
-        idx = self.region_lines(region)
-        self._apply_demand(idx, time, workload_rng)
-        if self.read_refresh:
-            self._apply_read_refresh(idx, time, workload_rng)
+        profiler = self._profiler
+        tracer = self._tracer
+        with profiler.span("visit"):
+            idx = self.region_lines(region)
+            with profiler.span("demand"):
+                self._apply_demand(idx, time, workload_rng, region)
+                if self.read_refresh:
+                    self._apply_read_refresh(idx, time, workload_rng)
 
-        error_counts = self.population.error_counts(idx, time)
-        decision = self.policy.visit(time, region, error_counts, engine_rng)
+            error_counts = self.population.error_counts(idx, time)
+            with profiler.span("decode"):
+                decision = self.policy.visit(time, region, error_counts, engine_rng)
 
-        # Accounting: every visited line is read; detector-equipped schemes
-        # check every line; the decoder runs only where the policy engaged it.
-        self.stats.record_reads(idx.size)
-        if self.policy.scheme.has_detector:
-            self.stats.record_detects(idx.size)
-        num_decoded = int(decision.decoded.sum())
-        self.stats.record_decodes(num_decoded)
-        self.stats.record_error_counts(error_counts[decision.decoded])
-        self.stats.detector_misses += int(decision.missed.sum())
+            # Accounting: every visited line is read; detector-equipped schemes
+            # check every line; the decoder runs only where the policy engaged it.
+            self.stats.record_reads(idx.size)
+            if self.policy.scheme.has_detector:
+                self.stats.record_detects(idx.size)
+            num_decoded = int(decision.decoded.sum())
+            self.stats.record_decodes(num_decoded)
+            self.stats.record_error_counts(error_counts[decision.decoded])
+            self.stats.detector_misses += int(decision.missed.sum())
 
-        # Uncorrectable lines: record, then recover (the OS reloads the
-        # page); recovery is a data-changing write outside the scrub budget.
-        ue_idx = idx[decision.uncorrectable]
-        if ue_idx.size:
-            self.stats.uncorrectable += ue_idx.size
-            self.population.rewrite(
-                ue_idx, np.full(ue_idx.size, time), data_changed=True
-            )
-
-        # Write-backs: the scrub-cost metric the paper minimizes.
-        wb_idx = idx[decision.written_back]
-        if wb_idx.size:
-            if getattr(self.policy, "partial_writeback", False):
-                cells = self.population.partial_rewrite(wb_idx, time)
-                self.stats.record_partial_scrub_writes(
-                    wb_idx.size, int(cells.sum())
-                )
-            else:
-                self.stats.record_scrub_writes(wb_idx.size)
+            # Uncorrectable lines: record, then recover (the OS reloads the
+            # page); recovery is a data-changing write outside the scrub budget.
+            ue_idx = idx[decision.uncorrectable]
+            if ue_idx.size:
+                self.stats.uncorrectable += ue_idx.size
+                if tracer.enabled:
+                    tracer.emit(
+                        "uncorrectable", time, region=region, count=int(ue_idx.size)
+                    )
                 self.population.rewrite(
-                    wb_idx, np.full(wb_idx.size, time), data_changed=False
+                    ue_idx, np.full(ue_idx.size, time), data_changed=True
                 )
 
-        if self.retire_hard_limit is not None:
-            stuck = self.population.stuck_counts(idx)
-            retire_idx = idx[stuck >= self.retire_hard_limit]
-            if retire_idx.size:
-                if self.spare_pool is not None:
-                    grant = self.spare_pool.request(region, retire_idx.size)
-                    retire_idx = retire_idx[:grant]
-                if retire_idx.size:
-                    self.stats.retired += retire_idx.size
-                    self.population.retire(retire_idx, time)
+            # Write-backs: the scrub-cost metric the paper minimizes.
+            wb_idx = idx[decision.written_back]
+            if wb_idx.size:
+                if getattr(self.policy, "partial_writeback", False):
+                    cells = self.population.partial_rewrite(wb_idx, time)
+                    self.stats.record_partial_scrub_writes(
+                        wb_idx.size, int(cells.sum())
+                    )
+                else:
+                    self.stats.record_scrub_writes(wb_idx.size)
+                    self.population.rewrite(
+                        wb_idx, np.full(wb_idx.size, time), data_changed=False
+                    )
 
-        self._last_visit[idx] = time
-        return decision.next_interval
+            if self.retire_hard_limit is not None:
+                stuck = self.population.stuck_counts(idx)
+                retire_idx = idx[stuck >= self.retire_hard_limit]
+                if retire_idx.size:
+                    requested = int(retire_idx.size)
+                    if self.spare_pool is not None:
+                        grant = self.spare_pool.request(region, requested)
+                        retire_idx = retire_idx[:grant]
+                        if tracer.enabled:
+                            tracer.emit(
+                                "spare_allocated",
+                                time,
+                                region=region,
+                                requested=requested,
+                                granted=int(grant),
+                            )
+                    if retire_idx.size:
+                        self.stats.retired += retire_idx.size
+                        if tracer.enabled:
+                            tracer.emit(
+                                "retire",
+                                time,
+                                region=region,
+                                count=int(retire_idx.size),
+                            )
+                        self.population.retire(retire_idx, time)
+
+            if tracer.enabled:
+                tracer.emit(
+                    "scrub_visit",
+                    time,
+                    region=region,
+                    lines=int(idx.size),
+                    errors=int(error_counts.sum()),
+                    max_errors=int(error_counts.max()),
+                    decoded=num_decoded,
+                    written_back=int(decision.written_back.sum()),
+                    uncorrectable=int(decision.uncorrectable.sum()),
+                    next_interval=float(decision.next_interval),
+                )
+
+            self._last_visit[idx] = time
+            return decision.next_interval
 
     def _apply_demand(
-        self, idx: np.ndarray, now: float, rng: np.random.Generator
+        self,
+        idx: np.ndarray,
+        now: float,
+        rng: np.random.Generator,
+        region: int = -1,
     ) -> None:
         """Apply Poisson demand writes that hit ``idx`` since their last visit."""
         rates = self.rates.write_rate[idx]
@@ -464,7 +540,16 @@ class PopulationEngine:
             data_changed=True,
             extra_writes=(w_counts - 1),
         )
-        self.stats.record_demand_writes(int(w_counts.sum()))
+        total_writes = int(w_counts.sum())
+        self.stats.record_demand_writes(total_writes)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "demand_burst",
+                now,
+                region=region,
+                lines=int(w_idx.size),
+                writes=total_writes,
+            )
 
     #: Read-refresh events processed per line per inter-visit window; the
     #: expected count is well below this for any sane configuration.
@@ -546,3 +631,31 @@ class PopulationEngine:
             self.stats.ledger.add(
                 "demand_read", self.stats.costs.read_energy, int(round(expected))
             )
+
+    def _collect_sample(self, now: float) -> dict:
+        """One time-series sample: stats aggregates + device state at ``now``.
+
+        The stats ledger is read as-is (events are processed in global time
+        order, so at sample time everything earlier has been charged) and
+        device-state queries are evaluated exactly at ``now``.  Reads only
+        deterministic state - never the RNG streams - so sampling cannot
+        perturb results.
+        """
+        registry = self.obs.metrics
+        registry.observe_stats(self.stats)
+        population = self.population
+        idx = self._all_lines
+        registry.gauge("stuck_cells").set(
+            float(population.stuck_counts(idx).sum())
+        )
+        registry.gauge("hard_mismatch_cells").set(
+            float(population.hard_mismatch.sum())
+        )
+        registry.gauge("drift_errors").set(
+            float(population.drift_error_counts(idx, now).sum())
+        )
+        registry.gauge("mean_writes_per_line").set(float(population.writes.mean()))
+        if self.spare_pool is not None:
+            for key, value in self.spare_pool.metrics().items():
+                registry.gauge(key).set(value)
+        return registry.snapshot()

@@ -10,9 +10,10 @@ same way.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.stats import ScrubStats
+from ..obs.sampler import TimeSeries
 from .config import SimulationConfig
 
 
@@ -28,11 +29,17 @@ class RunResult:
     runtime_seconds: float
     #: End-of-run device state: stuck cells, conflicting stuck cells, and
     #: mean per-line write count (wear).  Empty when not collected.
-    final_state: dict[str, float] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.final_state is None:
-            object.__setattr__(self, "final_state", {})
+    final_state: dict[str, float] = field(default_factory=dict)
+    #: Structured events recorded during the run (``None`` unless
+    #: ``config.obs.trace`` was set); see :mod:`repro.obs.trace`.
+    trace: list[dict] | None = None
+    #: Periodic metric samples (``None`` unless ``config.obs.sample_every``
+    #: was set); the final sample is taken exactly at the horizon and
+    #: matches the :class:`ScrubStats` aggregates.
+    timeseries: TimeSeries | None = None
+    #: Per-phase wall-time report (``None`` unless ``config.obs.profile``
+    #: was set); see :mod:`repro.obs.profile`.
+    profile: dict[str, dict[str, float]] | None = None
 
     @property
     def stuck_cells(self) -> float:
@@ -80,8 +87,12 @@ class RunResult:
     # -- export ---------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Flat JSON-serializable summary."""
-        return {
+        """Flat JSON-serializable summary.
+
+        Keys are stable across runs; the telemetry keys (``timeseries``,
+        ``profile``) appear only when the run collected them.
+        """
+        out = {
             "policy": self.policy_name,
             "workload": self.workload_name,
             "num_lines": self.config.num_lines,
@@ -93,6 +104,11 @@ class RunResult:
             "energy_breakdown_j": self.stats.energy_breakdown(),
             "final_state": dict(self.final_state),
         }
+        if self.timeseries is not None:
+            out["timeseries"] = self.timeseries.to_dict()
+        if self.profile is not None:
+            out["profile"] = self.profile
+        return out
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

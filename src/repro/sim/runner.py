@@ -24,6 +24,9 @@ import numpy as np
 from ..core.policy import ScrubPolicy
 from ..core.stats import ScrubStats
 from ..mem.sparing import SparePool
+from ..obs.metrics import GLOBAL_REGISTRY
+from ..obs.profile import NULL_PROFILER
+from ..obs.session import Observation
 from ..params import CellSpec
 from ..pcm.endurance import EnduranceModel
 from ..pcm.energy import OperationCosts
@@ -47,8 +50,12 @@ _DISTRIBUTION_CACHE_MAX = 8
 
 #: Where each distribution request was satisfied (process-lifetime tally):
 #: ``memory`` (LRU hit), ``disk`` (loaded a persisted tabulation), or
-#: ``tabulated`` (computed from scratch).  Exposed for perf observability.
-DISTRIBUTION_CACHE_COUNTERS = {"memory": 0, "disk": 0, "tabulated": 0}
+#: ``tabulated`` (computed from scratch).  Lives in the process-wide
+#: metrics registry (:data:`repro.obs.metrics.GLOBAL_REGISTRY`) but keeps
+#: plain-dict semantics for existing call sites.
+DISTRIBUTION_CACHE_COUNTERS = GLOBAL_REGISTRY.group(
+    "distribution_cache", ("memory", "disk", "tabulated")
+)
 
 
 def clear_distribution_cache() -> None:
@@ -59,8 +66,7 @@ def clear_distribution_cache() -> None:
     ``REPRO_NO_DISK_CACHE``.
     """
     _DISTRIBUTION_CACHE.clear()
-    for name in DISTRIBUTION_CACHE_COUNTERS:
-        DISTRIBUTION_CACHE_COUNTERS[name] = 0
+    DISTRIBUTION_CACHE_COUNTERS.reset()
 
 
 def cached_crossing_distribution(
@@ -170,8 +176,11 @@ def run_experiment(
     """
     if config is None:
         config = SimulationConfig()
+    obs = Observation.maybe(config.obs)
+    profiler = obs.profiler if obs is not None else NULL_PROFILER
     streams = RngStreams(config.seed)
-    population = build_population(config, streams)
+    with profiler.span("tabulate"):
+        population = build_population(config, streams)
     stats = build_stats(policy, config)
     spare_pool = None
     if config.spares_per_region is not None:
@@ -190,6 +199,7 @@ def run_experiment(
         retire_hard_limit=config.retire_hard_limit,
         read_refresh=config.read_refresh,
         spare_pool=spare_pool,
+        obs=obs,
     )
     started = _time.perf_counter()
     engine.simulate()
@@ -201,10 +211,7 @@ def run_experiment(
         "mean_writes_per_line": float(population.writes.mean()),
     }
     if spare_pool is not None:
-        report = spare_pool.report()
-        final_state["spares_used"] = float(report.total_used)
-        final_state["spare_refusals"] = float(report.refused)
-        final_state["spare_exhausted_regions"] = float(report.exhausted_regions)
+        final_state.update(spare_pool.metrics())
     return RunResult(
         policy_name=policy.name,
         workload_name=engine.rates.name,
@@ -212,4 +219,7 @@ def run_experiment(
         stats=stats,
         runtime_seconds=elapsed,
         final_state=final_state,
+        trace=obs.trace_events if obs is not None else None,
+        timeseries=obs.timeseries_or_none if obs is not None else None,
+        profile=obs.profile_or_none if obs is not None else None,
     )

@@ -1,0 +1,131 @@
+"""Integration: observability must never change simulation results.
+
+The acceptance contract of the subsystem: a run with every pillar enabled
+is bit-identical (stats, final state, histograms) to the same run with
+observability off, telemetry lands on the RunResult only when requested,
+and the sampler's final snapshot equals the end-of-run aggregates exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import adaptive_scrub, basic_scrub
+from repro.obs import EVENT_FIELDS, ObsConfig, write_trace
+from repro.sim import SimulationConfig, run_experiment
+
+HORIZON = 2 * units.DAY
+
+
+def _config(obs: ObsConfig | None = None) -> SimulationConfig:
+    kwargs: dict = dict(
+        num_lines=256, region_size=64, horizon=HORIZON, endurance=None
+    )
+    if obs is not None:
+        kwargs["obs"] = obs
+    return SimulationConfig(**kwargs)
+
+
+FULL_OBS = ObsConfig(trace=True, sample_every=HORIZON / 8, profile=True)
+
+
+class TestObsConfig:
+    def test_disabled_by_default(self):
+        assert ObsConfig().enabled is False
+        assert SimulationConfig().obs.enabled is False
+
+    def test_any_pillar_enables(self):
+        assert ObsConfig(trace=True).enabled
+        assert ObsConfig(sample_every=1.0).enabled
+        assert ObsConfig(profile=True).enabled
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            ObsConfig(sample_every=0.0)
+
+
+class TestNoopIdentity:
+    def test_instrumented_run_bit_identical_to_plain(self):
+        plain = run_experiment(basic_scrub(interval=units.HOUR), _config())
+        traced = run_experiment(basic_scrub(interval=units.HOUR), _config(FULL_OBS))
+        assert plain.stats.summary() == traced.stats.summary()
+        assert plain.final_state == traced.final_state
+        assert np.array_equal(
+            plain.stats.error_histogram, traced.stats.error_histogram
+        )
+
+    def test_plain_run_carries_no_telemetry(self):
+        plain = run_experiment(basic_scrub(interval=units.HOUR), _config())
+        assert plain.trace is None
+        assert plain.timeseries is None
+        assert plain.profile is None
+        blob = plain.to_dict()
+        assert "timeseries" not in blob
+        assert "profile" not in blob
+
+    def test_partial_obs_only_fills_requested_pillars(self):
+        result = run_experiment(
+            basic_scrub(interval=units.HOUR),
+            _config(ObsConfig(sample_every=HORIZON / 4)),
+        )
+        assert result.trace is None
+        assert result.profile is None
+        assert result.timeseries is not None and len(result.timeseries) >= 4
+
+
+class TestSamplerStatsAgreement:
+    def test_final_sample_equals_summary_exactly(self):
+        result = run_experiment(
+            adaptive_scrub(interval=units.HOUR), _config(FULL_OBS)
+        )
+        final = result.timeseries.final
+        for key, value in result.stats.summary().items():
+            assert final[key] == value
+        assert final["t"] == HORIZON
+        assert final["observed_errors"] == [
+            int(v) for v in result.stats.error_histogram
+        ]
+
+    def test_samples_monotone_in_time_and_counters(self):
+        result = run_experiment(
+            basic_scrub(interval=units.HOUR), _config(FULL_OBS)
+        )
+        times = result.timeseries.column("t")
+        assert times == sorted(times)
+        reads = result.timeseries.column("scrub_reads")
+        assert reads == sorted(reads)
+
+
+class TestTraceSchema:
+    def test_real_run_events_conform_and_roundtrip_jsonl(self, tmp_path):
+        result = run_experiment(
+            adaptive_scrub(interval=units.HOUR), _config(FULL_OBS)
+        )
+        assert result.trace, "an adaptive two-day run must emit events"
+        names = {event["event"] for event in result.trace}
+        assert "scrub_visit" in names
+        for event in result.trace:
+            required = EVENT_FIELDS[event["event"]]
+            assert all(field in event for field in required)
+            assert isinstance(event["t"], float)
+        assert [e["seq"] for e in result.trace] == list(range(len(result.trace)))
+
+        path = tmp_path / "trace.jsonl"
+        assert write_trace(result.trace, path) == len(result.trace)
+        back = [json.loads(line) for line in path.read_text().splitlines()]
+        assert back == result.trace
+
+    def test_profile_covers_engine_phases(self):
+        result = run_experiment(
+            basic_scrub(interval=units.HOUR), _config(FULL_OBS)
+        )
+        assert {"tabulate", "simulate", "visit", "demand", "decode"} <= set(
+            result.profile
+        )
+        # One span per region visit == one scrub_visit trace event.
+        scrub_visits = sum(1 for e in result.trace if e["event"] == "scrub_visit")
+        assert result.profile["visit"]["calls"] == scrub_visits > 0

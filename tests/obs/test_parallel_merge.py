@@ -1,0 +1,68 @@
+"""Integration: telemetry is identical through the process pool.
+
+Traces and time series depend only on each run's config seed and simulated
+event order, so ``run_many(specs, jobs=N)`` must ship back the exact same
+telemetry for any ``jobs`` value, and the deterministic merge helpers must
+produce identical fleet views regardless of worker placement.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.obs import ObsConfig, merge_profiles, merge_timeseries, merge_traces
+from repro.sim import RunSpec, SimulationConfig, run_many
+
+HORIZON = 2 * units.DAY
+OBS = ObsConfig(trace=True, sample_every=HORIZON / 4, profile=True)
+CONFIG = SimulationConfig(
+    num_lines=256, region_size=64, horizon=HORIZON, endurance=None, obs=OBS
+)
+INTERVALS = [units.HOUR, 2 * units.HOUR, 4 * units.HOUR]
+
+
+def _specs() -> list[RunSpec]:
+    return [RunSpec("adaptive", CONFIG, {"interval": i}) for i in INTERVALS]
+
+
+class TestParallelTelemetry:
+    def test_telemetry_identical_serial_vs_pool(self):
+        serial = run_many(_specs(), jobs=1)
+        pooled = run_many(_specs(), jobs=2)
+        for a, b in zip(serial, pooled):
+            assert a.trace == b.trace
+            assert a.timeseries == b.timeseries
+            # Profiles measure wall time (non-deterministic) but cover the
+            # same phases with the same call counts.
+            assert set(a.profile) == set(b.profile)
+            for phase in a.profile:
+                assert a.profile[phase]["calls"] == b.profile[phase]["calls"]
+
+    def test_merges_deterministic_across_placements(self):
+        serial = run_many(_specs(), jobs=1)
+        pooled = run_many(_specs(), jobs=2)
+        assert merge_traces([r.trace for r in serial]) == merge_traces(
+            [r.trace for r in pooled]
+        )
+        assert merge_timeseries([r.timeseries for r in serial]) == merge_timeseries(
+            [r.timeseries for r in pooled]
+        )
+        merged_profile = merge_profiles([r.profile for r in pooled])
+        assert merged_profile["visit"]["calls"] == sum(
+            r.profile["visit"]["calls"] for r in pooled
+        )
+
+    def test_final_samples_match_summaries_under_pool(self):
+        for result in run_many(_specs(), jobs=2):
+            final = result.timeseries.final
+            for key, value in result.stats.summary().items():
+                assert final[key] == value
+
+    def test_merged_timeseries_sums_counters(self):
+        results = run_many(_specs(), jobs=2)
+        merged = merge_timeseries([r.timeseries for r in results])
+        assert merged.final["uncorrectable"] == sum(
+            r.timeseries.final["uncorrectable"] for r in results
+        )
+        assert merged.final["scrub_reads"] == sum(
+            r.timeseries.final["scrub_reads"] for r in results
+        )

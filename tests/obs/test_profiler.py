@@ -1,0 +1,63 @@
+"""Profiler unit tests: spans, the null profiler, and report merging."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_PROFILER, NullProfiler, Profiler, merge_profiles
+
+
+class TestProfiler:
+    def test_spans_accumulate_calls_and_seconds(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.span("visit"):
+                pass
+        report = profiler.report()
+        assert report["visit"]["calls"] == 3
+        assert report["visit"]["seconds"] >= 0.0
+
+    def test_nested_spans_are_inclusive(self):
+        profiler = Profiler()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        report = profiler.report()
+        assert report["outer"]["seconds"] >= report["inner"]["seconds"]
+
+    def test_add_direct(self):
+        profiler = Profiler()
+        profiler.add("phase", 1.5)
+        profiler.add("phase", 0.5)
+        assert profiler.report() == {"phase": {"calls": 2, "seconds": 2.0}}
+
+    def test_reset(self):
+        profiler = Profiler()
+        profiler.add("phase", 1.0)
+        profiler.reset()
+        assert profiler.report() == {}
+
+
+class TestNullProfiler:
+    def test_disabled_and_accumulates_nothing(self):
+        assert NULL_PROFILER.enabled is False
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        with NULL_PROFILER.span("anything"):
+            pass
+        NULL_PROFILER.add("anything", 1.0)
+        assert NULL_PROFILER.report() == {}
+
+    def test_span_is_shared_noop(self):
+        assert NULL_PROFILER.span("a") is NULL_PROFILER.span("b")
+
+
+class TestMergeProfiles:
+    def test_sums_phasewise_and_skips_none(self):
+        a = {"visit": {"calls": 2, "seconds": 1.0}}
+        b = {"visit": {"calls": 1, "seconds": 0.5}, "demand": {"calls": 4, "seconds": 2.0}}
+        merged = merge_profiles([a, None, b, {}])
+        assert merged == {
+            "visit": {"calls": 3, "seconds": 1.5},
+            "demand": {"calls": 4, "seconds": 2.0},
+        }
+
+    def test_empty(self):
+        assert merge_profiles([]) == {}

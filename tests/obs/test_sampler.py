@@ -1,0 +1,90 @@
+"""Sampler unit tests: grid timing, TimeSeries round-trip, merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import PeriodicSampler, TimeSeries, merge_timeseries
+
+
+def _collect_time(t: float) -> dict:
+    return {"value": t * 2}
+
+
+class TestPeriodicSampler:
+    def test_advance_samples_strictly_before_now(self):
+        sampler = PeriodicSampler(10.0, _collect_time)
+        sampler.advance_to(25.0)
+        assert [s["t"] for s in sampler.series.samples] == [10.0, 20.0]
+        # A sample due exactly at `now` waits for the event at `now` to land.
+        sampler.advance_to(30.0)
+        assert [s["t"] for s in sampler.series.samples] == [10.0, 20.0]
+        sampler.advance_to(30.0 + 1e-9)
+        assert [s["t"] for s in sampler.series.samples] == [10.0, 20.0, 30.0]
+
+    def test_finalize_drains_grid_and_samples_at_horizon(self):
+        sampler = PeriodicSampler(10.0, _collect_time)
+        sampler.advance_to(5.0)
+        series = sampler.finalize(35.0)
+        assert [s["t"] for s in series.samples] == [10.0, 20.0, 30.0, 35.0]
+        assert series.final == {"t": 35.0, "value": 70.0}
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicSampler(0.0, _collect_time)
+
+
+class TestTimeSeries:
+    def test_roundtrip_and_column(self):
+        series = TimeSeries()
+        series.append(1.0, {"a": 1, "h": [0, 1]})
+        series.append(2.0, {"a": 2})
+        blob = json.loads(series.to_json())
+        back = TimeSeries.from_dict(blob)
+        assert back == series
+        assert series.column("a") == [1, 2]
+        assert series.column("h") == [[0, 1], None]
+
+    def test_final_raises_on_empty(self):
+        with pytest.raises(IndexError):
+            TimeSeries().final
+
+    def test_write(self, tmp_path):
+        series = TimeSeries()
+        series.append(1.0, {"a": 1})
+        path = tmp_path / "ts.json"
+        series.write(path)
+        assert TimeSeries.from_dict(json.loads(path.read_text())) == series
+
+
+class TestMergeTimeseries:
+    def _series(self, scale: int) -> TimeSeries:
+        series = TimeSeries()
+        series.append(1.0, {"ue": scale, "hist": [scale, 0]})
+        series.append(2.0, {"ue": 2 * scale, "hist": [0, scale]})
+        return series
+
+    def test_samplewise_sum(self):
+        merged = merge_timeseries([self._series(1), self._series(10), None])
+        assert merged.samples == [
+            {"t": 1.0, "ue": 11, "hist": [11, 0]},
+            {"t": 2.0, "ue": 22, "hist": [0, 11]},
+        ]
+
+    def test_empty_input(self):
+        assert merge_timeseries([None, TimeSeries()]).samples == []
+
+    def test_length_mismatch_raises(self):
+        short = TimeSeries()
+        short.append(1.0, {"ue": 1})
+        with pytest.raises(ValueError, match="different lengths"):
+            merge_timeseries([self._series(1), short])
+
+    def test_time_mismatch_raises(self):
+        shifted = TimeSeries()
+        shifted.append(1.5, {"ue": 1})
+        shifted.append(2.0, {"ue": 1})
+        with pytest.raises(ValueError, match="different times"):
+            merge_timeseries([self._series(1), shifted])

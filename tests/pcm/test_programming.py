@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.params import CellSpec
 from repro.pcm.programming import ProgramAndVerify
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro import units
 from repro.core import threshold_scrub

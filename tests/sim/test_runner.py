@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import units
 from repro.core import basic_scrub, combined_scrub
 from repro.sim.config import SimulationConfig

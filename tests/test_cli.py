@@ -84,3 +84,54 @@ class TestCommands:
         main([*FAST, "--seed", "77", "compare"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestObservability:
+    def test_trace_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "obs"
+        assert (
+            main([*FAST, "trace", "--policy", "adaptive", "--samples", "4",
+                  "--out", str(out)])
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "Telemetry for" in printed
+        assert "Wall-time profile" in printed
+        events = [
+            json.loads(line)
+            for line in (out / "trace.jsonl").read_text().splitlines()
+        ]
+        assert events and all("event" in e and "t" in e for e in events)
+        series = json.loads((out / "timeseries.json").read_text())
+        # N-1 grid samples plus the final one exactly at the horizon.
+        assert len(series["samples"]) == 4
+
+    def test_sweep_timeseries_and_profile(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "ts.json"
+        assert (
+            main([*FAST, "sweep", "--policy", "basic",
+                  "--intervals", "3600", "7200",
+                  "--timeseries", str(path), "--profile"])
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "wrote time series" in printed
+        assert "profile" in printed.lower()
+        blob = json.loads(path.read_text())
+        assert len(blob["runs"]) == 2
+        assert "merged" in blob
+
+    def test_reduction_cell_degrades_to_na(self):
+        from repro.cli import _reduction_cell
+
+        def boom() -> float:
+            raise ZeroDivisionError("baseline saw no uncorrectable errors")
+
+        cell = _reduction_cell(boom, "96.5%")
+        assert cell.startswith("n/a")
+        assert "96.5%" in cell
+        assert _reduction_cell(lambda: 0.5, "96.5%") == "50.0% reduction (paper: 96.5%)"

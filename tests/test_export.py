@@ -14,8 +14,10 @@ from repro.analysis.export import (
     results_to_csv,
     results_to_jsonl,
     write_results,
+    write_timeseries,
 )
 from repro.core import basic_scrub
+from repro.obs import ObsConfig, TimeSeries
 from repro.sim import SimulationConfig, run_experiment
 
 CONFIG = SimulationConfig(
@@ -28,6 +30,21 @@ def results():
     return [
         run_experiment(basic_scrub(units.HOUR), CONFIG),
         run_experiment(basic_scrub(2 * units.HOUR), CONFIG),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sampled_results():
+    config = SimulationConfig(
+        num_lines=256,
+        region_size=64,
+        horizon=units.DAY,
+        endurance=None,
+        obs=ObsConfig(sample_every=units.DAY / 4, profile=True),
+    )
+    return [
+        run_experiment(basic_scrub(units.HOUR), config),
+        run_experiment(basic_scrub(2 * units.HOUR), config),
     ]
 
 
@@ -53,6 +70,62 @@ class TestJsonl:
         assert blob["policy"] == "basic(secded)"
         assert "energy_breakdown_j" in blob
         assert "final_state" in blob
+
+
+class TestToDict:
+    def test_json_roundtrip_preserves_everything(self, results):
+        blob = json.loads(results[0].to_json())
+        assert blob == results[0].to_dict()  # JSON-serializable as-is
+
+    def test_stable_keys_across_runs(self, results):
+        assert list(results[0].to_dict()) == list(results[1].to_dict())
+
+    def test_final_state_and_summary_present(self, results):
+        blob = results[0].to_dict()
+        for key in ("stuck_cells", "hard_mismatch_cells", "mean_writes_per_line"):
+            assert key in blob["final_state"]
+        for key, value in results[0].stats.summary().items():
+            assert blob[key] == value
+
+    def test_spare_counters_exported_when_provisioned(self):
+        config = SimulationConfig(
+            num_lines=256,
+            region_size=64,
+            horizon=units.DAY,
+            endurance=None,
+            spares_per_region=4,
+        )
+        blob = run_experiment(basic_scrub(units.HOUR), config).to_dict()
+        for key in ("spares_used", "spare_refusals", "spare_exhausted_regions"):
+            assert key in blob["final_state"]
+
+    def test_telemetry_keys_only_when_collected(self, results, sampled_results):
+        assert "timeseries" not in results[0].to_dict()
+        assert "profile" not in results[0].to_dict()
+        blob = sampled_results[0].to_dict()
+        assert TimeSeries.from_dict(blob["timeseries"]) == sampled_results[0].timeseries
+        assert blob["profile"] == sampled_results[0].profile
+        json.dumps(blob)
+
+
+class TestWriteTimeseries:
+    def test_writes_runs_and_merged_view(self, sampled_results, tmp_path):
+        path = tmp_path / "ts.json"
+        write_timeseries(path, ["1h", "2h"], sampled_results)
+        blob = json.loads(path.read_text())
+        assert [run["label"] for run in blob["runs"]] == ["1h", "2h"]
+        merged = TimeSeries.from_dict(blob["merged"])
+        assert merged.final["scrub_reads"] == sum(
+            r.timeseries.final["scrub_reads"] for r in sampled_results
+        )
+
+    def test_label_count_mismatch_raises(self, sampled_results, tmp_path):
+        with pytest.raises(ValueError, match="one label per result"):
+            write_timeseries(tmp_path / "ts.json", ["only-one"], sampled_results)
+
+    def test_unsampled_run_raises(self, results, tmp_path):
+        with pytest.raises(ValueError, match="without time series"):
+            write_timeseries(tmp_path / "ts.json", ["a", "b"], results)
 
 
 class TestWrite:
