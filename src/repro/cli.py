@@ -9,6 +9,7 @@ Subcommands::
     pcm-scrub headline                    # the abstract's three numbers
     pcm-scrub sweep --policy basic ...    # UE/writes/energy vs interval
     pcm-scrub trace --policy combined ... # full-telemetry run -> trace.jsonl
+    pcm-scrub verify --quick              # invariants + metamorphic + models
 
 Every command prints a deterministic fixed-width table; ``--seed``,
 ``--lines``, ``--horizon`` control the Monte-Carlo configuration.
@@ -152,6 +153,20 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--interval", type=float, default=units.HOUR)
     export.add_argument("--strength", type=int, default=4)
     export.add_argument("output", help="path ending in .csv or .jsonl")
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the verification harness: invariants, metamorphic "
+        "properties, model equivalence",
+    )
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="reduced grids and populations (CI-sized, ~1 min)",
+    )
+    verify.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full report as JSON",
+    )
     return parser
 
 
@@ -529,6 +544,72 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verdict(ok: bool) -> str:
+    return "pass" if ok else "FAIL"
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import run_verification
+
+    report = run_verification(
+        seed=args.seed, jobs=_jobs(args), quick=args.quick
+    )
+
+    inv_rows = [
+        [case.name, case.visits, case.uncorrectable,
+         _verdict(case.passed) if case.passed
+         else f"FAIL: {case.violation['invariant']}"]
+        for case in report.invariants.cases
+    ]
+    print(
+        format_table(
+            ["configuration", "visits", "UE", "invariants"],
+            inv_rows,
+            title="Invariant sweep (conservation laws, armed per visit)",
+        )
+    )
+
+    meta_rows = [
+        [result.name,
+         " -> ".join(f"{case.value:g}" for case in result.cases),
+         _verdict(result.passed)]
+        for result in report.metamorphic.results
+    ]
+    print(
+        format_table(
+            ["property", "UE counts", "verdict"],
+            meta_rows,
+            title="Metamorphic properties (paired-seed ordering laws)",
+        )
+    )
+
+    eq_rows = [
+        [row.check, row.label, row.metric, f"{row.observed:g}",
+         f"{row.expected:.1f}", f"[{row.low:.1f}, {row.high:.1f}]",
+         _verdict(row.passed)]
+        for row in report.equivalence.rows
+    ]
+    print(
+        format_table(
+            ["model", "point", "metric", "MC", "expected", "band", "verdict"],
+            eq_rows,
+            title="Model equivalence (MC vs analytic / renewal)",
+        )
+    )
+
+    if args.json:
+        import json
+
+        path = Path(args.json)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"wrote report to {path}")
+
+    print(f"verification: {'PASSED' if report.passed else 'FAILED'}")
+    return 0 if report.passed else 1
+
+
 COMMANDS = {
     "drift-curve": cmd_drift_curve,
     "compare": cmd_compare,
@@ -538,6 +619,7 @@ COMMANDS = {
     "provision": cmd_provision,
     "lifetime": cmd_lifetime,
     "export": cmd_export,
+    "verify": cmd_verify,
 }
 
 

@@ -14,6 +14,7 @@ from .. import units
 from ..obs.config import ObsConfig
 from ..params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
 from ..pcm.thermal import ThermalProfile
+from ..verify.config import VerifyConfig
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,10 @@ class SimulationConfig:
     #: everything off by default, and disabled runs are bit-identical to
     #: the pre-observability engine.  See :mod:`repro.obs`.
     obs: ObsConfig = field(default_factory=ObsConfig)
+    #: Runtime checks to perform (conservation-law invariants); everything
+    #: off by default, and checks never perturb results either way - they
+    #: only read state and raise on violation.  See :mod:`repro.verify`.
+    verify: VerifyConfig = field(default_factory=VerifyConfig)
 
     def __post_init__(self) -> None:
         if self.num_lines <= 0:

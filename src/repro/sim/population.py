@@ -42,6 +42,7 @@ from ..obs.session import Observation
 from ..obs.trace import NULL_TRACER
 from ..pcm.endurance import EnduranceModel
 from ..pcm.thermal import ThermalProfile
+from ..verify.invariants import NULL_VERIFIER, Verifier
 from ..workloads.generators import DemandRates, idle_rates
 from .analytic import CrossingDistribution
 from .rng import RngStreams
@@ -324,6 +325,15 @@ class PopulationEngine:
         pre-observability path: the no-op tracer/profiler guards draw no
         randomness and cost one attribute check per visit, so results are
         bit-identical with observability on or off.
+    verifier:
+        Optional invariant checker
+        (:class:`repro.verify.invariants.InvariantChecker`).  ``None``
+        (the default) installs the no-op verifier: one ``enabled`` check
+        per visit, no randomness, results bit-identical with verification
+        on or off.  When enabled, the engine hands every visit's decision
+        counts to the checker, which raises
+        :class:`repro.verify.invariants.InvariantViolation` the moment the
+        stats ledger stops agreeing with them.
     """
 
     def __init__(
@@ -339,6 +349,7 @@ class PopulationEngine:
         read_refresh: bool = False,
         spare_pool=None,
         obs: Observation | None = None,
+        verifier: Verifier | None = None,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -366,6 +377,9 @@ class PopulationEngine:
         #: observability is off, so hot paths pay one ``enabled`` check.
         self._tracer = obs.tracer if obs is not None else NULL_TRACER
         self._profiler = obs.profiler if obs is not None else NULL_PROFILER
+        #: Invariant checker; the shared no-op singleton when verification
+        #: is off, so hot paths pay one ``enabled`` check.
+        self._verifier = verifier if verifier is not None else NULL_VERIFIER
         # Policies emit their own events (e.g. ``interval_adapted``); bind
         # this run's tracer so a reused policy object never leaks one.
         policy.tracer = self._tracer
@@ -454,19 +468,24 @@ class PopulationEngine:
                 )
 
             # Write-backs: the scrub-cost metric the paper minimizes.
+            partial_cells_visit: int | None = None
             wb_idx = idx[decision.written_back]
             if wb_idx.size:
                 if getattr(self.policy, "partial_writeback", False):
                     cells = self.population.partial_rewrite(wb_idx, time)
+                    partial_cells_visit = int(cells.sum())
                     self.stats.record_partial_scrub_writes(
-                        wb_idx.size, int(cells.sum())
+                        wb_idx.size, partial_cells_visit
                     )
                 else:
                     self.stats.record_scrub_writes(wb_idx.size)
                     self.population.rewrite(
                         wb_idx, np.full(wb_idx.size, time), data_changed=False
                     )
+            elif getattr(self.policy, "partial_writeback", False):
+                partial_cells_visit = 0
 
+            retired_visit = 0
             if self.retire_hard_limit is not None:
                 stuck = self.population.stuck_counts(idx)
                 retire_idx = idx[stuck >= self.retire_hard_limit]
@@ -484,6 +503,7 @@ class PopulationEngine:
                                 granted=int(grant),
                             )
                     if retire_idx.size:
+                        retired_visit = int(retire_idx.size)
                         self.stats.retired += retire_idx.size
                         if tracer.enabled:
                             tracer.emit(
@@ -506,6 +526,33 @@ class PopulationEngine:
                     written_back=int(decision.written_back.sum()),
                     uncorrectable=int(decision.uncorrectable.sum()),
                     next_interval=float(decision.next_interval),
+                )
+
+            if self._verifier.enabled:
+                # The checker re-derives every ledger counter from these
+                # decision counts; the error mass uses the histogram's cap
+                # so it matches what ``record_error_counts`` folded in.
+                capped = np.minimum(
+                    error_counts, self.stats.error_histogram.size - 1
+                )
+                resolved_mask = decision.written_back | decision.uncorrectable
+                observed = int(capped[decision.decoded].sum())
+                resolved = int(capped[decision.decoded & resolved_mask].sum())
+                pending = int(capped[decision.decoded & ~resolved_mask].sum())
+                self._verifier.check_visit(
+                    time=time,
+                    region=region,
+                    visited=int(idx.size),
+                    detected=int(idx.size) if self.policy.scheme.has_detector else 0,
+                    decoded=num_decoded,
+                    written_back=int(decision.written_back.sum()),
+                    partial_cells=partial_cells_visit,
+                    uncorrectable=int(ue_idx.size),
+                    missed=int(decision.missed.sum()),
+                    retired=retired_visit,
+                    errors_observed=observed,
+                    errors_resolved=resolved,
+                    errors_pending=pending,
                 )
 
             self._last_visit[idx] = time
@@ -618,6 +665,10 @@ class PopulationEngine:
                 self.stats.record_scrub_writes(int((~is_ue).sum()))
                 self.population.rewrite(
                     refresh_lines, hit_probes[~is_ue], data_changed=False
+                )
+            if self._verifier.enabled:
+                self._verifier.note_refresh(
+                    writes=int((~is_ue).sum()), ues=int(is_ue.sum())
                 )
             # Only the lines that just reset can fire again this window.
             pending = hit_lines

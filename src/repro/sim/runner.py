@@ -30,6 +30,7 @@ from ..obs.session import Observation
 from ..params import CellSpec
 from ..pcm.endurance import EnduranceModel
 from ..pcm.energy import OperationCosts
+from ..verify.invariants import InvariantChecker
 from ..workloads.generators import DemandRates
 from .analytic import (
     CrossingDistribution,
@@ -188,6 +189,14 @@ def run_experiment(
             num_regions=config.num_lines // config.region_size,
             spares_per_region=config.spares_per_region,
         )
+    verifier = None
+    if config.verify.enabled:
+        verifier = InvariantChecker(
+            stats=stats,
+            config=config.verify,
+            spare_pool=spare_pool,
+            tracer=obs.tracer if obs is not None else None,
+        )
     engine = PopulationEngine(
         population=population,
         policy=policy,
@@ -200,6 +209,7 @@ def run_experiment(
         read_refresh=config.read_refresh,
         spare_pool=spare_pool,
         obs=obs,
+        verifier=verifier,
     )
     started = _time.perf_counter()
     engine.simulate()
@@ -212,6 +222,8 @@ def run_experiment(
     }
     if spare_pool is not None:
         final_state.update(spare_pool.metrics())
+    if verifier is not None:
+        verifier.check_final(final_state)
     return RunResult(
         policy_name=policy.name,
         workload_name=engine.rates.name,

@@ -1,0 +1,78 @@
+"""Runtime verification: invariants, metamorphic properties, equivalence.
+
+Three independent pillars guard the simulator's correctness:
+
+* :mod:`repro.verify.invariants` - conservation-law checkers that ride
+  inside a run (armed via ``SimulationConfig(verify=VerifyConfig(...))``)
+  and raise :class:`InvariantViolation` the moment the stats ledger
+  disagrees with what the engine actually did.
+* :mod:`repro.verify.metamorphic` - ordering laws between paired runs
+  (shorter interval / stronger ECC / less drift variance never hurt).
+* :mod:`repro.verify.equivalence` - statistical cross-validation of the
+  Monte-Carlo engine against the analytic and renewal models.
+
+``repro verify`` on the command line runs all three via
+:func:`repro.verify.harness.run_verification`.
+"""
+
+from .config import VerifyConfig
+from .invariants import (
+    NULL_VERIFIER,
+    InvariantChecker,
+    InvariantViolation,
+    Verifier,
+)
+
+#: The harness pillars import :mod:`repro.sim`, which itself imports
+#: :class:`VerifyConfig` from this package - so they resolve lazily
+#: (PEP 562) to keep ``repro.sim.config -> repro.verify.config`` acyclic.
+_LAZY = {
+    "EquivalenceReport": "equivalence",
+    "EquivalenceRow": "equivalence",
+    "analytic_equivalence": "equivalence",
+    "renewal_equivalence": "equivalence",
+    "run_equivalence": "equivalence",
+    "MetamorphicReport": "metamorphic",
+    "PropertyCase": "metamorphic",
+    "PropertyResult": "metamorphic",
+    "run_metamorphic": "metamorphic",
+    "InvariantCase": "harness",
+    "InvariantReport": "harness",
+    "VerifyReport": "harness",
+    "run_invariants": "harness",
+    "run_verification": "harness",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from importlib import import_module
+
+        return getattr(import_module(f".{_LAZY[name]}", __name__), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
+__all__ = [
+    "VerifyConfig",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Verifier",
+    "NULL_VERIFIER",
+    "EquivalenceReport",
+    "EquivalenceRow",
+    "analytic_equivalence",
+    "renewal_equivalence",
+    "run_equivalence",
+    "MetamorphicReport",
+    "PropertyCase",
+    "PropertyResult",
+    "run_metamorphic",
+    "InvariantCase",
+    "InvariantReport",
+    "VerifyReport",
+    "run_invariants",
+    "run_verification",
+]

@@ -1,0 +1,49 @@
+"""Verification configuration.
+
+:class:`VerifyConfig` rides on :class:`repro.sim.config.SimulationConfig`
+(mirroring :class:`repro.obs.config.ObsConfig`) and selects which runtime
+checks a simulation performs:
+
+* ``invariants`` - conservation-law checking over the stats ledger and the
+  device state (:mod:`repro.verify.invariants`), per scrub visit and at the
+  horizon.
+
+The default is everything off, which must cost (essentially) nothing: the
+engine keeps a single no-op verifier check per visit and draws no extra
+randomness, so disabled runs are bit-identical to runs of a build without
+the subsystem.  Enabled runs are *also* bit-identical - checkers only read
+state - they merely raise :class:`repro.verify.invariants.InvariantViolation`
+when an identity breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Which runtime checks one simulation run performs (default: none)."""
+
+    #: Check the conservation identities during and after the run.
+    invariants: bool = False
+    #: Check the ledger identities every Nth scrub visit (1 = every visit).
+    #: The horizon checks always run when ``invariants`` is on, so a larger
+    #: stride trades detection latency for per-visit overhead, never
+    #: coverage.
+    check_every: int = 1
+    #: Relative tolerance for floating-point energy identities.  Energy
+    #: totals are sums of per-op costs, so the only slack needed is
+    #: accumulation rounding.
+    energy_rtol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if self.energy_rtol < 0:
+            raise ValueError("energy_rtol must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any check is on (the engine then builds a verifier)."""
+        return self.invariants

@@ -1,0 +1,197 @@
+"""The ``repro verify`` harness: all three verification pillars in one run.
+
+The harness composes:
+
+1. an **invariant sweep** - full simulations over a deliberately diverse
+   set of configurations (every policy family, demand traffic, partial
+   write-back, retirement with spares, read-triggered refresh) with
+   :class:`repro.verify.invariants.InvariantChecker` armed, so every
+   conservation law is audited on every code path;
+2. the **metamorphic property suite** (:mod:`repro.verify.metamorphic`);
+3. the **statistical cross-validation** of the Monte-Carlo engine against
+   the analytic and renewal models (:mod:`repro.verify.equivalence`).
+
+:func:`run_verification` returns a :class:`VerifyReport` that the CLI
+renders as tables and JSON; ``passed`` is the single bit CI gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import units
+from ..core import (
+    adaptive_scrub,
+    basic_scrub,
+    combined_scrub,
+    light_scrub,
+    partial_scrub,
+    strong_ecc_scrub,
+    threshold_scrub,
+)
+from ..params import EnduranceSpec
+from ..sim.config import SimulationConfig
+from ..sim.runner import run_experiment
+from ..workloads import uniform_rates
+from .config import VerifyConfig
+from .equivalence import EquivalenceReport, run_equivalence
+from .invariants import InvariantViolation
+from .metamorphic import MetamorphicReport, run_metamorphic
+
+
+@dataclass(frozen=True)
+class InvariantCase:
+    """One configuration of the invariant sweep and its outcome."""
+
+    name: str
+    passed: bool
+    #: Structured violation payload when the case failed, else ``None``.
+    violation: dict | None = None
+    #: Headline counters for the report (visits / uncorrectables).
+    visits: int = 0
+    uncorrectable: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "violation": self.violation,
+            "visits": self.visits,
+            "uncorrectable": self.uncorrectable,
+        }
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of the invariant sweep."""
+
+    cases: tuple[InvariantCase, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        return all(case.passed for case in self.cases)
+
+    @property
+    def failures(self) -> tuple[InvariantCase, ...]:
+        return tuple(case for case in self.cases if not case.passed)
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Everything ``repro verify`` produced."""
+
+    invariants: InvariantReport
+    metamorphic: MetamorphicReport
+    equivalence: EquivalenceReport
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.invariants.passed
+            and self.metamorphic.passed
+            and self.equivalence.passed
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "invariants": self.invariants.to_dict(),
+            "metamorphic": self.metamorphic.to_dict(),
+            "equivalence": self.equivalence.to_dict(),
+        }
+
+
+def invariant_cases(
+    seed: int = 2012, quick: bool = False
+) -> list[tuple[str, object, SimulationConfig, object]]:
+    """(name, policy, config, rates) tuples covering every engine path.
+
+    Each case exists to drive a distinct ledger flow: the detector-less
+    strong-ECC path, the partial write-back accounting, demand traffic
+    through the adaptive controller, retirement drawing on the spare
+    pool under a deliberately weak endurance spec, and read-triggered
+    refresh bypassing the policy decision entirely.
+    """
+    base = SimulationConfig(
+        num_lines=1024 if quick else 2048,
+        region_size=512,
+        horizon=(2 if quick else 3) * units.DAY,
+        seed=seed,
+        verify=VerifyConfig(invariants=True),
+    )
+    wl = uniform_rates(num_lines=base.num_lines, total_write_rate=5.0)
+    interval = 2 * units.HOUR
+    cases: list[tuple[str, object, SimulationConfig, object]] = [
+        ("basic", basic_scrub(interval=interval), base, None),
+        ("threshold", threshold_scrub(interval=interval), base, None),
+        ("strong_ecc", strong_ecc_scrub(interval=2 * interval), base, None),
+        ("partial", partial_scrub(interval=interval), base, None),
+        ("light", light_scrub(interval=interval), base, None),
+        ("adaptive+demand", adaptive_scrub(interval=interval), base, wl),
+        ("combined+demand", combined_scrub(interval=interval), base, wl),
+        (
+            # Deliberately weak endurance + rewrite-everything policy so
+            # retirements actually happen and the spare-pool identities
+            # (and refusal counting past exhaustion) are live, not vacuous.
+            "retire+spares",
+            basic_scrub(interval=interval),
+            replace(
+                base,
+                retire_hard_limit=2,
+                spares_per_region=8,
+                endurance=EnduranceSpec(mean_writes=20.0),
+            ),
+            None,
+        ),
+        (
+            "read_refresh",
+            threshold_scrub(interval=2 * interval),
+            replace(base, read_refresh=True),
+            wl,
+        ),
+    ]
+    if quick:
+        keep = {"basic", "threshold", "partial", "retire+spares", "read_refresh"}
+        cases = [case for case in cases if case[0] in keep]
+    return cases
+
+
+def run_invariants(seed: int = 2012, quick: bool = False) -> InvariantReport:
+    """Run the invariant sweep; violations become failed cases, not raises."""
+    outcomes = []
+    for name, policy, config, rates in invariant_cases(seed=seed, quick=quick):
+        try:
+            result = run_experiment(policy, config, rates)
+        except InvariantViolation as violation:
+            outcomes.append(
+                InvariantCase(
+                    name=name, passed=False, violation=violation.to_dict()
+                )
+            )
+        else:
+            outcomes.append(
+                InvariantCase(
+                    name=name,
+                    passed=True,
+                    visits=result.stats.visits,
+                    uncorrectable=result.stats.uncorrectable,
+                )
+            )
+    return InvariantReport(cases=tuple(outcomes))
+
+
+def run_verification(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> VerifyReport:
+    """All three pillars; the CLI's ``repro verify`` calls exactly this."""
+    return VerifyReport(
+        invariants=run_invariants(seed=seed, quick=quick),
+        metamorphic=run_metamorphic(seed=seed, jobs=jobs, quick=quick),
+        equivalence=run_equivalence(seed=seed, jobs=jobs, quick=quick),
+    )

@@ -1,0 +1,434 @@
+"""Runtime conservation-law checking over a running simulation.
+
+The stats ledger (:class:`repro.core.stats.ScrubStats`) is the sole source
+of every number the reproduction reports, so a silent accounting bug - a
+missed ``record_*`` call, a double-charged energy category, a mask that
+drifts out of sync with its counter - corrupts every downstream claim
+while all goldens regenerate "cleanly".  This module makes the ledger
+self-checking: an :class:`InvariantChecker` rides along with the engine
+(behind ``SimulationConfig.verify``, zero-overhead when off, mirroring the
+observability pattern) and re-derives every counter independently from the
+per-visit decisions the engine hands it, raising a structured
+:class:`InvariantViolation` the moment the two disagree.
+
+Identities enforced (per visit, modulo ``check_every``, and at horizon):
+
+* **visit accounting** - ``stats.visits`` equals lines visited; decode,
+  detect, write-back, miss, retire, and UE counters each equal the sum of
+  the per-visit decisions (including read-refresh events, which bypass the
+  policy);
+* **histogram conservation** - every decode contributes exactly one
+  histogram observation (``error_histogram.sum() == scrub_decodes``), the
+  erroneous-visit counter equals the nonzero mass
+  (``visits_with_errors == error_histogram[1:].sum()``), and the observed
+  error mass equals the resolved-plus-pending split of each decision;
+* **energy = sum of per-op costs** - each ledger category's joules equal
+  its op count times the :class:`repro.pcm.energy.OperationCosts` price
+  (write-backs split into full-line and per-cell partial components);
+* **spare-pool conservation** - allocations never exceed the provisioned
+  budget and every granted spare corresponds to exactly one retirement.
+
+The checker never mutates simulation state and draws no randomness, so
+enabling it cannot perturb results - verified runs are bit-identical to
+unverified ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .config import VerifyConfig
+
+
+class InvariantViolation(RuntimeError):
+    """A conservation law broke during (or after) a simulation.
+
+    Carries structured context so harnesses can report the violation
+    without parsing the message: the invariant name, the expected and
+    actual values, the simulated time and region of the offending visit
+    (``None`` for horizon checks), a free-form detail dict, and - when the
+    run was tracing (:mod:`repro.obs.trace`) - the tail of the event trace
+    leading up to the violation.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        *,
+        expected: Any,
+        actual: Any,
+        time: float | None = None,
+        region: int | None = None,
+        context: dict | None = None,
+        trace_tail: list[dict] | None = None,
+    ):
+        self.invariant = invariant
+        self.expected = expected
+        self.actual = actual
+        self.time = time
+        self.region = region
+        self.context = dict(context) if context else {}
+        self.trace_tail = list(trace_tail) if trace_tail else []
+        where = ""
+        if time is not None:
+            where = f" at t={time:g}" + (
+                f" region={region}" if region is not None else ""
+            )
+        super().__init__(
+            f"invariant {invariant!r} violated{where}: "
+            f"expected {expected!r}, got {actual!r}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable violation record (feeds the verify report)."""
+        return {
+            "invariant": self.invariant,
+            "expected": _jsonable(self.expected),
+            "actual": _jsonable(self.actual),
+            "time": self.time,
+            "region": self.region,
+            "context": {k: _jsonable(v) for k, v in self.context.items()},
+            "trace_tail": self.trace_tail,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value
+
+
+class Verifier:
+    """No-op base verifier.
+
+    ``enabled`` is the hot-path guard, exactly like
+    :class:`repro.obs.trace.Tracer`: the engine checks it before gathering
+    any per-visit decision detail, so a disabled verifier costs one
+    attribute read per visit.
+    """
+
+    enabled: bool = False
+
+    def check_visit(self, **kwargs) -> None:
+        """Fold one visit's decisions in and check the ledger against them."""
+
+    def note_refresh(self, writes: int, ues: int) -> None:
+        """Account read-refresh events (they bypass the policy decision)."""
+
+    def check_final(self, final_state: dict[str, float]) -> None:
+        """Run the horizon checks against the end-of-run state."""
+
+
+#: Shared default instance; safe because the null verifier is stateless.
+NULL_VERIFIER = Verifier()
+
+
+class InvariantChecker(Verifier):
+    """Re-derives the stats ledger independently and compares continuously.
+
+    Parameters
+    ----------
+    stats:
+        The live ledger the engine charges; read-only from here.
+    config:
+        Check stride and float tolerances.
+    spare_pool:
+        The run's :class:`repro.mem.sparing.SparePool`, when provisioned.
+    tracer:
+        The run's tracer; when it records events in memory, violations
+        carry the trace tail for post-mortem context.
+    """
+
+    enabled = True
+
+    #: Trace events attached to a violation for context.
+    TRACE_TAIL_EVENTS = 8
+
+    def __init__(
+        self,
+        stats,
+        config: VerifyConfig | None = None,
+        spare_pool=None,
+        tracer=None,
+    ):
+        self.stats = stats
+        self.config = config if config is not None else VerifyConfig(invariants=True)
+        self.spare_pool = spare_pool
+        self.tracer = tracer
+        #: Conservation-law violations found (populated only when raising).
+        self._visit_index = 0
+        # Independently accumulated expectations, one per ledger identity.
+        self._lines_visited = 0
+        self._detects = 0
+        self._decodes = 0
+        self._writebacks = 0
+        self._partial_events = 0
+        self._partial_cells = 0
+        self._uncorrectable = 0
+        self._missed = 0
+        self._retired = 0
+        self._refresh_writes = 0
+        self._refresh_ues = 0
+        self._errors_observed = 0
+
+    # -- engine-facing hooks -------------------------------------------------
+
+    def note_refresh(self, writes: int, ues: int) -> None:
+        self._refresh_writes += writes
+        self._refresh_ues += ues
+
+    def check_visit(
+        self,
+        *,
+        time: float,
+        region: int,
+        visited: int,
+        detected: int,
+        decoded: int,
+        written_back: int,
+        partial_cells: int | None,
+        uncorrectable: int,
+        missed: int,
+        retired: int,
+        errors_observed: int,
+        errors_resolved: int,
+        errors_pending: int,
+    ) -> None:
+        """Fold one scrub visit's decision into the expectations and check.
+
+        ``partial_cells`` is ``None`` for full-line write-backs and the
+        rewritten-cell total for partial write-backs.  ``errors_observed``
+        is the histogram-capped error mass over the decoded lines;
+        ``errors_resolved``/``errors_pending`` split it by whether the
+        decision reset the line (write-back or UE recovery) or left it in
+        service.
+        """
+        # Decision-shape sanity: these come straight from the masks, so a
+        # failure here means the policy or the engine miscounted.
+        if decoded > visited:
+            self._raise(
+                "decoded_within_visit", expected=f"<= {visited}",
+                actual=decoded, time=time, region=region,
+            )
+        if written_back + uncorrectable > decoded:
+            self._raise(
+                "decisions_within_decoded", expected=f"<= {decoded}",
+                actual=written_back + uncorrectable, time=time, region=region,
+                context={"written_back": written_back,
+                         "uncorrectable": uncorrectable},
+            )
+        if missed > visited:
+            self._raise(
+                "missed_within_visit", expected=f"<= {visited}",
+                actual=missed, time=time, region=region,
+            )
+        if errors_observed != errors_resolved + errors_pending:
+            self._raise(
+                "observed_errors_split", expected=errors_observed,
+                actual=errors_resolved + errors_pending, time=time,
+                region=region,
+                context={"resolved": errors_resolved, "pending": errors_pending},
+            )
+
+        self._lines_visited += visited
+        self._detects += detected
+        self._decodes += decoded
+        if partial_cells is None:
+            self._writebacks += written_back
+        else:
+            self._partial_events += written_back
+            self._partial_cells += partial_cells
+        self._uncorrectable += uncorrectable
+        self._missed += missed
+        self._retired += retired
+        self._errors_observed += errors_observed
+
+        self._visit_index += 1
+        if self._visit_index % self.config.check_every == 0:
+            self._check_ledger(time=time, region=region)
+
+    def check_final(self, final_state: dict[str, float]) -> None:
+        """Horizon checks: ledger identities plus end-of-run device state."""
+        self._check_ledger(time=None, region=None)
+        self._check_demand(time=None, region=None)
+        stuck = final_state.get("stuck_cells", 0.0)
+        mismatch = final_state.get("hard_mismatch_cells", 0.0)
+        if mismatch > stuck:
+            self._raise(
+                "hard_mismatch_within_stuck", expected=f"<= {stuck}",
+                actual=mismatch, context={"final_state": dict(final_state)},
+            )
+        if final_state.get("mean_writes_per_line", 0.0) < 0:
+            self._raise(
+                "nonnegative_wear", expected=">= 0",
+                actual=final_state["mean_writes_per_line"],
+            )
+
+    # -- the identities ------------------------------------------------------
+
+    def _check_ledger(self, time: float | None, region: int | None) -> None:
+        stats = self.stats
+        counts = stats.ledger.counts
+        expected_counts = {
+            "visits": (self._lines_visited, stats.visits),
+            "scrub_read_count": (self._lines_visited, counts["scrub_read"]),
+            "scrub_detect_count": (self._detects, counts["scrub_detect"]),
+            "scrub_decode_count": (self._decodes, counts["scrub_decode"]),
+            "scrub_write_count": (
+                self._writebacks + self._partial_events + self._refresh_writes,
+                counts["scrub_write"],
+            ),
+            "uncorrectable_count": (
+                self._uncorrectable + self._refresh_ues, stats.uncorrectable
+            ),
+            "detector_miss_count": (self._missed, stats.detector_misses),
+            "retired_count": (self._retired, stats.retired),
+            "partial_cell_count": (self._partial_cells, stats.partial_cells),
+        }
+        for invariant, (expected, actual) in expected_counts.items():
+            if expected != actual:
+                self._raise(invariant, expected=expected, actual=actual,
+                            time=time, region=region)
+
+        # Histogram conservation: one observation per decode, erroneous
+        # visits equal the nonzero mass, and the error mass matches the
+        # decision-level resolved + pending split.
+        hist = stats.error_histogram
+        hist_total = int(hist.sum())
+        if hist_total != self._decodes:
+            self._raise(
+                "histogram_mass", expected=self._decodes, actual=hist_total,
+                time=time, region=region,
+            )
+        nonzero = int(hist[1:].sum())
+        if stats.visits_with_errors != nonzero:
+            self._raise(
+                "visits_with_errors", expected=nonzero,
+                actual=stats.visits_with_errors, time=time, region=region,
+            )
+        observed = int(np.dot(np.arange(hist.size), hist))
+        if observed != self._errors_observed:
+            self._raise(
+                "observed_error_mass", expected=self._errors_observed,
+                actual=observed, time=time, region=region,
+            )
+
+        self._check_energy(time=time, region=region)
+        self._check_spares(time=time, region=region)
+
+    def _check_energy(self, time: float | None, region: int | None) -> None:
+        """Energy = sum of per-op costs, category by category."""
+        stats = self.stats
+        costs = stats.costs
+        ledger = stats.ledger
+        per_op = {
+            "scrub_read": costs.read_energy,
+            "scrub_detect": costs.detect_energy,
+            "scrub_decode": costs.decode_energy,
+            "demand_write": costs.write_energy,
+        }
+        for category, price in per_op.items():
+            expected = ledger.counts[category] * price
+            self._check_close(
+                f"energy_{category}", expected, ledger.energy[category],
+                time=time, region=region,
+            )
+        expected_write = (
+            (self._writebacks + self._refresh_writes) * costs.write_energy
+            + self._partial_cells * costs.write_energy_per_cell
+        )
+        self._check_close(
+            "energy_scrub_write", expected_write, ledger.energy["scrub_write"],
+            time=time, region=region,
+        )
+        scrub_total = sum(
+            ledger.energy[cat] for cat in ledger.energy if cat.startswith("scrub_")
+        )
+        self._check_close(
+            "scrub_energy_total", scrub_total, stats.scrub_energy,
+            time=time, region=region,
+        )
+
+    def _check_demand(self, time: float | None, region: int | None) -> None:
+        """Demand-side identities (reads are bulk-charged at the horizon)."""
+        stats = self.stats
+        ledger = stats.ledger
+        if ledger.counts["demand_write"] != stats.demand_writes:
+            self._raise(
+                "demand_write_count", expected=stats.demand_writes,
+                actual=ledger.counts["demand_write"], time=time, region=region,
+            )
+        self._check_close(
+            "energy_demand_read",
+            ledger.counts["demand_read"] * stats.costs.read_energy,
+            ledger.energy["demand_read"], time=time, region=region,
+        )
+
+    def _check_spares(self, time: float | None, region: int | None) -> None:
+        pool = self.spare_pool
+        if pool is None:
+            return
+        if (pool.used > pool.spares_per_region).any():
+            self._raise(
+                "spares_within_budget",
+                expected=f"<= {pool.spares_per_region} per region",
+                actual=pool.used.max(), time=time, region=region,
+                context={"used_per_region": pool.used},
+            )
+        total_used = int(pool.used.sum())
+        if total_used != self.stats.retired:
+            self._raise(
+                "spares_match_retirements", expected=self.stats.retired,
+                actual=total_used, time=time, region=region,
+            )
+        if pool.refused < 0:
+            self._raise(
+                "nonnegative_refusals", expected=">= 0", actual=pool.refused,
+                time=time, region=region,
+            )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _check_close(
+        self,
+        invariant: str,
+        expected: float,
+        actual: float,
+        time: float | None,
+        region: int | None,
+    ) -> None:
+        tolerance = self.config.energy_rtol * max(abs(expected), abs(actual), 1e-300)
+        if abs(expected - actual) > tolerance:
+            self._raise(invariant, expected=expected, actual=actual,
+                        time=time, region=region,
+                        context={"rtol": self.config.energy_rtol})
+
+    def _raise(
+        self,
+        invariant: str,
+        *,
+        expected: Any,
+        actual: Any,
+        time: float | None = None,
+        region: int | None = None,
+        context: dict | None = None,
+    ) -> None:
+        trace_tail: list[dict] | None = None
+        events = getattr(self.tracer, "events", None)
+        if events:
+            trace_tail = list(events[-self.TRACE_TAIL_EVENTS:])
+        raise InvariantViolation(
+            invariant,
+            expected=expected,
+            actual=actual,
+            time=time,
+            region=region,
+            context=context,
+            trace_tail=trace_tail,
+        )

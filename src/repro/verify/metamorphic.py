@@ -1,0 +1,270 @@
+"""Metamorphic properties of the scrub simulator.
+
+Metamorphic testing checks *relations between runs* instead of absolute
+numbers: we may not know how many uncorrectable errors a configuration
+should produce, but we know with certainty which direction the count must
+move when one knob turns.  Each property here encodes one such ordering
+law from the paper's problem structure:
+
+* **Shorter scrub interval never hurts** - scrubbing more often catches
+  drifted cells earlier, so uncorrectables are non-decreasing in the
+  interval (`interval_monotonicity`).
+* **Stronger ECC never hurts** - a code correcting more errors per line
+  strictly dominates a weaker one on the same error pattern, for both
+  the BCH and the Reed-Solomon ladder (`ecc_monotonicity`).
+* **More drift variance hurts** - widening the drift-coefficient spread
+  puts more mass in the fast-drifting tail, so uncorrectables are
+  non-decreasing in the sigma scale (`drift_monotonicity`).
+* **Failures accelerate** - a fresh population starts error-free and
+  ramps toward steady state, so the second half of a run produces at
+  least as many uncorrectables as the first: doubling the horizon at
+  least doubles the count (`horizon_superadditivity`).
+
+All runs in a property share one seed.  The population's crossing times
+are drawn before the engine starts and the idle-workload engine is
+deterministic afterwards, so each comparison is *paired*: the orderings
+hold sample-path-wise, not merely in expectation, and the checks need no
+statistical slack (the horizon property alone keeps a small epsilon for
+the boundary case where both halves tie).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import units
+from ..analysis.sweeps import sweep_policies
+from ..core.threshold import ThresholdScrubPolicy
+from ..ecc.schemes import get_scheme
+from ..sim.config import SimulationConfig
+from ..sim.parallel import RunSpec, run_many
+
+#: Slack factor for the superadditivity check: UE(2H) >= 2 * UE(H) * (1 - eps).
+#: The relation is deterministic for a paired seed; the epsilon only
+#: tolerates the degenerate near-tie when counts are tiny.
+SUPERADDITIVITY_EPS = 0.02
+
+
+@dataclass(frozen=True)
+class PropertyCase:
+    """One run inside a property: the knob setting and the metric."""
+
+    label: str
+    value: float
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "value": self.value}
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Outcome of one metamorphic property."""
+
+    name: str
+    #: The ordering law, stated for a reader of the report.
+    relation: str
+    #: Cases in the order the law requires (each step must satisfy it).
+    cases: tuple[PropertyCase, ...]
+    passed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "relation": self.relation,
+            "cases": [case.to_dict() for case in self.cases],
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class MetamorphicReport:
+    """All property outcomes from one suite run."""
+
+    results: tuple[PropertyResult, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> tuple[PropertyResult, ...]:
+        return tuple(result for result in self.results if not result.passed)
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+def _non_decreasing(values: list[float]) -> bool:
+    return all(a <= b for a, b in zip(values, values[1:]))
+
+
+def _base_config(seed: int, quick: bool) -> SimulationConfig:
+    return SimulationConfig(
+        num_lines=2048 if quick else 8192,
+        region_size=2048 if quick else 8192,
+        horizon=(3 if quick else 7) * units.DAY,
+        seed=seed,
+        endurance=None,
+    )
+
+
+def interval_monotonicity(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> PropertyResult:
+    """Uncorrectables are non-decreasing in the scrub interval."""
+    intervals = [2 * units.HOUR, 4 * units.HOUR, 8 * units.HOUR]
+    config = _base_config(seed, quick)
+    specs = [
+        RunSpec(
+            policy="threshold",
+            config=config,
+            policy_kwargs={"interval": interval, "strength": 3, "threshold": 1},
+        )
+        for interval in intervals
+    ]
+    results = run_many(specs, jobs=jobs)
+    cases = tuple(
+        PropertyCase(
+            label=f"T={interval / units.HOUR:g}h",
+            value=float(result.stats.uncorrectable),
+        )
+        for interval, result in zip(intervals, results)
+    )
+    return PropertyResult(
+        name="interval_monotonicity",
+        relation="UE(T1) <= UE(T2) for T1 <= T2 (same seed)",
+        cases=cases,
+        passed=_non_decreasing([case.value for case in cases]),
+    )
+
+
+def ecc_monotonicity(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> list[PropertyResult]:
+    """Uncorrectables are non-increasing in ECC strength (BCH and RS)."""
+    ladders = [("bch", ["bch2", "bch4", "bch8"]), ("rs", ["rs2", "rs4", "rs8"])]
+    if quick:
+        ladders = [(family, names[:2]) for family, names in ladders]
+    config = _base_config(seed, quick)
+    interval = 4 * units.HOUR
+    # RS schemes are not reachable through the RunSpec factory's strength
+    # knob, so run ready-built policies instead.
+    policies = [
+        ThresholdScrubPolicy(get_scheme(name), interval=interval, threshold=1)
+        for _, names in ladders
+        for name in names
+    ]
+    results = sweep_policies(policies, config, jobs=jobs)
+
+    outcomes = []
+    cursor = 0
+    for family, names in ladders:
+        chunk = results[cursor : cursor + len(names)]
+        cursor += len(names)
+        cases = tuple(
+            PropertyCase(label=name, value=float(result.stats.uncorrectable))
+            for name, result in zip(names, chunk)
+        )
+        values = [case.value for case in cases]
+        outcomes.append(
+            PropertyResult(
+                name=f"ecc_monotonicity_{family}",
+                relation="UE(stronger code) <= UE(weaker code) (same seed)",
+                cases=cases,
+                passed=_non_decreasing(values[::-1]),
+            )
+        )
+    return outcomes
+
+
+def drift_monotonicity(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> PropertyResult:
+    """Uncorrectables are non-decreasing in the drift-sigma scale."""
+    scales = [1.0, 1.5, 2.0]
+    if quick:
+        scales = scales[:2]
+    base = _base_config(seed, quick)
+    specs = []
+    for scale in scales:
+        cell = base.line.cell
+        scaled = replace(
+            cell,
+            drift=tuple(
+                replace(d, nu_sigma=d.nu_sigma * scale) for d in cell.drift
+            ),
+        )
+        specs.append(
+            RunSpec(
+                policy="threshold",
+                config=replace(base, line=replace(base.line, cell=scaled)),
+                policy_kwargs={
+                    "interval": 4 * units.HOUR,
+                    "strength": 3,
+                    "threshold": 1,
+                },
+            )
+        )
+    results = run_many(specs, jobs=jobs)
+    cases = tuple(
+        PropertyCase(
+            label=f"sigma x{scale:g}", value=float(result.stats.uncorrectable)
+        )
+        for scale, result in zip(scales, results)
+    )
+    return PropertyResult(
+        name="drift_monotonicity",
+        relation="UE(sigma1) <= UE(sigma2) for sigma1 <= sigma2 (same seed)",
+        cases=cases,
+        passed=_non_decreasing([case.value for case in cases]),
+    )
+
+
+def horizon_superadditivity(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> PropertyResult:
+    """Doubling the horizon at least doubles the uncorrectable count.
+
+    The first half of the doubled run replays the short run exactly (same
+    seed, idle workload, deterministic engine), so the check isolates the
+    second window: a fresh population cannot fail faster early than late.
+    """
+    base = _base_config(seed, quick)
+    specs = [
+        RunSpec(
+            policy="threshold",
+            config=replace(base, horizon=horizon),
+            policy_kwargs={
+                "interval": 4 * units.HOUR,
+                "strength": 3,
+                "threshold": 2,
+            },
+        )
+        for horizon in (base.horizon, 2 * base.horizon)
+    ]
+    results = run_many(specs, jobs=jobs)
+    short, doubled = (float(r.stats.uncorrectable) for r in results)
+    cases = (
+        PropertyCase(label="H", value=short),
+        PropertyCase(label="2H", value=doubled),
+    )
+    return PropertyResult(
+        name="horizon_superadditivity",
+        relation="UE(2H) >= 2 * UE(H) (same seed)",
+        cases=cases,
+        passed=doubled >= 2.0 * short * (1.0 - SUPERADDITIVITY_EPS),
+    )
+
+
+def run_metamorphic(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> MetamorphicReport:
+    """The full property suite as one report."""
+    results = [interval_monotonicity(seed=seed, jobs=jobs, quick=quick)]
+    results.extend(ecc_monotonicity(seed=seed, jobs=jobs, quick=quick))
+    results.append(drift_monotonicity(seed=seed, jobs=jobs, quick=quick))
+    results.append(horizon_superadditivity(seed=seed, jobs=jobs, quick=quick))
+    return MetamorphicReport(results=tuple(results))

@@ -9,6 +9,23 @@ from repro.params import CellSpec, EnduranceSpec, EnergySpec, LineSpec
 from repro.sim.rng import RngStreams
 from repro.sim.runner import clear_distribution_cache
 
+try:
+    from hypothesis import HealthCheck, settings
+
+    # One pinned profile so property tests are deterministic and bounded:
+    # derandomized examples, no per-example deadline (CI machines jitter),
+    # and a modest example budget - these are laws, not fuzzing campaigns.
+    settings.register_profile(
+        "repro",
+        deadline=None,
+        derandomize=True,
+        max_examples=50,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("repro")
+except ImportError:  # pragma: no cover - hypothesis is an optional extra
+    pass
+
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_disk_cache(tmp_path_factory):

@@ -1,0 +1,186 @@
+"""Cross-codec property tests: the laws every ECC implementation must obey.
+
+Each codec already has example-based tests; this module states the
+*contracts* once, as hypothesis properties over small (fast) code
+instances:
+
+* encode -> decode of a clean codeword recovers the data exactly;
+* any error pattern of weight <= t is corrected back to the codeword;
+* a pattern of weight t+1 is never passed off as a clean decode of the
+  original word (minimum distance 2t+1 makes that impossible: the decoder
+  either flags the failure or lands on a *different* codeword);
+* the CRC detector catches every single-bit flip (and is clean on the
+  original word).
+
+The hypothesis profile is pinned in ``tests/conftest.py`` (derandomized,
+no deadline), so these runs are deterministic and CI-safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc.bch import BchCode
+from repro.ecc.crc import CrcDetector
+from repro.ecc.hamming import SecdedCode
+from repro.ecc.rs import RsBitCodec
+
+#: Small instances keep each decode sub-millisecond; the laws they obey
+#: are the same ones the 512-bit production codes rely on.
+SECDED = SecdedCode(32)
+BCH = BchCode(32, t=2)
+RS = RsBitCodec(32, t=2, m=4)
+CRC = CrcDetector(16)
+
+
+def bits_strategy(length: int):
+    return st.lists(
+        st.sampled_from([0, 1]), min_size=length, max_size=length
+    ).map(lambda raw: np.array(raw, dtype=np.int8))
+
+
+def positions_strategy(length: int, count: int):
+    return st.lists(
+        st.integers(0, length - 1),
+        min_size=count,
+        max_size=count,
+        unique=True,
+    )
+
+
+def corrupt(codeword: np.ndarray, positions: list[int]) -> np.ndarray:
+    out = codeword.copy()
+    for pos in positions:
+        out[pos] ^= 1
+    return out
+
+
+class TestRoundTrip:
+    @given(data=bits_strategy(SECDED.data_bits))
+    def test_secded(self, data):
+        result = SECDED.decode(SECDED.encode(data))
+        assert result.ok and result.errors_corrected == 0
+        assert np.array_equal(SECDED.extract_data(result.bits), data)
+
+    @given(data=bits_strategy(BCH.data_bits))
+    def test_bch(self, data):
+        result = BCH.decode(BCH.encode(data))
+        assert result.ok and result.errors_corrected == 0
+        assert np.array_equal(BCH.extract_data(result.bits), data)
+
+    @given(data=bits_strategy(RS.data_bits))
+    def test_rs(self, data):
+        result = RS.decode(RS.encode(data))
+        assert result.ok and result.errors_corrected == 0
+        assert np.array_equal(RS.extract_data(result.bits), data)
+
+
+class TestCorrectsUpToT:
+    @given(
+        data=bits_strategy(SECDED.data_bits),
+        positions=positions_strategy(SECDED.codeword_bits, 1),
+    )
+    def test_secded_single_error(self, data, positions):
+        codeword = SECDED.encode(data)
+        result = SECDED.decode(corrupt(codeword, positions))
+        assert result.ok and result.errors_corrected == 1
+        assert np.array_equal(result.bits, codeword)
+
+    @given(
+        data=bits_strategy(BCH.data_bits),
+        count=st.integers(1, BCH.t),
+        seed=st.integers(0, 2**16),
+    )
+    def test_bch_up_to_t(self, data, count, seed):
+        codeword = BCH.encode(data)
+        rng = np.random.default_rng(seed)
+        positions = rng.choice(BCH.codeword_bits, count, replace=False)
+        result = BCH.decode(corrupt(codeword, list(positions)))
+        assert result.ok
+        assert np.array_equal(result.bits, codeword)
+
+    @given(
+        data=bits_strategy(RS.data_bits),
+        count=st.integers(1, RS.code.t),
+        seed=st.integers(0, 2**16),
+    )
+    def test_rs_up_to_t_symbol_errors(self, data, count, seed):
+        codeword = RS.encode(data)
+        rng = np.random.default_rng(seed)
+        # Corrupt `count` distinct symbols (any bit inside each symbol).
+        m = RS.code.bits_per_symbol
+        symbols = rng.choice(RS.codeword_bits // m, count, replace=False)
+        positions = [int(s) * m + int(rng.integers(m)) for s in symbols]
+        result = RS.decode(corrupt(codeword, positions))
+        assert result.ok
+        assert np.array_equal(result.bits, codeword)
+
+
+class TestBeyondTIsNeverSilentlyOriginal:
+    @given(
+        data=bits_strategy(SECDED.data_bits),
+        seed=st.integers(0, 2**16),
+    )
+    def test_secded_double_error_detected(self, data, seed):
+        codeword = SECDED.encode(data)
+        rng = np.random.default_rng(seed)
+        positions = rng.choice(SECDED.codeword_bits, 2, replace=False)
+        result = SECDED.decode(corrupt(codeword, list(positions)))
+        assert not result.ok
+        assert result.double_error
+
+    @given(
+        data=bits_strategy(BCH.data_bits),
+        seed=st.integers(0, 2**16),
+    )
+    def test_bch_t_plus_one(self, data, seed):
+        codeword = BCH.encode(data)
+        rng = np.random.default_rng(seed)
+        positions = rng.choice(BCH.codeword_bits, BCH.t + 1, replace=False)
+        result = BCH.decode(corrupt(codeword, list(positions)))
+        assert not result.ok or not np.array_equal(result.bits, codeword)
+
+    @given(
+        data=bits_strategy(RS.data_bits),
+        seed=st.integers(0, 2**16),
+    )
+    def test_rs_t_plus_one_symbols(self, data, seed):
+        codeword = RS.encode(data)
+        rng = np.random.default_rng(seed)
+        m = RS.code.bits_per_symbol
+        symbols = rng.choice(RS.codeword_bits // m, RS.code.t + 1, replace=False)
+        positions = [int(s) * m + int(rng.integers(m)) for s in symbols]
+        result = RS.decode(corrupt(codeword, positions))
+        assert not result.ok or not np.array_equal(result.bits, codeword)
+
+
+class TestCrcDetector:
+    @given(data=bits_strategy(64))
+    def test_clean_word_passes(self, data):
+        assert CRC.check(data, CRC.compute(data))
+
+    @given(
+        data=bits_strategy(64),
+        position=st.integers(0, 63),
+    )
+    def test_single_bit_flip_detected(self, data, position):
+        stored = CRC.compute(data)
+        flipped = data.copy()
+        flipped[position] ^= 1
+        assert not CRC.check(flipped, stored)
+
+    @given(
+        data=bits_strategy(64),
+        count=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_small_bursts_detected(self, data, count, seed):
+        # CRC-16-CCITT's generator has an (x+1) factor (all odd-weight
+        # patterns detected) and detects every 2-bit error within its
+        # period (32767 bits), so weights 1-3 over 64 bits are guaranteed.
+        stored = CRC.compute(data)
+        rng = np.random.default_rng(seed)
+        positions = rng.choice(64, count, replace=False)
+        assert not CRC.check(corrupt(data, list(positions)), stored)

@@ -67,3 +67,30 @@ class TestAsciiChart:
         too_many = {f"s{i}": [1.0] for i in range(len(SERIES_GLYPHS) + 1)}
         with pytest.raises(ValueError):
             ascii_chart(["a"], too_many)
+
+    def test_error_messages_name_the_problem(self):
+        # The messages are the API for a CLI user staring at a traceback.
+        with pytest.raises(ValueError, match="series must be non-empty"):
+            ascii_chart(["a"], {})
+        with pytest.raises(ValueError, match="height must be >= 3"):
+            ascii_chart(["a"], {"s": [1.0]}, height=2)
+        with pytest.raises(ValueError, match="'short'"):
+            ascii_chart(["a", "b"], {"short": [1.0]})
+        with pytest.raises(ValueError, match="at least one x position"):
+            ascii_chart([], {"s": []})
+
+    def test_mismatch_checked_per_series(self):
+        # One good series does not excuse a bad one.
+        with pytest.raises(ValueError, match="'bad'"):
+            ascii_chart(["a", "b"], {"good": [1.0, 2.0], "bad": [1.0]})
+
+    def test_single_point_chart(self):
+        text = ascii_chart(["only"], {"s": [3.0]}, height=3)
+        assert "o" in text
+        assert "only" in text
+
+    def test_max_series_supported_exactly(self):
+        exact = {f"s{i}": [1.0] for i in range(len(SERIES_GLYPHS))}
+        text = ascii_chart(["a"], exact)
+        for glyph in SERIES_GLYPHS:
+            assert f"{glyph}=" in text

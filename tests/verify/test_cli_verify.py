@@ -1,0 +1,76 @@
+"""The ``repro verify`` subcommand: tables, JSON artifact, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.stats import ScrubStats
+
+
+@pytest.fixture(scope="module")
+def quick_run(tmp_path_factory):
+    """One clean --quick run shared by the passing-path assertions."""
+    out = tmp_path_factory.mktemp("verify") / "report.json"
+    import contextlib
+    import io
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        code = main(
+            ["--jobs", "2", "verify", "--quick", "--json", str(out)]
+        )
+    return code, stdout.getvalue(), out
+
+
+class TestPassingRun:
+    def test_exit_zero(self, quick_run):
+        code, _, _ = quick_run
+        assert code == 0
+
+    def test_tables_cover_all_pillars(self, quick_run):
+        _, output, _ = quick_run
+        assert "Invariant sweep" in output
+        assert "Metamorphic properties" in output
+        assert "Model equivalence" in output
+        assert "verification: PASSED" in output
+        assert "FAIL" not in output
+
+    def test_json_artifact(self, quick_run):
+        _, _, path = quick_run
+        payload = json.loads(path.read_text())
+        assert payload["passed"] is True
+        assert payload["invariants"]["passed"] is True
+        assert payload["metamorphic"]["passed"] is True
+        assert payload["equivalence"]["passed"] is True
+        assert len(payload["equivalence"]["rows"]) >= 8
+
+
+class TestBrokenRun:
+    def test_exit_nonzero_when_invariant_broken(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        # Corrupt the ledger under the harness: the invariant sweep must
+        # catch it and flip the exit code.  jobs=1 keeps every simulation
+        # in-process so the monkeypatch reaches it.
+        monkeypatch.setattr(
+            ScrubStats, "record_scrub_writes", lambda self, count: None
+        )
+        out = tmp_path / "report.json"
+        code = main(
+            ["--jobs", "1", "verify", "--quick", "--json", str(out)]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "FAIL: scrub_write_count" in output
+        assert "verification: FAILED" in output
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is False
+        failures = [
+            case for case in payload["invariants"]["cases"]
+            if not case["passed"]
+        ]
+        assert failures
+        assert failures[0]["violation"]["invariant"] == "scrub_write_count"

@@ -1,0 +1,79 @@
+"""Statistical cross-validation: MC vs the analytic and renewal models.
+
+The full analytic grid (3 intervals x 3 ECC strengths, 16384 lines) is
+the PR's acceptance bar and runs here in full - single-visit runs are
+cheap.  The renewal steady-state grid runs in quick mode; the full grid
+is exercised by ``repro verify`` in CI.
+"""
+
+from __future__ import annotations
+
+from repro.verify.equivalence import (
+    EquivalenceReport,
+    EquivalenceRow,
+    RENEWAL_REL_FLOOR,
+    _relative_band,
+    analytic_equivalence,
+    analytic_grid,
+    renewal_equivalence,
+    renewal_grid,
+)
+
+
+class TestGrids:
+    def test_full_analytic_grid_is_three_by_three(self):
+        grid = analytic_grid()
+        assert len(grid) == 9
+        assert len({interval for interval, _ in grid}) == 3
+        assert len({t for _, t in grid}) == 3
+
+    def test_quick_grids_are_subsets(self):
+        assert set(analytic_grid(quick=True)) <= set(analytic_grid())
+        assert set(renewal_grid(quick=True)) <= set(renewal_grid())
+
+
+class TestAnalytic:
+    def test_full_grid_passes(self):
+        report = analytic_equivalence(jobs=2)
+        assert len(report.rows) == 9
+        assert report.passed, [row.to_dict() for row in report.failures]
+
+    def test_expectations_span_decades(self):
+        # The grid must probe both the rare-event and the bulk regimes;
+        # a band that only ever sees big counts can hide small-p bugs.
+        report = analytic_equivalence(jobs=2)
+        expectations = [row.expected for row in report.rows]
+        assert min(expectations) < 50
+        assert max(expectations) > 2000
+
+
+class TestRenewal:
+    def test_quick_grid_passes_both_metrics(self):
+        report = renewal_equivalence(jobs=2, quick=True)
+        assert report.passed, [row.to_dict() for row in report.failures]
+        metrics = {row.metric for row in report.rows}
+        assert metrics == {"uncorrectable", "scrub_writes"}
+
+    def test_relative_band_has_documented_floor(self):
+        low, high = _relative_band(1e9)  # sampling term negligible
+        assert low == 1e9 * (1 - RENEWAL_REL_FLOOR)
+        assert high == 1e9 * (1 + RENEWAL_REL_FLOOR)
+        assert _relative_band(0.0) == (0.0, 0.0)
+
+
+class TestReport:
+    def test_failures_and_serialization(self):
+        ok = EquivalenceRow(
+            check="analytic", label="x", metric="uncorrectable",
+            observed=10.0, expected=11.0, low=5.0, high=20.0, passed=True,
+        )
+        bad = EquivalenceRow(
+            check="renewal", label="y", metric="scrub_writes",
+            observed=0.0, expected=100.0, low=88.0, high=112.0, passed=False,
+        )
+        report = EquivalenceReport(rows=(ok, bad))
+        assert not report.passed
+        assert report.failures == (bad,)
+        payload = report.to_dict()
+        assert payload["passed"] is False
+        assert payload["rows"][1]["metric"] == "scrub_writes"

@@ -1,0 +1,63 @@
+"""Metamorphic property suite: the ordering laws and their reporting."""
+
+from __future__ import annotations
+
+from repro.verify.metamorphic import (
+    MetamorphicReport,
+    PropertyResult,
+    drift_monotonicity,
+    ecc_monotonicity,
+    horizon_superadditivity,
+    interval_monotonicity,
+    run_metamorphic,
+)
+
+
+class TestProperties:
+    def test_interval_monotonicity_holds(self):
+        result = interval_monotonicity(quick=True)
+        assert result.passed
+        values = [case.value for case in result.cases]
+        assert values == sorted(values)
+
+    def test_ecc_monotonicity_holds_for_both_families(self):
+        results = ecc_monotonicity(quick=True)
+        assert {r.name for r in results} == {
+            "ecc_monotonicity_bch", "ecc_monotonicity_rs"
+        }
+        for result in results:
+            assert result.passed
+            values = [case.value for case in result.cases]
+            assert values == sorted(values, reverse=True)
+
+    def test_drift_monotonicity_holds(self):
+        result = drift_monotonicity(quick=True)
+        assert result.passed
+        values = [case.value for case in result.cases]
+        assert values == sorted(values)
+
+    def test_horizon_superadditivity_holds(self):
+        result = horizon_superadditivity(quick=True)
+        assert result.passed
+        short, doubled = (case.value for case in result.cases)
+        assert doubled >= 2 * short * 0.98
+
+
+class TestReport:
+    def test_suite_aggregates_and_passes(self):
+        report = run_metamorphic(quick=True)
+        assert report.passed
+        assert not report.failures
+        assert len(report.results) == 5
+        payload = report.to_dict()
+        assert payload["passed"] is True
+        assert all("cases" in entry for entry in payload["results"])
+
+    def test_failure_surfaces_in_report(self):
+        good = PropertyResult(
+            name="good", relation="x", cases=(), passed=True
+        )
+        bad = PropertyResult(name="bad", relation="x", cases=(), passed=False)
+        report = MetamorphicReport(results=(good, bad))
+        assert not report.passed
+        assert report.failures == (bad,)

@@ -1,0 +1,77 @@
+"""Hypothesis properties for the verification substrate itself.
+
+The invariant/metamorphic/equivalence pillars assume two things about the
+physics layer that deserve their own property tests: the crossing-time
+CDF behaves like a distribution function (monotone, bounded, worsening
+with temperature), and named RNG streams are independent and
+deterministic (paired-seed comparisons in the metamorphic suite depend
+on exactly this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.params import CellSpec
+from repro.pcm.drift import DriftModel
+from repro.sim.analytic import CrossingDistribution
+from repro.sim.rng import RngStreams
+
+DIST = CrossingDistribution(CellSpec(), temperature_k=300.0)
+MODEL_COOL = DriftModel(CellSpec(), temperature_k=300.0)
+MODEL_HOT = DriftModel(CellSpec(), temperature_k=330.0)
+
+times = st.floats(min_value=1.0, max_value=1e7, allow_nan=False)
+
+
+class TestDriftCdf:
+    @given(t1=times, t2=times)
+    def test_cdf_monotone_in_time(self, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert DIST.cdf(lo) <= DIST.cdf(hi) + 1e-12
+
+    @given(t=times)
+    def test_cdf_bounded(self, t):
+        value = DIST.cdf(t)
+        assert 0.0 <= value <= 1.0
+
+    @given(t=times, symbol=st.integers(1, 3))
+    def test_error_probability_monotone_in_temperature(self, t, symbol):
+        # Arrhenius acceleration: a hotter part is never more reliable.
+        cool = MODEL_COOL.error_probability(symbol, t)
+        hot = MODEL_HOT.error_probability(symbol, t)
+        assert hot >= cool - 1e-12
+
+    @given(q=st.floats(min_value=1e-6, max_value=0.1))
+    def test_quantile_inverts_cdf(self, q):
+        # The crossing distribution is defective (most cells never cross
+        # within any horizon), so only quantiles inside its total mass
+        # (~0.2 at 300K) are finite and invertible.
+        t = DIST.quantile(q)
+        assert np.isfinite(t)
+        assert DIST.cdf(t) >= q - 1e-9
+
+
+class TestRngStreams:
+    @given(seed=st.integers(0, 2**63 - 1))
+    def test_streams_deterministic_per_seed(self, seed):
+        a = RngStreams(seed).get("population").random(8)
+        b = RngStreams(seed).get("population").random(8)
+        assert np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 2**63 - 1))
+    def test_named_streams_differ(self, seed):
+        streams = RngStreams(seed)
+        a = streams.get("population").random(8)
+        b = streams.get("workload").random(8)
+        assert not np.array_equal(a, b)
+
+    @given(seed=st.integers(0, 2**63 - 1), name=st.text(min_size=1, max_size=16))
+    def test_spawn_children_differ_from_parent(self, seed, name):
+        parent = RngStreams(seed)
+        child = parent.spawn(name)
+        a = parent.get(name).random(4)
+        b = child.get(name).random(4)
+        assert not np.array_equal(a, b)

@@ -25,6 +25,15 @@ class TestTraceContainer:
         with pytest.raises(ValueError):
             Request(-1.0, Op.READ, 0)
 
+    def test_negative_line_rejected(self):
+        with pytest.raises(ValueError, match="line"):
+            Request(0.0, Op.WRITE, -1)
+
+    def test_nonpositive_num_lines_rejected(self):
+        for bad in (0, -4):
+            with pytest.raises(ValueError, match="num_lines"):
+                AccessTrace([], num_lines=bad)
+
     def test_empty_trace(self):
         trace = AccessTrace([], num_lines=8)
         assert len(trace) == 0
@@ -43,6 +52,33 @@ class TestSerialization:
     def test_bad_header_rejected(self):
         with pytest.raises(ValueError):
             AccessTrace.from_csv("x,y,z\n", num_lines=4)
+
+    def test_empty_text_rejected(self):
+        # No header at all is as malformed as a wrong one.
+        with pytest.raises(ValueError, match="unexpected trace header"):
+            AccessTrace.from_csv("", num_lines=4)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace.from_csv("time,op,line\n1.0,X,0\n", num_lines=4)
+
+    def test_malformed_time_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace.from_csv("time,op,line\nnoon,W,0\n", num_lines=4)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTrace.from_csv("time,op,line\n1.0,W,2.5\n", num_lines=4)
+
+    def test_out_of_range_line_rejected(self):
+        with pytest.raises(ValueError, match="num_lines"):
+            AccessTrace.from_csv("time,op,line\n1.0,W,9\n", num_lines=4)
+
+    def test_blank_rows_skipped(self):
+        trace = AccessTrace.from_csv(
+            "time,op,line\n1.0,W,0\n\n2.0,R,1\n", num_lines=4
+        )
+        assert len(trace) == 2
 
 
 class TestPoissonRealization:
