@@ -1,0 +1,92 @@
+"""F1 (fleet): heterogeneous campaign throughput and resume bit-identity.
+
+The acceptance demonstration for the fleet campaign engine: a 64-device,
+three-lot campaign run over the process pool, then interrupted at the
+halfway mark and resumed from its checkpoint journal.  The resumed
+report must be bit-identical to the uninterrupted one, and the fleet
+UE total must equal the sum of the per-lot partial sums (the aggregate
+re-checks this internally; we assert it again here from the report).
+
+Timings (devices/second, parallel wall) land in ``bench_summary.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.fleet import FleetSpec, run_campaign
+from repro.obs import NULL_PROFILER
+
+SPEC_PATH = Path(__file__).resolve().parent.parent / "examples" / "specs" / "fleet_smoke.json"
+JOBS = 4
+
+
+def compute(profiler=NULL_PROFILER):
+    spec = FleetSpec.from_file(SPEC_PATH)
+    started = time.perf_counter()
+    with profiler.span("f01.campaign"):
+        outcome = run_campaign(spec, jobs=JOBS)
+    wall = time.perf_counter() - started
+    return spec, outcome, wall
+
+
+def test_f01_fleet_campaign(benchmark, emit, bench_summary, bench_profiler, tmp_path):
+    spec, outcome, wall = benchmark.pedantic(
+        compute, args=(bench_profiler,), rounds=1, iterations=1
+    )
+    assert outcome.finished
+    report = outcome.report
+
+    # Interrupt at the halfway mark, then resume from the journal: the
+    # final report must be bit-identical to the uninterrupted run.
+    journal = tmp_path / "campaign.jsonl"
+    with bench_profiler.span("f01.interrupted"):
+        partial = run_campaign(
+            spec, jobs=JOBS, checkpoint=journal, stop_after=spec.devices // 2
+        )
+    assert not partial.finished
+    with bench_profiler.span("f01.resume"):
+        resumed = run_campaign(spec, jobs=JOBS, checkpoint=journal, resume=True)
+    assert resumed.finished
+    assert resumed.executed == spec.devices - partial.completed
+    assert json.dumps(resumed.report.to_dict(), sort_keys=True) == json.dumps(
+        report.to_dict(), sort_keys=True
+    )
+
+    # Fleet UE total re-adds from the per-lot partial sums.
+    assert sum(lot.counts["uncorrectable"] for lot in report.lots) == report.uncorrectable
+
+    rate = spec.devices / wall if wall > 0 else 0.0
+    bench_summary["f01_fleet_campaign"] = {
+        "devices": spec.devices,
+        "lots": len(spec.lots),
+        "jobs": JOBS,
+        "wall_seconds": round(wall, 4),
+        "devices_per_second": round(rate, 3),
+        "cpu_count": os.cpu_count() or 1,
+        "fit": round(report.fit, 3),
+        "fit_scaled": round(report.fit_scaled, 3),
+        "availability": round(report.availability, 4),
+        "uncorrectable": report.uncorrectable,
+        "resume_bit_identical": True,
+    }
+    emit(
+        "f01_fleet_campaign",
+        "\n".join(
+            [
+                f"F1: fleet campaign ({spec.devices} devices, "
+                f"{len(spec.lots)} lots, jobs={JOBS})",
+                f"  wall:              {wall:8.2f}s "
+                f"({rate:.1f} devices/s on {os.cpu_count()} CPUs)",
+                f"  fleet FIT:         {report.fit:8.1f} "
+                f"(scaled to {spec.capacity_gib_per_device:g} GiB: "
+                f"{report.fit_scaled:.1f})",
+                f"  availability:      {report.availability:8.1%}",
+                f"  uncorrectable:     {report.uncorrectable:8d}",
+                "  resume report bit-identical: yes",
+            ]
+        ),
+    )

@@ -74,6 +74,37 @@ def poisson_interval(count: int, confidence: float = 0.95) -> tuple[float, float
     return low, high
 
 
+def binomial_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used for fleet availability (fraction of devices surviving the
+    horizon UE-free): well-behaved at the extremes 0/n and n/n where the
+    normal approximation collapses.
+
+    >>> low, high = binomial_interval(0, 10)
+    >>> low
+    0.0
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 + confidence / 2))
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denominator
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
 def _t_critical(dof: int, confidence: float) -> float:
     from scipy.stats import t
 

@@ -10,6 +10,7 @@ Subcommands::
     pcm-scrub sweep --policy basic ...    # UE/writes/energy vs interval
     pcm-scrub trace --policy combined ... # full-telemetry run -> trace.jsonl
     pcm-scrub verify --quick              # invariants + metamorphic + models
+    pcm-scrub fleet campaign.json         # datacenter campaign -> FIT report
 
 Every command prints a deterministic fixed-width table; ``--seed``,
 ``--lines``, ``--horizon`` control the Monte-Carlo configuration.
@@ -166,6 +167,29 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the full report as JSON",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a datacenter-scale campaign over a heterogeneous device "
+        "fleet (spec file in, FIT/availability report out)",
+    )
+    fleet.add_argument("spec", help="JSON campaign spec (see docs/fleet.md)")
+    fleet.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="durable JSONL journal; completed devices survive a kill",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing checkpoint (validates the spec hash)",
+    )
+    fleet.add_argument(
+        "--stop-after", type=int, default=None, metavar="N",
+        help="checkpoint and exit after N devices this invocation",
+    )
+    fleet.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the fleet report as JSON",
     )
     return parser
 
@@ -577,7 +601,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     ]
     print(
         format_table(
-            ["property", "UE counts", "verdict"],
+            ["property", "values", "verdict"],
             meta_rows,
             title="Metamorphic properties (paired-seed ordering laws)",
         )
@@ -610,6 +634,101 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetSpec, run_campaign
+
+    spec = FleetSpec.from_file(args.spec)
+    outcome = run_campaign(
+        spec,
+        jobs=_jobs(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        stop_after=args.stop_after,
+    )
+
+    if not outcome.finished:
+        print(
+            format_table(
+                ["campaign", "completed", "executed now", "wall"],
+                [[spec.name, f"{outcome.completed}/{outcome.total}",
+                  outcome.executed, f"{outcome.wall_seconds:.1f}s"]],
+                title="Campaign checkpointed (re-run with --resume to finish)",
+            )
+        )
+        return 0
+
+    report = outcome.report
+    horizon = spec.base_config.horizon
+    print(
+        format_table(
+            ["devices", "lots", "lines/device", "horizon", "policy",
+             "executed now", "wall"],
+            [[report.devices, len(spec.lots), spec.base_config.num_lines,
+              units.format_seconds(horizon), spec.policy, outcome.executed,
+              f"{outcome.wall_seconds:.1f}s"]],
+            title=f"Fleet campaign '{spec.name}'",
+        )
+    )
+
+    def _band(low: float, high: float, fmt: str = "{:.3g}") -> str:
+        return f"[{fmt.format(low)}, {fmt.format(high)}]"
+
+    metric_rows = [
+        ["uncorrectable errors", report.uncorrectable, ""],
+        ["scrub writes", report.counts["scrub_writes"], ""],
+        ["scrub energy", units.format_energy(report.scrub_energy_j),
+         f"{units.format_energy(report.energy_per_gib_j)}/GiB simulated"],
+        ["FIT (simulated pop.)", f"{report.fit:.3g}",
+         _band(report.fit_low, report.fit_high)],
+        [f"FIT ({report.capacity_gib_per_device:g} GiB device)",
+         f"{report.fit_scaled:.3g}",
+         _band(report.fit_scaled_low, report.fit_scaled_high)],
+        ["availability (UE-free)", f"{report.availability:.1%}",
+         _band(report.availability_low, report.availability_high, "{:.3f}")],
+    ]
+    print(
+        format_table(
+            ["metric", "value", "95% interval"],
+            metric_rows,
+            title=f"Fleet reliability over {report.device_hours:.3g} device-hours",
+        )
+    )
+
+    lot_rows = [
+        [lot.name, lot.devices, lot.counts["uncorrectable"],
+         lot.counts["scrub_writes"], units.format_energy(lot.scrub_energy_j),
+         f"{lot.fit:.3g}"]
+        for lot in report.lots
+    ]
+    print(
+        format_table(
+            ["lot", "devices", "UE", "scrub writes", "scrub energy", "FIT"],
+            lot_rows,
+            title="Per-lot breakdown",
+        )
+    )
+
+    survival_rows = [
+        [f">= {threshold}", f"{fraction:.1%}"]
+        for threshold, fraction in report.survival
+    ]
+    print(
+        format_table(
+            ["UE count", "fraction of devices"],
+            survival_rows,
+            title="Uncorrectable-error survival curve",
+        )
+    )
+
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json() + "\n")
+        print(f"wrote fleet report to {path}")
+    return 0
+
+
 COMMANDS = {
     "drift-curve": cmd_drift_curve,
     "compare": cmd_compare,
@@ -620,6 +739,7 @@ COMMANDS = {
     "lifetime": cmd_lifetime,
     "export": cmd_export,
     "verify": cmd_verify,
+    "fleet": cmd_fleet,
 }
 
 

@@ -1,0 +1,108 @@
+"""Durable campaign checkpoints: an append-only JSONL journal.
+
+A campaign writes one journal per run: a header record binding the file
+to the spec's content hash, then one record per completed device, in
+completion order.  Appends are atomic at the line level (single
+``write`` of a full line, flushed and fsynced), so a killed campaign
+leaves at worst one torn trailing line - which :func:`load_journal`
+detects and drops, everything before it being intact.
+
+On ``--resume`` the header hash is revalidated against the spec, so a
+journal can never silently mix devices from two different campaigns; a
+mismatch is a hard :class:`CheckpointError`.  Resume aggregation reads
+completed devices back *from the journal* (not from memory), which is
+what makes a resumed campaign's report bit-identical to an
+uninterrupted one: both aggregate the same serialized records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Journal format version (independent of the spec version).
+JOURNAL_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The journal is unusable: wrong spec, wrong version, or corrupt."""
+
+
+def write_header(path: str | Path, spec_hash: str, name: str) -> None:
+    """Create (truncate) the journal and write its header record."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    record = {
+        "kind": "header",
+        "version": JOURNAL_VERSION,
+        "name": name,
+        "spec_hash": spec_hash,
+    }
+    with open(path, "w") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def append_device(path: str | Path, record: dict) -> None:
+    """Append one completed-device record as a single flushed line."""
+    line = json.dumps({"kind": "device", **record}, sort_keys=True) + "\n"
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def load_journal(
+    path: str | Path, expected_hash: str | None = None
+) -> tuple[dict, dict[int, dict]]:
+    """Parse a journal into ``(header, {device_index: record})``.
+
+    A torn *final* line (the kill-mid-append case) is dropped silently;
+    corruption anywhere else, a missing or alien header, an unsupported
+    version, or a ``spec_hash`` mismatch raise :class:`CheckpointError`.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines:
+        raise CheckpointError(f"checkpoint {path} is empty")
+
+    parsed: list[dict] = []
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                break  # torn tail from a killed append; everything before is good
+            raise CheckpointError(
+                f"checkpoint {path} line {number + 1} is corrupt "
+                "(not the final line, so this is not a torn append)"
+            ) from None
+
+    if not parsed or parsed[0].get("kind") != "header":
+        raise CheckpointError(f"checkpoint {path} does not start with a header")
+    header = parsed[0]
+    if header.get("version") != JOURNAL_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has journal version {header.get('version')!r}; "
+            f"this build reads version {JOURNAL_VERSION}"
+        )
+    if expected_hash is not None and header.get("spec_hash") != expected_hash:
+        raise CheckpointError(
+            f"checkpoint {path} was written for a different campaign spec "
+            f"(journal {header.get('spec_hash')!r}, expected {expected_hash!r}); "
+            "refusing to mix campaigns"
+        )
+
+    devices: dict[int, dict] = {}
+    for number, record in enumerate(parsed[1:], start=2):
+        if record.get("kind") != "device" or "index" not in record:
+            raise CheckpointError(
+                f"checkpoint {path} line {number} is not a device record"
+            )
+        devices[int(record["index"])] = record
+    return header, devices

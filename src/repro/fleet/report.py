@@ -1,0 +1,347 @@
+"""Fleet-level aggregation: FIT rates, availability, survival, energy.
+
+Per-device :class:`repro.core.stats.ScrubStats` summaries roll up into
+the numbers datacenter reliability budgets are written in:
+
+* **FIT** - uncorrectable errors per 10^9 device-hours, with an exact
+  Poisson (Garwood) confidence band, both for the simulated population
+  and scaled linearly to the spec's real per-device capacity (per-line
+  independence makes UE counts linear in capacity; see
+  ``SimulationConfig.num_lines``);
+* **availability** - the fraction of devices that survive the horizon
+  with zero uncorrectable errors, with a Wilson binomial interval;
+* the **UE survival curve** - the fraction of devices with at least
+  ``k`` uncorrectables, at every observed count;
+* **energy** - total scrub energy, per device, and per simulated GiB.
+
+Aggregation is pure and order-fixed (records sorted by device index),
+so a report is a deterministic function of the device records - the
+property the checkpoint/resume machinery relies on.  Every report is
+*invariant-checked* on construction: fleet totals must equal both the
+direct per-device sum and the sum of the per-lot partial sums, the
+device index set must be exactly ``0..devices-1``, and per-lot device
+counts must match the spec's apportionment.  A mismatch raises
+:class:`FleetInvariantError` rather than producing a silently wrong
+report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from ..analysis.stats import binomial_interval, poisson_interval
+from ..sim.results import RunResult
+from .spec import DeviceSpec, FleetSpec
+
+#: Per-10^9-hours scale that defines the FIT unit.
+FIT_HOURS = 1e9
+
+#: Integer counters summed exactly across devices and lots.
+_COUNT_KEYS = (
+    "uncorrectable",
+    "scrub_reads",
+    "scrub_decodes",
+    "scrub_writes",
+    "visits",
+    "detector_misses",
+    "retired",
+    "demand_writes",
+)
+
+
+class FleetInvariantError(RuntimeError):
+    """A fleet aggregate failed its internal cross-check."""
+
+
+@dataclass(frozen=True)
+class DeviceRecord:
+    """One completed device, as persisted in the checkpoint journal."""
+
+    index: int
+    lot: str
+    seed: int
+    temperature_k: float
+    nu_mu_scale: float
+    nu_sigma_scale: float
+    endurance_mean: float | None
+    #: ``ScrubStats.summary()`` of the device run.
+    summary: dict = field(default_factory=dict)
+    final_state: dict = field(default_factory=dict)
+    #: Wall-clock seconds the device simulation took.  Operational
+    #: metadata only - never aggregated into the report, which must be
+    #: bit-identical across reruns.
+    runtime_seconds: float = 0.0
+
+    @property
+    def uncorrectable(self) -> int:
+        return int(self.summary.get("uncorrectable", 0.0))
+
+    @classmethod
+    def from_result(cls, device: DeviceSpec, result: RunResult) -> "DeviceRecord":
+        return cls(
+            index=device.index,
+            lot=device.lot,
+            seed=device.seed,
+            temperature_k=device.temperature_k,
+            nu_mu_scale=device.nu_mu_scale,
+            nu_sigma_scale=device.nu_sigma_scale,
+            endurance_mean=device.endurance_mean,
+            summary=result.stats.summary(),
+            final_state=dict(result.final_state),
+            runtime_seconds=result.runtime_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "lot": self.lot,
+            "seed": self.seed,
+            "temperature_k": self.temperature_k,
+            "nu_mu_scale": self.nu_mu_scale,
+            "nu_sigma_scale": self.nu_sigma_scale,
+            "endurance_mean": self.endurance_mean,
+            "summary": dict(self.summary),
+            "final_state": dict(self.final_state),
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceRecord":
+        return cls(
+            index=int(data["index"]),
+            lot=str(data["lot"]),
+            seed=int(data["seed"]),
+            temperature_k=float(data["temperature_k"]),
+            nu_mu_scale=float(data["nu_mu_scale"]),
+            nu_sigma_scale=float(data["nu_sigma_scale"]),
+            endurance_mean=(
+                None
+                if data.get("endurance_mean") is None
+                else float(data["endurance_mean"])
+            ),
+            summary=dict(data.get("summary", {})),
+            final_state=dict(data.get("final_state", {})),
+            runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+        )
+
+    def normalized(self) -> "DeviceRecord":
+        """The record as it reads back from a JSON journal.
+
+        JSON round-trips finite floats exactly, so this is value-identity;
+        it exists so fresh in-memory records and journal-loaded records
+        aggregate from byte-identical structures.
+        """
+        return DeviceRecord.from_dict(json.loads(json.dumps(self.to_dict())))
+
+
+def _sum_counts(records: Sequence[DeviceRecord]) -> dict[str, int]:
+    totals = dict.fromkeys(_COUNT_KEYS, 0)
+    for record in records:
+        for key in _COUNT_KEYS:
+            totals[key] += int(record.summary.get(key, 0.0))
+    return totals
+
+
+def _sum_energy(records: Sequence[DeviceRecord]) -> float:
+    return math.fsum(record.summary.get("scrub_energy_j", 0.0) for record in records)
+
+
+@dataclass(frozen=True)
+class LotSummary:
+    """Per-lot aggregate row of a fleet report."""
+
+    name: str
+    devices: int
+    counts: dict[str, int]
+    scrub_energy_j: float
+    fit: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "devices": self.devices,
+            **self.counts,
+            "scrub_energy_j": self.scrub_energy_j,
+            "fit": self.fit,
+        }
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """The deterministic aggregate of one completed campaign."""
+
+    name: str
+    devices: int
+    device_hours: float
+    capacity_gib_per_device: float
+    simulated_gib_per_device: float
+    counts: dict[str, int]
+    scrub_energy_j: float
+    #: Simulated-population FIT (UE per 1e9 device-hours) and Garwood band.
+    fit: float
+    fit_low: float
+    fit_high: float
+    #: FIT scaled to the real per-device capacity.
+    fit_scaled: float
+    fit_scaled_low: float
+    fit_scaled_high: float
+    #: Fraction of devices with zero uncorrectables, with Wilson band.
+    availability: float
+    availability_low: float
+    availability_high: float
+    #: Scrub energy per simulated GiB over the horizon.
+    energy_per_gib_j: float
+    #: ``[(ue_threshold, fraction of devices with >= threshold UEs), ...]``.
+    survival: tuple[tuple[int, float], ...]
+    lots: tuple[LotSummary, ...]
+
+    @property
+    def uncorrectable(self) -> int:
+        return self.counts["uncorrectable"]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "devices": self.devices,
+            "device_hours": self.device_hours,
+            "capacity_gib_per_device": self.capacity_gib_per_device,
+            "simulated_gib_per_device": self.simulated_gib_per_device,
+            **self.counts,
+            "scrub_energy_j": self.scrub_energy_j,
+            "fit": self.fit,
+            "fit_low": self.fit_low,
+            "fit_high": self.fit_high,
+            "fit_scaled": self.fit_scaled,
+            "fit_scaled_low": self.fit_scaled_low,
+            "fit_scaled_high": self.fit_scaled_high,
+            "availability": self.availability,
+            "availability_low": self.availability_low,
+            "availability_high": self.availability_high,
+            "energy_per_gib_j": self.energy_per_gib_j,
+            "survival": [[k, fraction] for k, fraction in self.survival],
+            "lots": [lot.to_dict() for lot in self.lots],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def aggregate(spec: FleetSpec, records: Iterable[DeviceRecord]) -> FleetReport:
+    """Roll per-device records up into a :class:`FleetReport`.
+
+    Raises :class:`FleetInvariantError` when the records are not exactly
+    one per device of ``spec``, when the per-lot partial sums do not
+    re-add to the fleet totals, or when lot populations disagree with
+    the spec's apportionment.
+    """
+    ordered = sorted(records, key=lambda record: record.index)
+    indices = [record.index for record in ordered]
+    if indices != list(range(spec.devices)):
+        raise FleetInvariantError(
+            f"expected device records 0..{spec.devices - 1}, got "
+            f"{len(indices)} records"
+            + (f" (first mismatch near index {next((i for i, v in enumerate(indices) if i != v), len(indices))})" if indices else "")
+        )
+
+    counts = _sum_counts(ordered)
+    scrub_energy = _sum_energy(ordered)
+
+    # Per-lot partials, then the cross-check: lot sums must re-add to the
+    # fleet totals (exactly for counters, to rounding for energy).  This
+    # is what the acceptance invariant "fleet UE total equals the sum of
+    # per-device UEs" rides on - two independent summation orders.
+    by_lot: dict[str, list[DeviceRecord]] = {}
+    for record in ordered:
+        by_lot.setdefault(record.lot, []).append(record)
+    expected_counts = {
+        lot.name: count for lot, count in zip(spec.lots, spec.lot_counts())
+    }
+    horizon_hours = spec.base_config.horizon / 3600.0
+    lot_rows = []
+    for lot in spec.lots:
+        members = by_lot.get(lot.name, [])
+        if len(members) != expected_counts[lot.name]:
+            raise FleetInvariantError(
+                f"lot {lot.name!r} has {len(members)} device records but the "
+                f"spec apportions {expected_counts[lot.name]}"
+            )
+        lot_counts = _sum_counts(members)
+        lot_hours = len(members) * horizon_hours
+        lot_rows.append(
+            LotSummary(
+                name=lot.name,
+                devices=len(members),
+                counts=lot_counts,
+                scrub_energy_j=_sum_energy(members),
+                fit=(
+                    lot_counts["uncorrectable"] / lot_hours * FIT_HOURS
+                    if lot_hours > 0
+                    else 0.0
+                ),
+            )
+        )
+    unknown = set(by_lot) - set(expected_counts)
+    if unknown:
+        raise FleetInvariantError(f"records name lots absent from the spec: {sorted(unknown)}")
+    for key in _COUNT_KEYS:
+        refolded = sum(row.counts[key] for row in lot_rows)
+        if refolded != counts[key]:
+            raise FleetInvariantError(
+                f"lot partial sums for {key!r} re-add to {refolded}, "
+                f"fleet total is {counts[key]}"
+            )
+    refolded_energy = math.fsum(row.scrub_energy_j for row in lot_rows)
+    if not math.isclose(refolded_energy, scrub_energy, rel_tol=1e-9, abs_tol=0.0):
+        raise FleetInvariantError(
+            f"lot scrub-energy partial sums re-add to {refolded_energy!r}, "
+            f"fleet total is {scrub_energy!r}"
+        )
+
+    device_hours = spec.device_hours
+    total_ue = counts["uncorrectable"]
+    ue_low, ue_high = poisson_interval(total_ue)
+    fit = total_ue / device_hours * FIT_HOURS
+    fit_low = ue_low / device_hours * FIT_HOURS
+    fit_high = ue_high / device_hours * FIT_HOURS
+    scale = spec.capacity_scale
+
+    survivors = sum(1 for record in ordered if record.uncorrectable == 0)
+    availability = survivors / spec.devices
+    availability_low, availability_high = binomial_interval(
+        survivors, spec.devices
+    )
+
+    ue_counts = [record.uncorrectable for record in ordered]
+    thresholds = sorted({0, *ue_counts})[:32]
+    survival = tuple(
+        (k, sum(1 for ue in ue_counts if ue >= k) / spec.devices)
+        for k in thresholds
+    )
+
+    simulated_gib_total = spec.devices * spec.simulated_gib_per_device
+    return FleetReport(
+        name=spec.name,
+        devices=spec.devices,
+        device_hours=device_hours,
+        capacity_gib_per_device=spec.capacity_gib_per_device,
+        simulated_gib_per_device=spec.simulated_gib_per_device,
+        counts=counts,
+        scrub_energy_j=scrub_energy,
+        fit=fit,
+        fit_low=fit_low,
+        fit_high=fit_high,
+        fit_scaled=fit * scale,
+        fit_scaled_low=fit_low * scale,
+        fit_scaled_high=fit_high * scale,
+        availability=availability,
+        availability_low=availability_low,
+        availability_high=availability_high,
+        energy_per_gib_j=(
+            scrub_energy / simulated_gib_total if simulated_gib_total > 0 else 0.0
+        ),
+        survival=survival,
+        lots=tuple(lot_rows),
+    )

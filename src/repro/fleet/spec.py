@@ -1,0 +1,484 @@
+"""Fleet specifications: heterogeneous device populations from lots.
+
+The paper evaluates scrub policies on a single memory region; FIT budgets
+and availability targets are set at *fleet* scale, where thousands of
+DIMMs from different manufacturing lots age together.  A
+:class:`FleetSpec` describes such a population declaratively:
+
+* a **base configuration** - the single-device
+  :class:`repro.sim.config.SimulationConfig` every device starts from
+  (including its :class:`~repro.obs.config.ObsConfig` and
+  :class:`~repro.verify.config.VerifyConfig`, which ride through to every
+  device unchanged);
+* a set of **lots** - each lot draws its devices' drift parameters
+  (``nu_mean``/``nu_sigma`` scale factors), operating temperature, and
+  endurance from per-lot Gaussian distributions, modelling
+  lot-to-lot process variation and rack-position thermal spread;
+* a **policy** (by :data:`repro.sim.parallel.POLICY_FACTORIES` name, so
+  every device spec is picklable) and an optional uniform demand
+  workload.
+
+Sampling is deterministic: device ``i`` draws its parameters from
+``default_rng([campaign_seed, i])`` and simulates with seed
+``campaign_seed + i``, so a campaign is a pure function of its spec -
+independent of worker placement, batching, or resume boundaries.  A
+degenerate single-lot fleet (all spreads zero, all scales one) of size 1
+reproduces the single-device ``run_experiment`` result bit-exactly.
+
+Specs round-trip through JSON (:meth:`FleetSpec.to_dict` /
+:meth:`FleetSpec.from_dict` / :meth:`FleetSpec.from_file`), and
+:meth:`FleetSpec.content_hash` over the canonical JSON form is what the
+checkpoint journal validates on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .. import units
+from ..obs.config import ObsConfig
+from ..params import EnduranceSpec, replace
+from ..sim.config import SimulationConfig
+from ..sim.parallel import POLICY_FACTORIES, RunSpec
+from ..verify.config import VerifyConfig
+from ..workloads import uniform_rates
+from ..workloads.generators import DemandRates
+
+#: Journal/spec schema version (bumped on incompatible format changes).
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LotParameter:
+    """A per-lot Gaussian over one device parameter.
+
+    Device values are drawn as ``mean + spread * z`` with ``z`` standard
+    normal, then clipped into ``[low, high]`` when bounds are set.  A
+    ``spread`` of zero makes the draw exactly ``mean`` (the degenerate
+    lot used for single-device equivalence).
+    """
+
+    mean: float
+    spread: float = 0.0
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.spread < 0:
+            raise ValueError("spread must be >= 0")
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise ValueError("low must not exceed high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One draw; always consumes exactly one normal variate."""
+        value = self.mean + self.spread * float(rng.standard_normal())
+        if self.low is not None:
+            value = max(value, self.low)
+        if self.high is not None:
+            value = min(value, self.high)
+        return value
+
+    def to_dict(self) -> dict:
+        # Coerced to float so int-valued inputs produce the same canonical
+        # JSON (and therefore the same content hash) as their float twins.
+        out: dict = {"mean": float(self.mean), "spread": float(self.spread)}
+        if self.low is not None:
+            out["low"] = float(self.low)
+        if self.high is not None:
+            out["high"] = float(self.high)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LotParameter":
+        return cls(
+            mean=float(data["mean"]),
+            spread=float(data.get("spread", 0.0)),
+            low=None if data.get("low") is None else float(data["low"]),
+            high=None if data.get("high") is None else float(data["high"]),
+        )
+
+
+#: The identity scale: multiplying by exactly 1.0 leaves every float
+#: unchanged, so a lot built from these defaults is bit-transparent.
+_UNIT_SCALE = LotParameter(mean=1.0, spread=0.0, low=0.0)
+
+
+@dataclass(frozen=True)
+class Lot:
+    """One manufacturing lot: a weighted slice of the fleet.
+
+    ``nu_mu_scale`` / ``nu_sigma_scale`` multiply every level's drift
+    ``nu_mean`` / ``nu_sigma`` (a lot-wide process corner);
+    ``temperature_k``, when set, overrides the base configuration's
+    operating temperature (rack-position spread); ``endurance_mean``,
+    when set, replaces the base endurance spec's mean write count.
+    """
+
+    name: str
+    weight: float = 1.0
+    nu_mu_scale: LotParameter = field(default_factory=lambda: _UNIT_SCALE)
+    nu_sigma_scale: LotParameter = field(default_factory=lambda: _UNIT_SCALE)
+    temperature_k: LotParameter | None = None
+    endurance_mean: LotParameter | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("lot name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"lot {self.name!r}: weight must be positive")
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "weight": float(self.weight),
+            "nu_mu_scale": self.nu_mu_scale.to_dict(),
+            "nu_sigma_scale": self.nu_sigma_scale.to_dict(),
+        }
+        if self.temperature_k is not None:
+            out["temperature_k"] = self.temperature_k.to_dict()
+        if self.endurance_mean is not None:
+            out["endurance_mean"] = self.endurance_mean.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lot":
+        def parameter(key: str, default: LotParameter | None) -> LotParameter | None:
+            if key not in data or data[key] is None:
+                return default
+            return LotParameter.from_dict(data[key])
+
+        return cls(
+            name=str(data["name"]),
+            weight=float(data.get("weight", 1.0)),
+            nu_mu_scale=parameter("nu_mu_scale", _UNIT_SCALE),
+            nu_sigma_scale=parameter("nu_sigma_scale", _UNIT_SCALE),
+            temperature_k=parameter("temperature_k", None),
+            endurance_mean=parameter("endurance_mean", None),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One concrete device: its lot draw, seed, and full configuration."""
+
+    index: int
+    lot: str
+    seed: int
+    nu_mu_scale: float
+    nu_sigma_scale: float
+    temperature_k: float
+    endurance_mean: float | None
+    config: SimulationConfig
+
+    def run_spec(self, policy: str, policy_kwargs: dict,
+                 rates: DemandRates | None) -> RunSpec:
+        return RunSpec(
+            policy=policy,
+            config=self.config,
+            policy_kwargs=dict(policy_kwargs),
+            rates=rates,
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A reproducible datacenter-scale scrub campaign."""
+
+    #: Campaign name (labels reports and journal headers).
+    name: str
+    #: Device population size.
+    devices: int
+    #: Key into :data:`repro.sim.parallel.POLICY_FACTORIES`.
+    policy: str
+    #: Per-device simulation parameters every device is derived from; the
+    #: campaign seed is ``base_config.seed``.
+    base_config: SimulationConfig
+    lots: tuple[Lot, ...] = (Lot(name="default"),)
+    policy_kwargs: dict = field(default_factory=dict)
+    #: Real per-device capacity the FIT projection scales the simulated
+    #: population up to (the Monte-Carlo population is far smaller than a
+    #: DIMM; per-line independence makes the scaling linear).
+    capacity_gib_per_device: float = 16.0
+    #: Total demand write rate per device (writes/s over the whole device,
+    #: uniform across lines); ``None`` simulates idle devices.
+    demand_write_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        if self.devices <= 0:
+            raise ValueError("devices must be positive")
+        if self.policy not in POLICY_FACTORIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"available: {sorted(POLICY_FACTORIES)}"
+            )
+        if not self.lots:
+            raise ValueError("at least one lot is required")
+        names = [lot.name for lot in self.lots]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate lot names: {names}")
+        if self.capacity_gib_per_device <= 0:
+            raise ValueError("capacity_gib_per_device must be positive")
+        if self.demand_write_rate is not None and self.demand_write_rate <= 0:
+            raise ValueError("demand_write_rate must be positive (or None)")
+        if self.base_config.thermal_profile is not None:
+            raise ValueError(
+                "fleet campaigns model temperature heterogeneity through "
+                "per-lot temperature_k; thermal profiles are not supported"
+            )
+
+    # -- lot assignment -------------------------------------------------------
+
+    @property
+    def seed(self) -> int:
+        """The campaign seed (alias for ``base_config.seed``)."""
+        return self.base_config.seed
+
+    def lot_counts(self) -> list[int]:
+        """Device count per lot via largest-remainder apportionment.
+
+        Deterministic: quotas are ``weight / total * devices``; every lot
+        gets its floor, and the leftover devices go to the largest
+        fractional remainders (ties broken by lot order).
+        """
+        total = sum(lot.weight for lot in self.lots)
+        quotas = [lot.weight / total * self.devices for lot in self.lots]
+        counts = [int(q) for q in quotas]
+        leftover = self.devices - sum(counts)
+        remainders = sorted(
+            range(len(self.lots)),
+            key=lambda i: (-(quotas[i] - counts[i]), i),
+        )
+        for i in remainders[:leftover]:
+            counts[i] += 1
+        return counts
+
+    def lot_of(self, index: int) -> Lot:
+        """The lot device ``index`` belongs to (devices laid out in blocks)."""
+        if not 0 <= index < self.devices:
+            raise IndexError(f"device index {index} outside fleet of {self.devices}")
+        cumulative = 0
+        for lot, count in zip(self.lots, self.lot_counts()):
+            cumulative += count
+            if index < cumulative:
+                return lot
+        raise AssertionError("unreachable: lot_counts sums to devices")
+
+    # -- device derivation ----------------------------------------------------
+
+    def device_spec(self, index: int) -> DeviceSpec:
+        """Sample device ``index``'s parameters and build its configuration.
+
+        The draw order (nu_mu scale, nu_sigma scale, temperature,
+        endurance) is part of the format: it fixes which variate each
+        parameter consumes, so adding lots or devices never perturbs
+        other devices.
+        """
+        lot = self.lot_of(index)
+        rng = np.random.default_rng([self.seed, index])
+        nu_mu_scale = lot.nu_mu_scale.sample(rng)
+        nu_sigma_scale = lot.nu_sigma_scale.sample(rng)
+        temperature = (
+            lot.temperature_k.sample(rng)
+            if lot.temperature_k is not None
+            else self.base_config.temperature_k
+        )
+        endurance_mean = (
+            lot.endurance_mean.sample(rng)
+            if lot.endurance_mean is not None
+            else None
+        )
+
+        config = self.base_config
+        if nu_mu_scale != 1.0 or nu_sigma_scale != 1.0:
+            cell = config.line.cell
+            scaled = replace(
+                cell,
+                drift=tuple(
+                    replace(
+                        d,
+                        nu_mean=d.nu_mean * nu_mu_scale,
+                        nu_sigma=d.nu_sigma * nu_sigma_scale,
+                    )
+                    for d in cell.drift
+                ),
+            )
+            config = replace(config, line=replace(config.line, cell=scaled))
+        if temperature != config.temperature_k:
+            config = replace(config, temperature_k=temperature)
+        if endurance_mean is not None:
+            base_endurance = config.endurance
+            sigma = (
+                base_endurance.sigma_log10
+                if base_endurance is not None
+                else EnduranceSpec().sigma_log10
+            )
+            config = replace(
+                config,
+                endurance=EnduranceSpec(
+                    mean_writes=endurance_mean, sigma_log10=sigma
+                ),
+            )
+        config = replace(config, seed=self.seed + index)
+        return DeviceSpec(
+            index=index,
+            lot=lot.name,
+            seed=self.seed + index,
+            nu_mu_scale=nu_mu_scale,
+            nu_sigma_scale=nu_sigma_scale,
+            temperature_k=temperature,
+            endurance_mean=endurance_mean,
+            config=config,
+        )
+
+    def workload(self) -> DemandRates | None:
+        if self.demand_write_rate is None:
+            return None
+        return uniform_rates(self.base_config.num_lines, self.demand_write_rate)
+
+    def run_spec(self, index: int) -> RunSpec:
+        """The picklable work unit for device ``index``."""
+        return self.device_spec(index).run_spec(
+            self.policy, self.policy_kwargs, self.workload()
+        )
+
+    # -- geometry helpers -----------------------------------------------------
+
+    @property
+    def simulated_gib_per_device(self) -> float:
+        """GiB actually simulated per device (the Monte-Carlo population)."""
+        return (
+            self.base_config.num_lines
+            * self.base_config.line.data_bytes
+            / units.GIB
+        )
+
+    @property
+    def capacity_scale(self) -> float:
+        """Real-device lines per simulated line (the FIT scale-up factor)."""
+        return self.capacity_gib_per_device / self.simulated_gib_per_device
+
+    @property
+    def device_hours(self) -> float:
+        """Total simulated device-hours across the fleet."""
+        return self.devices * self.base_config.horizon / units.HOUR
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form; also the :meth:`content_hash` input."""
+        config = self.base_config
+        endurance = (
+            None
+            if config.endurance is None
+            else {
+                "mean_writes": config.endurance.mean_writes,
+                "sigma_log10": config.endurance.sigma_log10,
+            }
+        )
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "devices": self.devices,
+            "policy": self.policy,
+            "policy_kwargs": dict(self.policy_kwargs),
+            "capacity_gib_per_device": float(self.capacity_gib_per_device),
+            "demand_write_rate": (
+                None
+                if self.demand_write_rate is None
+                else float(self.demand_write_rate)
+            ),
+            "lots": [lot.to_dict() for lot in self.lots],
+            "config": {
+                "num_lines": config.num_lines,
+                "region_size": config.region_size,
+                "horizon": config.horizon,
+                "seed": config.seed,
+                "temperature_k": config.temperature_k,
+                "endurance": endurance,
+                "retire_hard_limit": config.retire_hard_limit,
+                "read_refresh": config.read_refresh,
+                "compensated_sensing": config.compensated_sensing,
+                "keep": config.keep,
+                "spares_per_region": config.spares_per_region,
+                "obs": {
+                    "trace": config.obs.trace,
+                    "sample_every": config.obs.sample_every,
+                    "profile": config.obs.profile,
+                },
+                "verify": {
+                    "invariants": config.verify.invariants,
+                    "check_every": config.verify.check_every,
+                    "energy_rtol": config.verify.energy_rtol,
+                },
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSpec":
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported fleet spec version {version!r} "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        raw = dict(data.get("config", {}))
+        endurance = raw.pop("endurance", "unset")
+        obs = raw.pop("obs", None)
+        verify = raw.pop("verify", None)
+        if "horizon_days" in raw:
+            raw["horizon"] = float(raw.pop("horizon_days")) * units.DAY
+        kwargs: dict = dict(raw)
+        if endurance != "unset":
+            kwargs["endurance"] = (
+                None
+                if endurance is None
+                else EnduranceSpec(
+                    mean_writes=float(endurance["mean_writes"]),
+                    sigma_log10=float(endurance.get("sigma_log10", 0.25)),
+                )
+            )
+        if obs is not None:
+            kwargs["obs"] = ObsConfig(**obs)
+        if verify is not None:
+            kwargs["verify"] = VerifyConfig(**verify)
+        try:
+            base_config = SimulationConfig(**kwargs)
+        except TypeError as exc:
+            raise ValueError(f"bad fleet spec config block: {exc}") from None
+        return cls(
+            name=str(data["name"]),
+            devices=int(data["devices"]),
+            policy=str(data["policy"]),
+            policy_kwargs=dict(data.get("policy_kwargs", {})),
+            base_config=base_config,
+            lots=tuple(Lot.from_dict(lot) for lot in data.get("lots", [])),
+            capacity_gib_per_device=float(
+                data.get("capacity_gib_per_device", 16.0)
+            ),
+            demand_write_rate=(
+                None
+                if data.get("demand_write_rate") is None
+                else float(data["demand_write_rate"])
+            ),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FleetSpec":
+        """Load a JSON spec file (the ``pcm-scrub fleet`` input format)."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"fleet spec {path} is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON form (checkpoint validation)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()

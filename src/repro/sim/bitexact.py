@@ -25,6 +25,7 @@ from ..pcm.array import LineArray
 from ..pcm.energy import OperationCosts
 from ..pcm.levels import LevelCoder
 from ..params import EnergySpec, LineSpec
+from ..verify.bitexact import NULL_BITEXACT_VERIFIER
 from ..workloads.trace import AccessTrace, Op
 from .rng import RngStreams
 
@@ -57,6 +58,12 @@ class BitExactEngine:
         RNG family.
     temperature_k:
         Operating temperature.
+    verifier:
+        A :class:`repro.verify.bitexact.BitExactVerifier`; defaults to
+        the shared null instance (zero overhead).  Pass a
+        :class:`repro.verify.bitexact.BitExactChecker` to cross-check
+        every scrub-ledger counter - including the silent-miscorrection
+        tally - against an independently derived classification.
     """
 
     def __init__(
@@ -68,8 +75,10 @@ class BitExactEngine:
         energy_spec: EnergySpec | None = None,
         temperature_k: float | None = None,
         endurance=None,
+        verifier=None,
     ):
         self.policy = policy
+        self.verifier = verifier if verifier is not None else NULL_BITEXACT_VERIFIER
         self.line_spec = line_spec if line_spec is not None else LineSpec()
         self.energy_spec = energy_spec if energy_spec is not None else EnergySpec()
         self.streams = streams
@@ -155,6 +164,7 @@ class BitExactEngine:
         """One full scrub pass over all lines at time ``now``."""
         rng = self.streams.get("scrub")
         threshold = self.policy.threshold
+        verifier = self.verifier
         for line in range(self.num_lines):
             self.stats.record_reads(1)
             raw = self.read_raw_bits(line, now)
@@ -170,21 +180,46 @@ class BitExactEngine:
                     # CRC clean: either truly error-free, or an aliased miss.
                     if not np.array_equal(raw, self._stored[line]):
                         self.stats.detector_misses += 1
+                    if verifier.enabled:
+                        verifier.observe_line(
+                            time=now, line=line, raw=raw,
+                            stored=self._stored[line].copy(),
+                            true_data=self._data[line].copy(),
+                            crc_clean=True, decode_ok=None,
+                            decoded_data=None, corrected=0,
+                            threshold=threshold,
+                        )
                     continue
 
             self.stats.record_decodes(1)
             result = self.codec.decode(codeword_part)
             true_errors = int((codeword_part != stored_codeword).sum())
             self.stats.record_error_counts(np.array([true_errors]))
+            decoded_data = (
+                self.codec.extract_data(result.bits) if result.ok else None
+            )
+            if verifier.enabled:
+                # Raw facts captured before any recovery/write-back mutates
+                # the stored word; the checker classifies them itself.
+                verifier.observe_line(
+                    time=now, line=line, raw=raw,
+                    stored=self._stored[line].copy(),
+                    true_data=self._data[line].copy(),
+                    crc_clean=False if self.detector is not None else None,
+                    decode_ok=bool(result.ok),
+                    decoded_data=(
+                        None if decoded_data is None else decoded_data.copy()
+                    ),
+                    corrected=int(result.errors_corrected),
+                    threshold=threshold,
+                )
 
             if not result.ok:
                 self.stats.uncorrectable += 1
                 self._recover_line(line, now)
                 continue
 
-            if not np.array_equal(
-                self.codec.extract_data(result.bits), self._data[line]
-            ):
+            if not np.array_equal(decoded_data, self._data[line]):
                 # The decoder "succeeded" onto the wrong codeword.
                 self.silent_corruptions += 1
                 self.stats.uncorrectable += 1
@@ -197,6 +232,8 @@ class BitExactEngine:
                 symbols = self.coder.bits_to_symbols(codeword)
                 self.array.write_line(line, symbols, now)
                 self._stored[line] = codeword
+        if verifier.enabled:
+            verifier.check_pass(self, now)
 
     def _recover_line(self, line: int, now: float) -> None:
         """Reload a lost line (outside the scrub-write budget)."""
@@ -242,6 +279,8 @@ class BitExactEngine:
                 self.stats.ledger.add(
                     "demand_read", self.stats.costs.read_energy, 1
                 )
+        if self.verifier.enabled:
+            self.verifier.check_final(self)
         return BitExactResult(
             stats=self.stats, silent_corruptions=self.silent_corruptions
         )

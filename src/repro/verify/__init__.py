@@ -41,6 +41,9 @@ _LAZY = {
     "VerifyReport": "harness",
     "run_invariants": "harness",
     "run_verification": "harness",
+    "BitExactChecker": "bitexact",
+    "BitExactVerifier": "bitexact",
+    "NULL_BITEXACT_VERIFIER": "bitexact",
 }
 
 
@@ -75,4 +78,7 @@ __all__ = [
     "VerifyReport",
     "run_invariants",
     "run_verification",
+    "BitExactChecker",
+    "BitExactVerifier",
+    "NULL_BITEXACT_VERIFIER",
 ]

@@ -1,0 +1,242 @@
+"""Invariant coverage for the bit-exact engine's ledger.
+
+The :class:`repro.sim.bitexact.BitExactEngine` classifies every scrubbed
+line (CRC-clean, aliased detector miss, uncorrectable, silent
+miscorrection, threshold write-back) and tallies each outcome into its
+:class:`~repro.core.stats.ScrubStats` and the ``silent_corruptions``
+counter.  A misplaced branch there corrupts the validation numbers the
+population engine is cross-checked against - precisely the numbers
+nothing else audits.
+
+:class:`BitExactChecker` closes that gap, mirroring the population-side
+:class:`repro.verify.invariants.InvariantChecker`: the engine hands it
+the *raw facts* of each visit (sensed bits, stored word, ground-truth
+data, decode outcome) and the checker re-derives the classification
+independently - recomputing the raw/stored comparison and the
+decoded/ground-truth comparison itself rather than trusting the engine's
+branch.  After every scrub pass it compares its independently accumulated
+ledger against the engine's counters and raises
+:class:`~repro.verify.invariants.InvariantViolation` on the first
+disagreement.  The silent-miscorrection tally is the headline identity:
+``engine.silent_corruptions`` must equal the checker's own count of
+decodes that "succeeded" onto the wrong data.
+
+The checker never mutates engine state and draws no randomness, so a
+checked run is bit-identical to an unchecked one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import VerifyConfig
+from .invariants import InvariantViolation
+
+
+class BitExactVerifier:
+    """No-op base verifier for :class:`repro.sim.bitexact.BitExactEngine`.
+
+    ``enabled`` is the hot-path guard (the engine checks it before
+    copying any per-line arrays), exactly like
+    :class:`repro.verify.invariants.Verifier`.
+    """
+
+    enabled: bool = False
+
+    def observe_line(self, **kwargs) -> None:
+        """Fold one scrubbed line's raw facts into the expectations."""
+
+    def check_pass(self, engine, now: float) -> None:
+        """Compare the accumulated ledger against the engine's counters."""
+
+    def check_final(self, engine) -> None:
+        """Horizon check (re-runs the ledger comparison one last time)."""
+
+
+#: Shared default instance; safe because the null verifier is stateless.
+NULL_BITEXACT_VERIFIER = BitExactVerifier()
+
+
+class BitExactChecker(BitExactVerifier):
+    """Independently re-derive the bit-exact engine's scrub ledger.
+
+    Per visited line the engine supplies the sensed word, the stored
+    word, the ground-truth data, the CRC verdict, and the decode outcome;
+    the checker classifies the visit *itself* and accumulates reads,
+    detects, decodes, write-backs, uncorrectables, detector misses, and
+    silent miscorrections.  :meth:`check_pass` (called by the engine at
+    the end of every scrub pass) and :meth:`check_final` compare every
+    counter against the engine's.
+    """
+
+    enabled = True
+
+    def __init__(self, config: VerifyConfig | None = None):
+        self.config = config if config is not None else VerifyConfig(invariants=True)
+        self._reads = 0
+        self._detects = 0
+        self._decodes = 0
+        self._writebacks = 0
+        self._uncorrectable = 0
+        self._misses = 0
+        self._silent = 0
+
+    # -- engine-facing hooks --------------------------------------------------
+
+    def observe_line(
+        self,
+        *,
+        time: float,
+        line: int,
+        raw: np.ndarray,
+        stored: np.ndarray,
+        true_data: np.ndarray,
+        crc_clean: bool | None,
+        decode_ok: bool | None,
+        decoded_data: np.ndarray | None,
+        corrected: int,
+        threshold: int,
+    ) -> None:
+        """Classify one scrubbed line from its raw facts.
+
+        ``crc_clean`` is ``None`` for detector-less schemes; ``decode_ok``
+        is ``None`` when the CRC short-circuited the decode.  The
+        classification below intentionally re-derives what the engine's
+        branches *should* have concluded.
+        """
+        self._reads += 1
+        if crc_clean is not None:
+            self._detects += 1
+            if crc_clean:
+                if decode_ok is not None:
+                    raise InvariantViolation(
+                        "bitexact_decode_after_clean_crc",
+                        expected=None, actual=decode_ok,
+                        time=time, context={"line": line},
+                    )
+                # A clean CRC over a word that differs from what was
+                # stored is an aliased detector miss.
+                if not np.array_equal(raw, stored):
+                    self._misses += 1
+                return
+        if decode_ok is None:
+            raise InvariantViolation(
+                "bitexact_missing_decode",
+                expected="a decode outcome", actual=None,
+                time=time, context={"line": line, "crc_clean": crc_clean},
+            )
+        self._decodes += 1
+        if not decode_ok:
+            self._uncorrectable += 1
+            return
+        if decoded_data is None:
+            raise InvariantViolation(
+                "bitexact_missing_decoded_data",
+                expected="decoded data bits", actual=None,
+                time=time, context={"line": line},
+            )
+        if not np.array_equal(decoded_data, true_data):
+            # The decoder "succeeded" onto the wrong codeword: a silent
+            # miscorrection, counted as uncorrectable.
+            self._silent += 1
+            self._uncorrectable += 1
+            return
+        if corrected >= threshold:
+            self._writebacks += 1
+
+    def check_pass(self, engine, now: float) -> None:
+        self._check_ledger(engine, time=now)
+
+    def check_final(self, engine) -> None:
+        self._check_ledger(engine, time=None)
+
+    # -- the identities -------------------------------------------------------
+
+    def _check_ledger(self, engine, time: float | None) -> None:
+        stats = engine.stats
+        counts = stats.ledger.counts
+        expected = {
+            "bitexact_scrub_read_count": (self._reads, counts["scrub_read"]),
+            "bitexact_scrub_detect_count": (self._detects, counts["scrub_detect"]),
+            "bitexact_scrub_decode_count": (self._decodes, counts["scrub_decode"]),
+            "bitexact_scrub_write_count": (self._writebacks, counts["scrub_write"]),
+            "bitexact_uncorrectable_count": (
+                self._uncorrectable, stats.uncorrectable
+            ),
+            "bitexact_detector_miss_count": (self._misses, stats.detector_misses),
+            "bitexact_silent_corruptions": (
+                self._silent, engine.silent_corruptions
+            ),
+        }
+        for invariant, (want, got) in expected.items():
+            if want != got:
+                raise InvariantViolation(
+                    invariant, expected=want, actual=got, time=time
+                )
+        # Structural corollaries of the classification itself.
+        if self._silent > self._uncorrectable:
+            raise InvariantViolation(
+                "bitexact_silent_within_uncorrectable",
+                expected=f"<= {self._uncorrectable}", actual=self._silent,
+                time=time,
+            )
+        if self._decodes > self._reads:
+            raise InvariantViolation(
+                "bitexact_decodes_within_reads",
+                expected=f"<= {self._reads}", actual=self._decodes,
+                time=time,
+            )
+
+
+def run_checked(seed: int = 2012, quick: bool = False):
+    """Drive checked bit-exact runs over both detector paths.
+
+    Runs a CRC-carrying threshold policy and a detector-less strong-ECC
+    policy over a deliberately fast-drifting population, each with a
+    :class:`BitExactChecker` armed, so decodes, write-backs,
+    uncorrectables, detector misses, and (under SECDED-class miscorrection
+    pressure) silent corruptions are all live.  Returns
+    ``(visits, uncorrectable, silent_corruptions)`` summed over the runs;
+    raises :class:`InvariantViolation` on the first ledger disagreement.
+    """
+    from .. import units
+    from ..core import basic_scrub, strong_ecc_scrub, threshold_scrub
+    from ..params import CellSpec, DriftParams, LineSpec, replace
+    from ..sim.bitexact import BitExactEngine
+    from ..sim.rng import RngStreams
+
+    cell = CellSpec()
+    fast = LineSpec(
+        cell=replace(
+            cell,
+            drift=(
+                cell.drift[0],
+                DriftParams(0.03, 0.012),
+                DriftParams(0.08, 0.032),
+                cell.drift[3],
+            ),
+        )
+    )
+    num_lines = 4 if quick else 6
+    horizon = (12 if quick else 24) * units.HOUR
+    policies = [
+        threshold_scrub(interval=2 * units.HOUR, strength=4, threshold=2),
+        strong_ecc_scrub(interval=2 * units.HOUR, strength=8),
+        # SECDED has real miscorrection mass under multi-bit patterns, so
+        # this leg exercises the silent-corruption identity non-vacuously.
+        basic_scrub(interval=4 * units.HOUR),
+    ]
+    visits = uncorrectable = silent = 0
+    for offset, policy in enumerate(policies):
+        engine = BitExactEngine(
+            policy,
+            num_lines,
+            RngStreams(seed + offset),
+            line_spec=fast,
+            verifier=BitExactChecker(),
+        )
+        result = engine.run(horizon=horizon)
+        visits += result.stats.visits
+        uncorrectable += result.stats.uncorrectable
+        silent += result.silent_corruptions
+    return visits, uncorrectable, silent

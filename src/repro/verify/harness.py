@@ -31,8 +31,10 @@ from ..core import (
 )
 from ..params import EnduranceSpec
 from ..sim.config import SimulationConfig
-from ..sim.runner import run_experiment
+from ..sim.parallel import parallel_map
+from ..sim.runner import crossing_distribution_for, run_experiment
 from ..workloads import uniform_rates
+from .bitexact import run_checked as run_bitexact_checked
 from .config import VerifyConfig
 from .equivalence import EquivalenceReport, run_equivalence
 from .invariants import InvariantViolation
@@ -162,27 +164,59 @@ def invariant_cases(
     return cases
 
 
-def run_invariants(seed: int = 2012, quick: bool = False) -> InvariantReport:
-    """Run the invariant sweep; violations become failed cases, not raises."""
-    outcomes = []
-    for name, policy, config, rates in invariant_cases(seed=seed, quick=quick):
-        try:
-            result = run_experiment(policy, config, rates)
-        except InvariantViolation as violation:
-            outcomes.append(
-                InvariantCase(
-                    name=name, passed=False, violation=violation.to_dict()
-                )
-            )
-        else:
-            outcomes.append(
-                InvariantCase(
-                    name=name,
-                    passed=True,
-                    visits=result.stats.visits,
-                    uncorrectable=result.stats.uncorrectable,
-                )
-            )
+def _invariant_case_task(
+    case: tuple[str, object, SimulationConfig, object],
+) -> InvariantCase:
+    """Run one sweep case; a violation becomes a failed case, not a raise.
+
+    Module-level so it pickles across the spawn pool; the (policy, config,
+    rates) payload is picklable by the same argument ``sweep_policies``
+    relies on.
+    """
+    name, policy, config, rates = case
+    try:
+        result = run_experiment(policy, config, rates)
+    except InvariantViolation as violation:
+        return InvariantCase(name=name, passed=False, violation=violation.to_dict())
+    return InvariantCase(
+        name=name,
+        passed=True,
+        visits=result.stats.visits,
+        uncorrectable=result.stats.uncorrectable,
+    )
+
+
+def _bitexact_case(seed: int, quick: bool) -> InvariantCase:
+    """The bit-exact ledger cross-check as one sweep case."""
+    try:
+        visits, uncorrectable, __ = run_bitexact_checked(seed=seed, quick=quick)
+    except InvariantViolation as violation:
+        return InvariantCase(
+            name="bitexact", passed=False, violation=violation.to_dict()
+        )
+    return InvariantCase(
+        name="bitexact", passed=True, visits=visits, uncorrectable=uncorrectable
+    )
+
+
+def run_invariants(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> InvariantReport:
+    """Run the invariant sweep, fanned over the process pool for ``jobs > 1``.
+
+    Case order (and therefore the report) is identical for any ``jobs``;
+    each case's run is seeded from its own config, so parallel execution
+    is bit-identical to serial.  The bit-exact cross-check runs in the
+    parent (it is small and keeps the pool payload to population runs).
+    """
+    cases = invariant_cases(seed=seed, quick=quick)
+    if jobs > 1 and len(cases) > 1:
+        # Tabulate (or disk-load) each distinct crossing distribution once
+        # in the parent so spawn workers hit the disk cache.
+        for __, __policy, config, __rates in cases:
+            crossing_distribution_for(config)
+    outcomes = parallel_map(_invariant_case_task, cases, jobs=jobs)
+    outcomes.append(_bitexact_case(seed, quick))
     return InvariantReport(cases=tuple(outcomes))
 
 
@@ -191,7 +225,7 @@ def run_verification(
 ) -> VerifyReport:
     """All three pillars; the CLI's ``repro verify`` calls exactly this."""
     return VerifyReport(
-        invariants=run_invariants(seed=seed, quick=quick),
+        invariants=run_invariants(seed=seed, jobs=jobs, quick=quick),
         metamorphic=run_metamorphic(seed=seed, jobs=jobs, quick=quick),
         equivalence=run_equivalence(seed=seed, jobs=jobs, quick=quick),
     )

@@ -19,6 +19,16 @@ law from the paper's problem structure:
   ramps toward steady state, so the second half of a run produces at
   least as many uncorrectables as the first: doubling the horizon at
   least doubles the count (`horizon_superadditivity`).
+* **A laxer write-back threshold never writes more** - raising the
+  threshold theta only removes lines from the write-back set, so scrub
+  writes - and with them scrub energy, since reads/detects/decodes are
+  pass-count-fixed - are non-increasing in theta
+  (`threshold_write_monotonicity`, `threshold_energy_monotonicity`).
+* **Partial write-back never costs more energy** - re-programming only
+  the drifted cells is cheaper per event than rewriting the line, so
+  the partial policy's scrub energy never exceeds the full-line
+  threshold policy's at the same knob settings
+  (`partial_writeback_economy`).
 
 All runs in a property share one seed.  The population's crossing times
 are drawn before the engine starts and the idle-workload engine is
@@ -259,6 +269,87 @@ def horizon_superadditivity(
     )
 
 
+def threshold_monotonicity(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> list[PropertyResult]:
+    """Scrub writes and scrub energy are non-increasing in the threshold.
+
+    Raising theta only shrinks the set of lines eligible for write-back
+    on each pass, and the remaining scrub work (reads, detects, decodes)
+    is fixed by the pass count - so both orderings hold sample-path-wise
+    on a shared seed.  One triple of runs feeds both properties.
+    """
+    thresholds = [1, 2, 3]
+    if quick:
+        thresholds = thresholds[:2]
+    config = _base_config(seed, quick)
+    specs = [
+        RunSpec(
+            policy="threshold",
+            config=config,
+            policy_kwargs={
+                "interval": 4 * units.HOUR,
+                "strength": 3,
+                "threshold": threshold,
+            },
+        )
+        for threshold in thresholds
+    ]
+    results = run_many(specs, jobs=jobs)
+    outcomes = []
+    for metric, values in (
+        ("write", [float(r.stats.scrub_writes) for r in results]),
+        ("energy", [float(r.stats.scrub_energy) for r in results]),
+    ):
+        cases = tuple(
+            PropertyCase(label=f"theta={threshold}", value=value)
+            for threshold, value in zip(thresholds, values)
+        )
+        outcomes.append(
+            PropertyResult(
+                name=f"threshold_{metric}_monotonicity",
+                relation=(
+                    f"scrub {metric}(theta1) >= scrub {metric}(theta2) "
+                    "for theta1 <= theta2 (same seed)"
+                ),
+                cases=cases,
+                passed=_non_decreasing(values[::-1]),
+            )
+        )
+    return outcomes
+
+
+def partial_writeback_economy(
+    seed: int = 2012, jobs: int = 1, quick: bool = False
+) -> PropertyResult:
+    """Cell-selective write-back never spends more scrub energy.
+
+    The partial policy re-programs only the drifted cells per write-back
+    event instead of the whole line, so at identical interval / strength
+    / threshold settings its scrub energy cannot exceed the full-line
+    threshold policy's.  (Only energy is paired: resetting a subset of
+    cells changes the population trajectory, so event and UE counts may
+    legitimately differ between the two runs.)
+    """
+    config = _base_config(seed, quick)
+    kwargs = {"interval": 4 * units.HOUR, "strength": 3, "threshold": 1}
+    specs = [
+        RunSpec(policy="threshold", config=config, policy_kwargs=kwargs),
+        RunSpec(policy="partial", config=config, policy_kwargs=kwargs),
+    ]
+    full, partial = run_many(specs, jobs=jobs)
+    cases = (
+        PropertyCase(label="full-line", value=float(full.stats.scrub_energy)),
+        PropertyCase(label="partial", value=float(partial.stats.scrub_energy)),
+    )
+    return PropertyResult(
+        name="partial_writeback_economy",
+        relation="scrub energy(partial) <= scrub energy(full-line) (same seed)",
+        cases=cases,
+        passed=partial.stats.scrub_energy <= full.stats.scrub_energy,
+    )
+
+
 def run_metamorphic(
     seed: int = 2012, jobs: int = 1, quick: bool = False
 ) -> MetamorphicReport:
@@ -267,4 +358,6 @@ def run_metamorphic(
     results.extend(ecc_monotonicity(seed=seed, jobs=jobs, quick=quick))
     results.append(drift_monotonicity(seed=seed, jobs=jobs, quick=quick))
     results.append(horizon_superadditivity(seed=seed, jobs=jobs, quick=quick))
+    results.extend(threshold_monotonicity(seed=seed, jobs=jobs, quick=quick))
+    results.append(partial_writeback_economy(seed=seed, jobs=jobs, quick=quick))
     return MetamorphicReport(results=tuple(results))

@@ -1,0 +1,1 @@
+"""Fleet campaign subsystem tests."""

@@ -1,0 +1,103 @@
+"""Checkpoint journal: durability, corruption handling, hash binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.checkpoint import (
+    JOURNAL_VERSION,
+    CheckpointError,
+    append_device,
+    load_journal,
+    write_header,
+)
+
+HASH = "a" * 64
+
+
+def journal_with(tmp_path, records):
+    path = tmp_path / "journal.jsonl"
+    write_header(path, HASH, "test")
+    for record in records:
+        append_device(path, record)
+    return path
+
+
+class TestRoundTrip:
+    def test_header_and_devices(self, tmp_path):
+        path = journal_with(
+            tmp_path,
+            [{"index": 0, "summary": {"uncorrectable": 1.0}}, {"index": 1}],
+        )
+        header, devices = load_journal(path, expected_hash=HASH)
+        assert header["version"] == JOURNAL_VERSION
+        assert header["name"] == "test"
+        assert set(devices) == {0, 1}
+        assert devices[0]["summary"] == {"uncorrectable": 1.0}
+        assert devices[0]["kind"] == "device"
+
+    def test_header_truncates_existing_file(self, tmp_path):
+        path = journal_with(tmp_path, [{"index": 0}])
+        write_header(path, HASH, "restart")
+        header, devices = load_journal(path)
+        assert header["name"] == "restart"
+        assert devices == {}
+
+    def test_duplicate_index_last_wins(self, tmp_path):
+        path = journal_with(
+            tmp_path, [{"index": 0, "v": 1}, {"index": 0, "v": 2}]
+        )
+        __, devices = load_journal(path)
+        assert devices[0]["v"] == 2
+
+
+class TestCorruption:
+    def test_torn_final_line_dropped(self, tmp_path):
+        path = journal_with(tmp_path, [{"index": 0}, {"index": 1}])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "device", "index": 2, "summ')  # killed mid-append
+        __, devices = load_journal(path)
+        assert set(devices) == {0, 1}
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = journal_with(tmp_path, [{"index": 0}])
+        content = path.read_text()
+        path.write_text(content.replace('"index": 0', '"index": 0 GARBAGE'))
+        append_device(path, {"index": 1})
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_journal(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            load_journal(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "device", "index": 0}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            load_journal(path)
+
+    def test_non_device_record_raises(self, tmp_path):
+        path = journal_with(tmp_path, [])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "mystery"}\n{"kind": "device", "index": 0}\n')
+        with pytest.raises(CheckpointError, match="not a device record"):
+            load_journal(path)
+
+
+class TestBinding:
+    def test_hash_mismatch_raises(self, tmp_path):
+        path = journal_with(tmp_path, [{"index": 0}])
+        with pytest.raises(CheckpointError, match="different campaign"):
+            load_journal(path, expected_hash="b" * 64)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = journal_with(tmp_path, [])
+        content = path.read_text().replace(
+            f'"version": {JOURNAL_VERSION}', '"version": 99'
+        )
+        path.write_text(content)
+        with pytest.raises(CheckpointError, match="version"):
+            load_journal(path)

@@ -1,0 +1,162 @@
+"""Fleet aggregation: FIT math, invariant cross-checks, survival curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.analysis.stats import binomial_interval
+from repro.fleet import FleetInvariantError, FleetSpec, Lot, aggregate
+from repro.fleet.report import FIT_HOURS, DeviceRecord
+from repro.sim.config import SimulationConfig
+
+
+def make_spec(devices=4, lots=None) -> FleetSpec:
+    return FleetSpec(
+        name="agg-test",
+        devices=devices,
+        policy="threshold",
+        policy_kwargs={"interval": 4 * units.HOUR, "strength": 3, "threshold": 1},
+        base_config=SimulationConfig(
+            num_lines=256, region_size=256, horizon=units.DAY, seed=1, endurance=None
+        ),
+        lots=lots if lots is not None else (Lot(name="default"),),
+        capacity_gib_per_device=16.0,
+    )
+
+
+def record(index, lot="default", ue=0, energy=0.5, writes=10) -> DeviceRecord:
+    return DeviceRecord(
+        index=index,
+        lot=lot,
+        seed=1 + index,
+        temperature_k=300.0,
+        nu_mu_scale=1.0,
+        nu_sigma_scale=1.0,
+        endurance_mean=None,
+        summary={
+            "uncorrectable": float(ue),
+            "scrub_writes": float(writes),
+            "scrub_energy_j": energy,
+            "visits": 100.0,
+        },
+    )
+
+
+class TestAggregate:
+    def test_fit_and_totals(self):
+        spec = make_spec(devices=4)
+        records = [record(i, ue=i) for i in range(4)]
+        report = aggregate(spec, records)
+        assert report.uncorrectable == 6
+        assert report.counts["scrub_writes"] == 40
+        assert report.scrub_energy_j == pytest.approx(2.0)
+        assert report.device_hours == pytest.approx(4 * 24.0)
+        assert report.fit == pytest.approx(6 / (4 * 24.0) * FIT_HOURS)
+        assert report.fit_low < report.fit < report.fit_high
+        # Linear capacity scale-up.
+        scale = spec.capacity_scale
+        assert report.fit_scaled == pytest.approx(report.fit * scale)
+
+    def test_availability_and_survival(self):
+        spec = make_spec(devices=4)
+        report = aggregate(spec, [record(i, ue=(0 if i < 3 else 5)) for i in range(4)])
+        assert report.availability == pytest.approx(0.75)
+        low, high = binomial_interval(3, 4)
+        assert (report.availability_low, report.availability_high) == (low, high)
+        assert dict(report.survival) == {0: 1.0, 5: 0.25}
+
+    def test_order_independent(self):
+        spec = make_spec(devices=4)
+        records = [record(i, ue=i) for i in range(4)]
+        forward = aggregate(spec, records)
+        backward = aggregate(spec, list(reversed(records)))
+        assert forward.to_dict() == backward.to_dict()
+
+    def test_lot_partition(self):
+        spec = make_spec(
+            devices=4, lots=(Lot(name="a", weight=1), Lot(name="b", weight=1))
+        )
+        records = [record(i, lot=("a" if i < 2 else "b"), ue=i) for i in range(4)]
+        report = aggregate(spec, records)
+        assert [lot.name for lot in report.lots] == ["a", "b"]
+        assert [lot.counts["uncorrectable"] for lot in report.lots] == [1, 5]
+        assert sum(lot.counts["uncorrectable"] for lot in report.lots) == (
+            report.uncorrectable
+        )
+
+    def test_energy_per_gib(self):
+        spec = make_spec(devices=2)
+        report = aggregate(spec, [record(0, energy=1.0), record(1, energy=3.0)])
+        total_gib = 2 * spec.simulated_gib_per_device
+        assert report.energy_per_gib_j == pytest.approx(4.0 / total_gib)
+
+
+class TestInvariants:
+    def test_missing_record_raises(self):
+        spec = make_spec(devices=4)
+        with pytest.raises(FleetInvariantError, match="expected device records"):
+            aggregate(spec, [record(i) for i in (0, 1, 3)])
+
+    def test_duplicate_index_raises(self):
+        spec = make_spec(devices=2)
+        with pytest.raises(FleetInvariantError):
+            aggregate(spec, [record(0), record(0)])
+
+    def test_unknown_lot_raises(self):
+        spec = make_spec(devices=2)
+        with pytest.raises(FleetInvariantError):
+            aggregate(spec, [record(0), record(1, lot="phantom")])
+
+    def test_lot_apportionment_mismatch_raises(self):
+        spec = make_spec(
+            devices=4, lots=(Lot(name="a", weight=1), Lot(name="b", weight=1))
+        )
+        records = [record(i, lot="a") for i in range(4)]  # all in one lot
+        with pytest.raises(FleetInvariantError, match="apportions"):
+            aggregate(spec, records)
+
+
+class TestDeviceRecord:
+    def test_round_trip(self):
+        original = record(3, ue=2, energy=0.123456789)
+        clone = DeviceRecord.from_dict(original.to_dict())
+        assert clone == original
+
+    def test_normalized_is_value_identity(self):
+        original = record(0, energy=1 / 3)
+        assert original.normalized() == original
+
+    def test_uncorrectable_property(self):
+        assert record(0, ue=7).uncorrectable == 7
+
+
+class TestBinomialInterval:
+    def test_midpoint(self):
+        low, high = binomial_interval(5, 10)
+        assert 0.0 < low < 0.5 < high < 1.0
+
+    def test_extremes_stay_in_unit_interval(self):
+        low, high = binomial_interval(0, 10)
+        assert low == 0.0 and 0.0 < high < 0.5
+        low, high = binomial_interval(10, 10)
+        assert 0.5 < low < 1.0 and high == pytest.approx(1.0)
+
+    def test_wider_at_smaller_n(self):
+        narrow = binomial_interval(50, 100)
+        wide = binomial_interval(5, 10)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_interval(-1, 10)
+        with pytest.raises(ValueError):
+            binomial_interval(11, 10)
+        with pytest.raises(ValueError):
+            binomial_interval(0, 0)
+
+    def test_interval_is_finite(self):
+        low, high = binomial_interval(3, 7, confidence=0.99)
+        assert math.isfinite(low) and math.isfinite(high)

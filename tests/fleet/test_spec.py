@@ -1,0 +1,254 @@
+"""Fleet specifications: sampling, apportionment, serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.fleet import FleetSpec, Lot, LotParameter
+from repro.sim.config import SimulationConfig
+
+
+def base_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        num_lines=256,
+        region_size=256,
+        horizon=1 * units.DAY,
+        seed=2012,
+        endurance=None,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def make_spec(**overrides) -> FleetSpec:
+    defaults = dict(
+        name="test-fleet",
+        devices=8,
+        policy="threshold",
+        policy_kwargs={"interval": 4 * units.HOUR, "strength": 3, "threshold": 1},
+        base_config=base_config(),
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+class TestLotParameter:
+    def test_zero_spread_is_exact(self):
+        p = LotParameter(mean=1.25)
+        assert p.sample(np.random.default_rng(0)) == 1.25
+
+    def test_spread_draws_and_clips(self):
+        p = LotParameter(mean=0.0, spread=10.0, low=-1.0, high=1.0)
+        rng = np.random.default_rng(1)
+        values = [p.sample(rng) for _ in range(50)]
+        assert all(-1.0 <= v <= 1.0 for v in values)
+        assert min(values) == -1.0 and max(values) == 1.0  # clipping engaged
+
+    def test_sample_always_consumes_one_variate(self):
+        # Zero-spread draws must still advance the stream, so adding
+        # spread to one parameter never shifts later parameters' draws.
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        LotParameter(mean=1.0).sample(a)
+        LotParameter(mean=1.0, spread=0.5).sample(b)
+        assert float(a.standard_normal()) == float(b.standard_normal())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LotParameter(mean=1.0, spread=-0.1)
+        with pytest.raises(ValueError):
+            LotParameter(mean=1.0, low=2.0, high=1.0)
+
+    def test_round_trip(self):
+        p = LotParameter(mean=1.1, spread=0.2, low=0.0)
+        assert LotParameter.from_dict(p.to_dict()) == p
+
+
+class TestLotValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Lot(name="")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Lot(name="x", weight=0.0)
+
+
+class TestApportionment:
+    def test_largest_remainder(self):
+        spec = make_spec(
+            devices=64,
+            lots=(
+                Lot(name="a", weight=3),
+                Lot(name="b", weight=2),
+                Lot(name="c", weight=1),
+            ),
+        )
+        assert spec.lot_counts() == [32, 21, 11]
+        assert sum(spec.lot_counts()) == 64
+
+    def test_single_lot_takes_all(self):
+        spec = make_spec(devices=5)
+        assert spec.lot_counts() == [5]
+
+    def test_block_layout(self):
+        spec = make_spec(
+            devices=10, lots=(Lot(name="a", weight=1), Lot(name="b", weight=1))
+        )
+        assert spec.lot_counts() == [5, 5]
+        assert [spec.lot_of(i).name for i in range(10)] == ["a"] * 5 + ["b"] * 5
+        with pytest.raises(IndexError):
+            spec.lot_of(10)
+
+    def test_counts_always_sum_to_devices(self):
+        for devices in (1, 7, 13, 64):
+            spec = make_spec(
+                devices=devices,
+                lots=(
+                    Lot(name="a", weight=1.7),
+                    Lot(name="b", weight=0.9),
+                    Lot(name="c", weight=0.4),
+                ),
+            )
+            assert sum(spec.lot_counts()) == devices
+
+
+class TestDeviceSampling:
+    def test_deterministic(self):
+        spec = make_spec(
+            lots=(Lot(name="a", nu_mu_scale=LotParameter(1.0, 0.1, low=0.0)),)
+        )
+        assert spec.device_spec(3) == spec.device_spec(3)
+
+    def test_device_params_independent_of_fleet_size(self):
+        lots = (Lot(name="a", nu_mu_scale=LotParameter(1.0, 0.1, low=0.0)),)
+        small = make_spec(devices=4, lots=lots)
+        large = make_spec(devices=8, lots=lots)
+        for index in range(4):
+            assert small.device_spec(index) == large.device_spec(index)
+
+    def test_degenerate_lot_is_bit_transparent(self):
+        spec = make_spec(devices=1)
+        device = spec.device_spec(0)
+        # Scales are exactly 1.0, temperature inherited, seed + 0: the
+        # device config must be the base config, field for field.
+        assert device.config == spec.base_config
+        assert device.nu_mu_scale == 1.0
+
+    def test_seed_offsets_by_index(self):
+        spec = make_spec()
+        assert spec.device_spec(5).config.seed == spec.base_config.seed + 5
+
+    def test_lot_overrides_apply(self):
+        spec = make_spec(
+            lots=(
+                Lot(
+                    name="hot",
+                    nu_mu_scale=LotParameter(1.2),
+                    temperature_k=LotParameter(320.0),
+                    endurance_mean=LotParameter(1e6),
+                ),
+            )
+        )
+        device = spec.device_spec(0)
+        assert device.temperature_k == 320.0
+        assert device.config.temperature_k == 320.0
+        assert device.config.endurance.mean_writes == 1e6
+        base_nu = spec.base_config.line.cell.drift[1].nu_mean
+        assert device.config.line.cell.drift[1].nu_mean == base_nu * 1.2
+
+
+class TestValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            make_spec(devices=0)
+        with pytest.raises(ValueError):
+            make_spec(policy="nonesuch")
+        with pytest.raises(ValueError):
+            make_spec(lots=())
+        with pytest.raises(ValueError):
+            make_spec(lots=(Lot(name="a"), Lot(name="a")))
+        with pytest.raises(ValueError):
+            make_spec(capacity_gib_per_device=0.0)
+        with pytest.raises(ValueError):
+            make_spec(demand_write_rate=-1.0)
+        with pytest.raises(ValueError):
+            make_spec(name="")
+
+    def test_rejects_thermal_profile(self):
+        from repro.pcm.thermal import ThermalProfile
+
+        profile = ThermalProfile.constant(330.0)
+        with pytest.raises(ValueError, match="thermal profiles"):
+            make_spec(base_config=base_config(thermal_profile=profile))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = make_spec(
+            devices=12,
+            lots=(
+                Lot(name="a", weight=2, nu_mu_scale=LotParameter(1.05, 0.02, low=0.0)),
+                Lot(name="b", temperature_k=LotParameter(310.0, 2.0, low=250.0)),
+            ),
+            demand_write_rate=5.0,
+        )
+        clone = FleetSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_hash_sensitivity(self):
+        spec = make_spec()
+        assert spec.content_hash() != make_spec(devices=9).content_hash()
+        assert (
+            spec.content_hash()
+            != make_spec(base_config=base_config(seed=13)).content_hash()
+        )
+
+    def test_horizon_days_alias(self):
+        data = make_spec().to_dict()
+        data["config"]["horizon_days"] = 2.0
+        del data["config"]["horizon"]
+        assert FleetSpec.from_dict(data).base_config.horizon == 2 * units.DAY
+
+    def test_unknown_version_rejected(self):
+        data = make_spec().to_dict()
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            FleetSpec.from_dict(data)
+
+    def test_bad_config_key_rejected(self):
+        data = make_spec().to_dict()
+        data["config"]["nonesuch"] = 1
+        with pytest.raises(ValueError, match="config block"):
+            FleetSpec.from_dict(data)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(make_spec().to_dict()))
+        assert FleetSpec.from_file(path).content_hash() == make_spec().content_hash()
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FleetSpec.from_file(path)
+
+    def test_obs_and_verify_ride_through(self):
+        data = make_spec().to_dict()
+        data["config"]["verify"] = {"invariants": True, "check_every": 16}
+        spec = FleetSpec.from_dict(data)
+        assert spec.base_config.verify.invariants
+        assert spec.device_spec(0).config.verify.check_every == 16
+
+
+class TestGeometry:
+    def test_capacity_scale_and_device_hours(self):
+        spec = make_spec(capacity_gib_per_device=16.0)
+        assert spec.simulated_gib_per_device == pytest.approx(
+            256 * spec.base_config.line.data_bytes / (1024**3)
+        )
+        assert spec.capacity_scale == pytest.approx(
+            16.0 / spec.simulated_gib_per_device
+        )
+        assert spec.device_hours == pytest.approx(8 * 24.0)

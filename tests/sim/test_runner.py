@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro import units
 from repro.core import basic_scrub, combined_scrub
+from repro.params import CellSpec
+from repro.sim import runner
+from repro.sim.analytic import tabulation_cache_key
 from repro.sim.config import SimulationConfig
-from repro.sim.runner import build_stats, crossing_distribution_for, run_experiment
+from repro.sim.runner import (
+    DISTRIBUTION_CACHE_COUNTERS,
+    build_stats,
+    crossing_distribution_for,
+    run_experiment,
+)
 from repro.workloads.generators import uniform_rates
 
 SMALL = SimulationConfig(
@@ -55,3 +65,66 @@ class TestRunner:
         # bch8+crc carries more bits than secded: costlier reads/writes.
         assert strong.costs.read_energy > weak.costs.read_energy
         assert strong.costs.decode_energy > weak.costs.decode_energy
+
+
+class TestDistributionCacheEviction:
+    """LRU bound, recency refresh, and source counters of the memo."""
+
+    @pytest.fixture(autouse=True)
+    def _small_cache(self, monkeypatch):
+        runner.clear_distribution_cache()
+        monkeypatch.setattr(runner, "_DISTRIBUTION_CACHE_MAX", 2)
+        yield
+        runner.clear_distribution_cache()
+
+    def test_insert_evicts_oldest_beyond_max(self):
+        runner._DISTRIBUTION_CACHE["stale-a"] = object()
+        runner._DISTRIBUTION_CACHE["stale-b"] = object()
+        dist = runner.cached_crossing_distribution(CellSpec(), 300.0)
+        key = tabulation_cache_key(CellSpec(), 300.0, False)
+        assert len(runner._DISTRIBUTION_CACHE) == 2
+        assert "stale-a" not in runner._DISTRIBUTION_CACHE  # LRU victim
+        assert runner._DISTRIBUTION_CACHE[key] is dist
+
+    def test_memory_hit_refreshes_recency(self):
+        first = runner.cached_crossing_distribution(CellSpec(), 300.0)
+        key = tabulation_cache_key(CellSpec(), 300.0, False)
+        # A newer entry would otherwise make the real one the LRU victim.
+        runner._DISTRIBUTION_CACHE["filler"] = object()
+        hit = runner.cached_crossing_distribution(CellSpec(), 300.0)
+        assert hit is first
+        assert next(iter(runner._DISTRIBUTION_CACHE)) == "filler"
+        assert DISTRIBUTION_CACHE_COUNTERS["memory"] == 1
+
+    def test_counters_track_the_source_chain(self):
+        runner.cached_crossing_distribution(CellSpec(), 300.0)
+        cold = (
+            DISTRIBUTION_CACHE_COUNTERS["disk"]
+            + DISTRIBUTION_CACHE_COUNTERS["tabulated"]
+        )
+        assert cold == 1
+        assert DISTRIBUTION_CACHE_COUNTERS["memory"] == 0
+        runner.cached_crossing_distribution(CellSpec(), 300.0)
+        assert DISTRIBUTION_CACHE_COUNTERS["memory"] == 1
+
+    def test_evicted_entry_reloads_from_disk_not_memory(self):
+        runner.cached_crossing_distribution(CellSpec(), 300.0)
+        runner._DISTRIBUTION_CACHE["filler-1"] = object()
+        runner._DISTRIBUTION_CACHE["filler-2"] = object()
+        # Evict the real entry by inserting past the bound via the API.
+        runner._DISTRIBUTION_CACHE.popitem(last=False)
+        key = tabulation_cache_key(CellSpec(), 300.0, False)
+        assert key not in runner._DISTRIBUTION_CACHE
+        before = DISTRIBUTION_CACHE_COUNTERS["memory"]
+        runner.cached_crossing_distribution(CellSpec(), 300.0)
+        # The refetch was not a memory hit: it went back down the chain.
+        assert DISTRIBUTION_CACHE_COUNTERS["memory"] == before
+        assert DISTRIBUTION_CACHE_COUNTERS["disk"] >= 1
+
+    def test_clear_resets_memo_and_counters(self):
+        runner.cached_crossing_distribution(CellSpec(), 300.0)
+        runner.clear_distribution_cache()
+        assert len(runner._DISTRIBUTION_CACHE) == 0
+        assert DISTRIBUTION_CACHE_COUNTERS["memory"] == 0
+        assert DISTRIBUTION_CACHE_COUNTERS["disk"] == 0
+        assert DISTRIBUTION_CACHE_COUNTERS["tabulated"] == 0

@@ -49,6 +49,44 @@ class TestTables:
         with pytest.raises(ValueError):
             format_series("t", [1, 2], {"a": [1]})
 
+    def test_empty_rows_render_header_only(self):
+        text = format_table(["alpha", "b"], [])
+        lines = text.splitlines()
+        assert lines == ["alpha  b", "-----  -"]
+
+    def test_empty_rows_with_title(self):
+        text = format_table(["x"], [], title="empty")
+        assert text.splitlines() == ["empty", "x", "-"]
+
+    def test_trailing_whitespace_stripped(self):
+        # A short last cell must not leave padding at the line end.
+        text = format_table(["wide-header", "y"], [["a", "b"]])
+        assert all(line == line.rstrip() for line in text.splitlines())
+
+    def test_column_wider_than_header(self):
+        text = format_table(["h"], [["a-long-cell"]])
+        lines = text.splitlines()
+        assert lines[1] == "-" * len("a-long-cell")
+
+    def test_negative_and_boundary_float_rendering(self):
+        text = format_table(
+            ["v"], [[-1.5e-4], [1e-3], [-123456.0], [9999.0], [0.001234]]
+        )
+        assert "-1.500e-04" in text  # below the fixed-point floor
+        assert "0.001" in text  # exactly at the floor renders fixed
+        assert "-1.235e+05" in text  # above the fixed-point ceiling
+        assert "9999" in text  # under the ceiling stays fixed
+
+    def test_non_numeric_cells_pass_through(self):
+        text = format_table(["a"], [[None], [True], ["x"]])
+        assert "None" in text and "True" in text
+
+    def test_series_with_no_series_is_x_only(self):
+        text = format_series("t", [1, 2], {})
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[2:] == ["1", "2"]
+
 
 class TestStatistics:
     def test_summarize_single_value(self):

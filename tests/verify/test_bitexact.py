@@ -1,0 +1,170 @@
+"""Bit-exact ledger cross-check: clean runs, corruption shims, identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import light_scrub, strong_ecc_scrub
+from repro.params import CellSpec, DriftParams, LineSpec, replace
+from repro.sim.bitexact import BitExactEngine
+from repro.sim.rng import RngStreams
+from repro.verify.bitexact import (
+    NULL_BITEXACT_VERIFIER,
+    BitExactChecker,
+    BitExactVerifier,
+    run_checked,
+)
+from repro.verify.invariants import InvariantViolation
+
+
+def fast_spec() -> LineSpec:
+    cell = CellSpec()
+    return LineSpec(
+        cell=replace(
+            cell,
+            drift=(
+                cell.drift[0],
+                DriftParams(0.03, 0.012),
+                DriftParams(0.08, 0.032),
+                cell.drift[3],
+            ),
+        )
+    )
+
+
+def make_engine(policy, verifier=None, seed=3, num_lines=4) -> BitExactEngine:
+    return BitExactEngine(
+        policy, num_lines, RngStreams(seed), line_spec=fast_spec(),
+        verifier=verifier,
+    )
+
+
+class TestNullVerifier:
+    def test_default_is_the_shared_null(self):
+        engine = make_engine(light_scrub(units.HOUR, 4))
+        assert engine.verifier is NULL_BITEXACT_VERIFIER
+        assert not engine.verifier.enabled
+        assert type(NULL_BITEXACT_VERIFIER) is BitExactVerifier
+
+
+class TestCleanRuns:
+    def test_checked_run_passes_with_detector(self):
+        engine = make_engine(light_scrub(units.HOUR, 4), BitExactChecker())
+        result = engine.run(horizon=8 * units.HOUR)
+        assert result.stats.visits > 0
+
+    def test_checked_run_passes_without_detector(self):
+        engine = make_engine(strong_ecc_scrub(units.HOUR, 8), BitExactChecker())
+        result = engine.run(horizon=8 * units.HOUR)
+        assert result.stats.scrub_decodes > 0
+
+    def test_harness_leg_runs_both_paths(self):
+        visits, uncorrectable, silent = run_checked(quick=True)
+        assert visits > 0
+        assert uncorrectable >= silent >= 0
+
+    def test_checked_run_is_bit_identical_to_unchecked(self):
+        checked = make_engine(light_scrub(units.HOUR, 4), BitExactChecker())
+        plain = make_engine(light_scrub(units.HOUR, 4))
+        a = checked.run(horizon=12 * units.HOUR)
+        b = plain.run(horizon=12 * units.HOUR)
+        assert a.stats.summary() == b.stats.summary()
+        assert a.silent_corruptions == b.silent_corruptions
+        assert np.array_equal(checked._stored, plain._stored)
+
+
+class TestCorruptionShims:
+    """Deliberately break the engine's accounting; the checker must notice."""
+
+    def test_dropped_scrub_write_counter_detected(self):
+        engine = make_engine(light_scrub(units.HOUR, 4), BitExactChecker())
+        engine.stats.record_scrub_writes = lambda count: None  # the bug
+        with pytest.raises(InvariantViolation) as info:
+            engine.run(horizon=units.DAY)
+        assert info.value.invariant == "bitexact_scrub_write_count"
+
+    def test_tampered_silent_tally_detected(self):
+        engine = make_engine(light_scrub(units.HOUR, 4), BitExactChecker())
+        engine.write_random(0.0, np.random.default_rng(0))
+        engine.silent_corruptions = 1  # tally drifts from reality
+        with pytest.raises(InvariantViolation) as info:
+            engine.scrub_pass(units.HOUR)
+        assert info.value.invariant == "bitexact_silent_corruptions"
+
+    def test_tampered_uncorrectable_detected(self):
+        engine = make_engine(light_scrub(units.HOUR, 4), BitExactChecker())
+        engine.write_random(0.0, np.random.default_rng(0))
+        engine.stats.uncorrectable += 2
+        with pytest.raises(InvariantViolation) as info:
+            engine.scrub_pass(units.HOUR)
+        assert info.value.invariant == "bitexact_uncorrectable_count"
+
+    def test_tampered_detector_miss_detected(self):
+        engine = make_engine(light_scrub(units.HOUR, 4), BitExactChecker())
+        engine.write_random(0.0, np.random.default_rng(0))
+        engine.stats.detector_misses += 1
+        with pytest.raises(InvariantViolation) as info:
+            engine.scrub_pass(units.HOUR)
+        assert info.value.invariant == "bitexact_detector_miss_count"
+
+
+class TestCheckerClassification:
+    """Unit-level: the checker re-derives outcomes from raw facts alone."""
+
+    def observe(self, checker, **overrides):
+        kwargs = dict(
+            time=0.0,
+            line=0,
+            raw=np.zeros(4, dtype=np.int8),
+            stored=np.zeros(4, dtype=np.int8),
+            true_data=np.zeros(2, dtype=np.int8),
+            crc_clean=None,
+            decode_ok=True,
+            decoded_data=np.zeros(2, dtype=np.int8),
+            corrected=0,
+            threshold=1,
+        )
+        kwargs.update(overrides)
+        checker.observe_line(**kwargs)
+
+    def test_silent_miscorrection_derived_independently(self):
+        checker = BitExactChecker()
+        self.observe(checker, decoded_data=np.ones(2, dtype=np.int8))
+        assert checker._silent == 1
+        assert checker._uncorrectable == 1
+
+    def test_clean_crc_with_changed_word_is_a_miss(self):
+        checker = BitExactChecker()
+        self.observe(
+            checker, crc_clean=True, decode_ok=None, decoded_data=None,
+            raw=np.ones(4, dtype=np.int8),
+        )
+        assert checker._misses == 1
+        assert checker._decodes == 0
+
+    def test_threshold_gates_writeback(self):
+        checker = BitExactChecker()
+        self.observe(checker, corrected=2, threshold=3)
+        assert checker._writebacks == 0
+        self.observe(checker, corrected=3, threshold=3)
+        assert checker._writebacks == 1
+
+    def test_decode_after_clean_crc_is_structural_violation(self):
+        checker = BitExactChecker()
+        with pytest.raises(InvariantViolation) as info:
+            self.observe(checker, crc_clean=True, decode_ok=True)
+        assert info.value.invariant == "bitexact_decode_after_clean_crc"
+
+    def test_missing_decode_is_structural_violation(self):
+        checker = BitExactChecker()
+        with pytest.raises(InvariantViolation) as info:
+            self.observe(checker, crc_clean=False, decode_ok=None)
+        assert info.value.invariant == "bitexact_missing_decode"
+
+    def test_missing_decoded_data_is_structural_violation(self):
+        checker = BitExactChecker()
+        with pytest.raises(InvariantViolation) as info:
+            self.observe(checker, decode_ok=True, decoded_data=None)
+        assert info.value.invariant == "bitexact_missing_decoded_data"

@@ -91,7 +91,8 @@ class TestCleanRuns:
         assert report.passed
         assert not report.failures
         assert {case.name for case in report.cases} == {
-            "basic", "threshold", "partial", "retire+spares", "read_refresh"
+            "basic", "threshold", "partial", "retire+spares", "read_refresh",
+            "bitexact",
         }
 
     def test_check_every_stride_still_passes(self):
@@ -100,6 +101,15 @@ class TestCleanRuns:
         )
         result = small_run(config=config)
         assert result.stats.visits > 0
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = run_invariants(quick=True, jobs=1)
+        parallel = run_invariants(quick=True, jobs=2)
+        assert parallel.passed
+        assert serial.to_dict() == parallel.to_dict()
+        assert [case.name for case in serial.cases] == [
+            case.name for case in parallel.cases
+        ]
 
 
 class TestBitIdentity:

@@ -9,7 +9,9 @@ from repro.verify.metamorphic import (
     ecc_monotonicity,
     horizon_superadditivity,
     interval_monotonicity,
+    partial_writeback_economy,
     run_metamorphic,
+    threshold_monotonicity,
 )
 
 
@@ -42,13 +44,33 @@ class TestProperties:
         short, doubled = (case.value for case in result.cases)
         assert doubled >= 2 * short * 0.98
 
+    def test_threshold_monotonicity_holds_for_writes_and_energy(self):
+        results = threshold_monotonicity(quick=True)
+        assert {r.name for r in results} == {
+            "threshold_write_monotonicity", "threshold_energy_monotonicity"
+        }
+        for result in results:
+            assert result.passed
+            values = [case.value for case in result.cases]
+            assert values == sorted(values, reverse=True)
+            # The laws are non-vacuous: a laxer threshold actually
+            # deferred work on this configuration.
+            assert values[0] > values[-1]
+
+    def test_partial_writeback_economy_holds(self):
+        result = partial_writeback_economy(quick=True)
+        assert result.passed
+        full, partial = (case.value for case in result.cases)
+        assert partial <= full
+        assert partial > 0.0
+
 
 class TestReport:
     def test_suite_aggregates_and_passes(self):
         report = run_metamorphic(quick=True)
         assert report.passed
         assert not report.failures
-        assert len(report.results) == 5
+        assert len(report.results) == 8
         payload = report.to_dict()
         assert payload["passed"] is True
         assert all("cases" in entry for entry in payload["results"])
