@@ -1,0 +1,98 @@
+"""P2 (performance): quiescent-visit fast-forward on an idle year horizon.
+
+The acceptance demonstration for the fast-forward layer: a basic scrub of
+an idle, drift-compensated population over a full year, run once with the
+naive per-visit walk and once with event-horizon skipping.  The two runs
+must be bit-identical (stats, energy, histogram, final state) and the
+fast path must be at least 5x faster in wall-clock — on this operating
+point nearly every visit is provably error-free, so the naive walk's
+~140k visits collapse into a few thousand bulk jumps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro import units
+from repro.core import basic_scrub
+from repro.obs import NULL_PROFILER
+from repro.sim import SimulationConfig, run_experiment
+
+#: Drift-compensated sensing (the a09 operating point): idle regions stay
+#: genuinely error-free for long stretches, which is exactly the regime the
+#: fast-forward layer exists for.
+CONFIG = SimulationConfig(
+    num_lines=16384,
+    region_size=1024,
+    horizon=365 * units.DAY,
+    endurance=None,
+    compensated_sensing=True,
+)
+INTERVAL = units.HOUR
+MIN_SPEEDUP = 5.0
+
+
+def compute(profiler=NULL_PROFILER):
+    naive_started = time.perf_counter()
+    with profiler.span("p02.naive_walk"):
+        naive = run_experiment(
+            basic_scrub(INTERVAL),
+            dataclasses.replace(CONFIG, fast_forward=False),
+        )
+    naive_wall = time.perf_counter() - naive_started
+
+    fast_started = time.perf_counter()
+    with profiler.span("p02.fast_forward"):
+        fast = run_experiment(basic_scrub(INTERVAL), CONFIG)
+    fast_wall = time.perf_counter() - fast_started
+    return naive, fast, naive_wall, fast_wall
+
+
+def test_p02_fast_forward(benchmark, emit, bench_summary, bench_profiler):
+    naive, fast, naive_wall, fast_wall = benchmark.pedantic(
+        compute, args=(bench_profiler,), rounds=1, iterations=1
+    )
+
+    # Bit-identical results: the fast-forward contract.
+    assert fast.stats.summary() == naive.stats.summary()
+    assert fast.stats.energy_breakdown() == naive.stats.energy_breakdown()
+    assert (
+        fast.stats.error_histogram.tolist()
+        == naive.stats.error_histogram.tolist()
+    )
+    assert fast.stats.visits_with_errors == naive.stats.visits_with_errors
+    assert fast.final_state == naive.final_state
+    assert naive.fast_forward is None
+
+    skipped = fast.fast_forward["skipped_visits"]
+    jumps = fast.fast_forward["jumps"]
+    total_visits = int(fast.stats.visits) // CONFIG.region_size
+    assert skipped > 0
+
+    speedup = naive_wall / fast_wall if fast_wall > 0 else 0.0
+    bench_summary["p02_fast_forward"] = {
+        "naive_wall_seconds": round(naive_wall, 4),
+        "fast_forward_wall_seconds": round(fast_wall, 4),
+        "speedup": round(speedup, 3),
+        "region_visits": total_visits,
+        "skipped_visits": skipped,
+        "jumps": jumps,
+    }
+    emit(
+        "p02_fast_forward",
+        "\n".join(
+            [
+                "P2: quiescent-visit fast-forward (idle basic scrub, "
+                f"{CONFIG.num_lines} lines, {units.format_seconds(CONFIG.horizon)})",
+                f"  naive walk:      {naive_wall:8.2f}s  "
+                f"({total_visits} region visits)",
+                f"  fast-forward:    {fast_wall:8.2f}s  "
+                f"({skipped} visits folded into {jumps} jumps)",
+                f"  speedup:         {speedup:8.2f}x",
+                "  results bit-identical: yes",
+            ]
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP

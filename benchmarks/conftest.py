@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.obs import Profiler
@@ -35,6 +37,24 @@ from repro.sim.parallel import default_jobs
 from repro.sim.runner import DISTRIBUTION_CACHE_COUNTERS
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def calibration_seconds() -> float:
+    """Wall time of a fixed CPU-bound reference loop, for machine normalization.
+
+    Perf-gate comparisons (``benchmarks/perf_gate.py``) divide every
+    experiment's wall time by this figure so the committed baseline
+    transfers across machines: a box that runs the calibration loop 2x
+    slower is allowed 2x the absolute wall time before the gate trips.
+    The loop mirrors the simulator's profile — numpy-bound order-statistics
+    style array work — and takes a fraction of a second.
+    """
+    rng = np.random.default_rng(0)
+    data = rng.random((256, 4096))
+    started = time.perf_counter()
+    for __ in range(40):
+        np.sort(data, axis=1)[:, :24].min(axis=1).sum()
+    return time.perf_counter() - started
 
 
 @pytest.fixture(scope="session")
@@ -85,6 +105,7 @@ def bench_summary(artifact_dir, bench_profiler):
     """
     summary: dict[str, object] = {}
     yield summary
+    summary["_calibration_seconds"] = round(calibration_seconds(), 4)
     summary["_distribution_cache"] = dict(DISTRIBUTION_CACHE_COUNTERS)
     profile = bench_profiler.report()
     if profile:

@@ -1,0 +1,140 @@
+"""Perf-regression gate: compare a bench run against the committed baseline.
+
+Usage::
+
+    python benchmarks/perf_gate.py [--mode warn|block] \\
+        [--summary benchmarks/out/bench_summary.json] \\
+        [--baseline benchmarks/out/perf_baseline.json] \\
+        [--tolerance 4.0]
+
+Every experiment entry in ``bench_summary.json`` carries one or more
+``*wall_seconds`` timings.  Raw wall times do not transfer across machines,
+so both sides are first normalized by their own ``_calibration_seconds``
+(the fixed reference loop timed by ``benchmarks/conftest.py``): the
+comparison is "how many calibration loops does this experiment cost here
+vs. at baseline".  A timing only trips the gate when its normalized cost
+exceeds the baseline by more than ``--tolerance`` (generous by design —
+CI boxes are noisy; the gate exists to catch order-of-magnitude
+regressions like an accidentally disabled fast path, not 20% drift).
+
+``--mode warn`` always exits 0 (report only); ``--mode block`` exits 1 on
+any regression.  A missing baseline or summary is a warning, never a
+failure, so fresh checkouts and partial runs stay green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+DEFAULT_TOLERANCE = 4.0
+#: Timings under this many baseline seconds are reported but never gate:
+#: at millisecond scale the ratio measures scheduler noise, not the code.
+DEFAULT_MIN_SECONDS = 0.5
+
+
+def _wall_keys(entry: dict) -> list[str]:
+    return sorted(
+        key
+        for key, value in entry.items()
+        if key.endswith("wall_seconds") and isinstance(value, (int, float))
+    )
+
+
+def compare(
+    summary: dict,
+    baseline: dict,
+    tolerance: float,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) comparing normalized wall times."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    cal_now = summary.get("_calibration_seconds")
+    cal_base = baseline.get("_calibration_seconds")
+    if not cal_now or not cal_base:
+        notes.append("calibration figure missing; cannot normalize - skipping")
+        return regressions, notes
+    notes.append(
+        f"calibration: baseline {cal_base:.4f}s, this machine {cal_now:.4f}s"
+    )
+    for name, base_entry in sorted(baseline.items()):
+        if name.startswith("_") or not isinstance(base_entry, dict):
+            continue
+        entry = summary.get(name)
+        if not isinstance(entry, dict):
+            notes.append(f"{name}: not in this run - skipping")
+            continue
+        for key in _wall_keys(base_entry):
+            base_wall = base_entry[key]
+            wall = entry.get(key)
+            if not isinstance(wall, (int, float)) or base_wall <= 0:
+                continue
+            ratio = (wall / cal_now) / (base_wall / cal_base)
+            line = f"{name}.{key}: {wall:.2f}s vs {base_wall:.2f}s ({ratio:.2f}x normalized)"
+            if base_wall < min_seconds:
+                notes.append(f"{line} - under {min_seconds}s floor, not gated")
+            elif ratio > tolerance:
+                regressions.append(line)
+            else:
+                notes.append(line)
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--summary", type=Path, default=OUT_DIR / "bench_summary.json"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=OUT_DIR / "perf_baseline.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed normalized slowdown factor (default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="baseline timings under this are never gated (default %(default)s)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("warn", "block"),
+        default="warn",
+        help="warn: always exit 0; block: exit 1 on regression",
+    )
+    args = parser.parse_args(argv)
+
+    for label, path in (("summary", args.summary), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"perf-gate: no {label} at {path} - nothing to compare")
+            return 0
+
+    summary = json.loads(args.summary.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    regressions, notes = compare(
+        summary, baseline, args.tolerance, args.min_seconds
+    )
+
+    for note in notes:
+        print(f"perf-gate: {note}")
+    if not regressions:
+        print(f"perf-gate: OK (tolerance {args.tolerance}x)")
+        return 0
+    for line in regressions:
+        print(f"perf-gate: REGRESSION {line}")
+    if args.mode == "block":
+        return 1
+    print("perf-gate: mode=warn, not failing the build")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,11 @@ an instrumented run is bit-identical to an uninstrumented one.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 
 from repro import units
-from repro.core import combined_scrub
+from repro.core import basic_scrub, combined_scrub
 from repro.sim import ObsConfig, SimulationConfig, run_experiment
 
 
@@ -83,6 +84,41 @@ def main() -> None:
     assert plain.stats.summary() == summary
     assert plain.final_state == result.final_state
     print("\nobs-off run is bit-identical to the instrumented run: verified")
+
+    # --- pillar 4: the fast-forward counters ---------------------------
+    # At a drift-compensated, idle operating point the scrub loop skips
+    # long error-free stretches wholesale; the skipped-visit counter, the
+    # `fastforward` profiler span, and the `fast_forward` trace events
+    # show how much of the run never needed a per-visit walk.
+    quiet = SimulationConfig(
+        num_lines=4096,
+        region_size=512,
+        horizon=horizon,
+        endurance=None,
+        compensated_sensing=True,
+        obs=ObsConfig(trace=True, profile=True),
+    )
+    fast = run_experiment(basic_scrub(interval=units.HOUR), quiet)
+    ff = fast.fast_forward
+    region_visits = int(fast.stats.visits) // quiet.region_size
+    print("\nfast-forward (idle, drift-compensated basic scrub):")
+    print(f"  region visits:    {region_visits:>8}")
+    print(f"  skipped visits:   {ff['skipped_visits']:>8}  "
+          f"(folded into {ff['jumps']} jumps)")
+    span = fast.profile.get("fastforward")
+    if span:
+        print(f"  fastforward span: {span['calls']:>8} calls  "
+              f"{span['seconds']:>8.3f}s")
+    jumps = [e for e in fast.trace if e["event"] == "fast_forward"]
+    print(f"  trace events:     {len(jumps):>8} fast_forward")
+
+    naive = run_experiment(
+        basic_scrub(interval=units.HOUR),
+        dataclasses.replace(quiet, fast_forward=False, obs=ObsConfig()),
+    )
+    assert naive.stats.summary() == fast.stats.summary()
+    assert naive.final_state == fast.final_state
+    print("  naive walk is bit-identical to the fast-forward run: verified")
 
 
 if __name__ == "__main__":

@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for sweeps (default: CPU-count aware)",
     )
+    parser.add_argument(
+        "--no-fast-forward", action="store_true",
+        help="run the naive per-visit event loop instead of fast-forwarding "
+        "quiescent visits (results are bit-identical either way)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     drift = sub.add_parser("drift-curve", help="per-level error probability vs time")
@@ -235,6 +240,7 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
         temperature_k=args.temperature,
         compensated_sensing=getattr(args, "compensated", False),
         obs=_obs_config(args, horizon),
+        fast_forward=not getattr(args, "no_fast_forward", False),
     )
 
 
@@ -414,6 +420,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         obs=ObsConfig(
             trace=True, sample_every=horizon / args.samples, profile=True
         ),
+        fast_forward=not getattr(args, "no_fast_forward", False),
     )
     rates = _workload(args, config.num_lines)
     kwargs: dict = {"interval": args.interval}

@@ -129,6 +129,27 @@ class AdaptiveScrubPolicy(ScrubPolicy):
     def initial_interval(self, region: int) -> float:
         return self.controller.interval(region)
 
+    def fast_forward_interval(self, region: int) -> float | None:
+        """Opt in only where a zero-error pass cannot move the interval.
+
+        A zero-error visit observes ``worst == 0``.  That relaxes the
+        region (or holds it when ``relax_level < 0``); the interval is
+        provably unchanged in exactly two situations:
+
+        * the region is already clamped at ``max_interval`` — relax is a
+          no-op there, or
+        * ``relax_level < 0`` — zero errors take the hold branch.
+
+        Anywhere else the zero-error visit *grows* the interval, so the
+        region is not fast-forwardable until the relax ladder tops out.
+        (Skipped visits also skip their ``interval_adapted`` relax trace
+        events; stats and state are untouched either way.)
+        """
+        current = self.controller.interval(region)
+        if self.relax_level < 0 or current == self.controller.max_interval:
+            return current
+        return None
+
     def visit(
         self,
         time: float,

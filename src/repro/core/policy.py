@@ -86,6 +86,19 @@ class ScrubPolicy(ABC):
         """First-pass interval for ``region`` (static by default)."""
         return self.interval
 
+    def fast_forward_interval(self, region: int) -> float | None:
+        """Interval between zero-error visits, or ``None`` if ineligible.
+
+        The fast-forward eligibility contract: a policy may return the
+        interval it would schedule after an error-free pass over ``region``
+        **only if** that pass is fully deterministic — the decision depends
+        on nothing but the (all-zero) observed counts, draws no extra RNG,
+        writes nothing back, and leaves the region's interval unchanged.
+        The engine then folds runs of such visits into one bulk charge.
+        Policies that cannot promise this (the default) return ``None``.
+        """
+        return None
+
     @abstractmethod
     def visit(
         self,

@@ -35,6 +35,7 @@ class ScrubScheduler:
         if len(initial_intervals) != num_regions:
             raise ValueError("one initial interval per region required")
         self.num_regions = num_regions
+        self._now = 0.0
         self._heap: list[ScheduledVisit] = []
         for region, interval in enumerate(initial_intervals):
             if interval <= 0:
@@ -53,14 +54,38 @@ class ScrubScheduler:
             raise IndexError("scheduler is empty")
         return self._heap[0].time
 
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped visit (0.0 before any pop)."""
+        return self._now
+
     def pop(self) -> ScheduledVisit:
         """Remove and return the earliest pending visit."""
         if not self._heap:
             raise IndexError("scheduler is empty")
-        return heapq.heappop(self._heap)
+        visit = heapq.heappop(self._heap)
+        self._now = visit.time
+        return visit
 
     def push(self, time: float, region: int) -> None:
         """Schedule the next visit of ``region`` at absolute ``time``."""
         if not 0 <= region < self.num_regions:
             raise ValueError(f"region {region} out of range")
+        heapq.heappush(self._heap, ScheduledVisit(time=time, region=region))
+
+    def advance_to(self, time: float, region: int) -> None:
+        """Reschedule ``region`` directly at ``time``, skipping ahead.
+
+        The fast-forward entry point: where :meth:`push` schedules the next
+        visit one interval out, ``advance_to`` jumps a region past a block
+        of skipped visits.  Time must not run backwards relative to the
+        most recently popped visit.
+        """
+        if not 0 <= region < self.num_regions:
+            raise ValueError(f"region {region} out of range")
+        if time < self._now:
+            raise ValueError(
+                f"cannot advance region {region} to {time} "
+                f"before current time {self._now}"
+            )
         heapq.heappush(self._heap, ScheduledVisit(time=time, region=region))

@@ -80,6 +80,37 @@ class ScrubStats:
         self.ledger.add("demand_write", self.costs.write_energy, count)
         self.demand_writes += count
 
+    def record_zero_error_visits(
+        self, visits: int, lines: int, detector: bool, decode_all: bool
+    ) -> None:
+        """Charge ``visits`` consecutive error-free scans of ``lines`` lines.
+
+        The fast-forward bulk API.  Bit-identical to the per-visit path: a
+        zero-error visit reads and (with a detector) checks every line;
+        detector-less schemes additionally decode every line and drop
+        ``lines`` of mass into ``histogram[0]``, while detector-gated
+        schemes decode nothing (their per-visit ``add(..., 0)`` adds
+        ``+0.0`` joules, a bitwise no-op, so it is elided here).  Float
+        accumulators advance by iterated per-visit additions via
+        :meth:`~repro.pcm.energy.EnergyLedger.add_repeated`, never by one
+        fused term.
+        """
+        if visits < 0 or lines < 0:
+            raise ValueError("visits and lines must be >= 0")
+        self.ledger.add_repeated(
+            "scrub_read", self.costs.read_energy, lines, visits
+        )
+        self.visits += lines * visits
+        if detector:
+            self.ledger.add_repeated(
+                "scrub_detect", self.costs.detect_energy, lines, visits
+            )
+        if decode_all:
+            self.ledger.add_repeated(
+                "scrub_decode", self.costs.decode_energy, lines, visits
+            )
+            self.error_histogram[0] += lines * visits
+
     def record_error_counts(self, counts: np.ndarray) -> None:
         """Fold one visit's observed per-line error counts into the histogram."""
         counts = np.asarray(counts)

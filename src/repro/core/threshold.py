@@ -68,6 +68,15 @@ class ThresholdScrubPolicy(ScrubPolicy):
     def name(self) -> str:
         return self._label if self._label else type(self).__name__
 
+    def fast_forward_interval(self, region: int) -> float | None:
+        """Static-interval policies are always fast-forward eligible.
+
+        A zero-error pass decodes deterministically (all-or-nothing per the
+        detector gate), writes nothing back (``threshold >= 1``), and
+        reschedules at the fixed ``interval``.
+        """
+        return self.interval
+
     def visit(
         self,
         time: float,

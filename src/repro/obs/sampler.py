@@ -84,6 +84,16 @@ class PeriodicSampler:
         self.series = series if series is not None else TimeSeries()
         self._next = every
 
+    @property
+    def next_due(self) -> float:
+        """Absolute simulated time of the next pending sample.
+
+        Fast-forward jumps must not charge visits past this instant: the
+        sample taken at ``next_due`` has to see exactly the ledger state
+        the naive walk would have accumulated by then.
+        """
+        return self._next
+
     def advance_to(self, now: float) -> None:
         """Take all samples due strictly before simulated time ``now``."""
         while self._next < now:

@@ -53,6 +53,12 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "demand_burst": ("region", "lines", "writes"),
     #: An adaptive policy moved a region's scrub interval.
     "interval_adapted": ("region", "action", "interval", "worst"),
+    #: Fast-forward folded ``skipped`` consecutive zero-error visits of a
+    #: region into one bulk charge and resumed at ``to_time``.
+    "fast_forward": ("region", "skipped", "to_time"),
+    #: Fast-forward stood down (once per run per cause: ``read_refresh``,
+    #: ``policy``, ``demand``, ``detector_interleaving``).
+    "fast_forward_disabled": ("reason",),
 }
 
 

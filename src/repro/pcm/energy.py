@@ -115,6 +115,29 @@ class EnergyLedger:
         self.counts[category] += count
         self.energy[category] += energy_per_op * count
 
+    def add_repeated(
+        self, category: str, energy_per_op: float, count: int, repeats: int
+    ) -> None:
+        """Record ``repeats`` separate :meth:`add` calls of the same shape.
+
+        Bit-identical to calling ``add(category, energy_per_op, count)``
+        ``repeats`` times: the float accumulator is advanced by the same
+        iterated additions rather than one fused ``repeats * count`` term,
+        which would round differently.  This is what lets the fast-forward
+        path charge a block of identical zero-error visits without
+        perturbing the energy ledger by a single ULP.
+        """
+        if category not in self.counts:
+            raise KeyError(f"unknown ledger category {category!r}")
+        if count < 0 or repeats < 0:
+            raise ValueError("count and repeats must be >= 0")
+        delta = energy_per_op * count
+        energy = self.energy[category]
+        for _ in range(repeats):
+            energy += delta
+        self.energy[category] = energy
+        self.counts[category] += count * repeats
+
     def merge(self, other: "EnergyLedger") -> None:
         """Fold another ledger into this one."""
         for cat in LEDGER_CATEGORIES:

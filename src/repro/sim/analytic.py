@@ -29,6 +29,10 @@ from ..pcm.drift import DriftModel
 #: cache entries from older formats are silently ignored.
 TABULATION_FORMAT = 1
 
+#: Default log-time grid size shared by the tabulator, the cache key, and
+#: the disk-cache loader, so the loader can never drift from the default.
+TABULATION_POINTS = 768
+
 
 class CrossingDistribution:
     """CDF (and inverse) of a random cell's drift crossing time.
@@ -65,7 +69,7 @@ class CrossingDistribution:
         temperature_k: float | None = None,
         t_min: float = 1e-2,
         t_max: float = 1e12,
-        points: int = 768,
+        points: int = TABULATION_POINTS,
         model=None,
         _tabulation: tuple[np.ndarray, np.ndarray] | None = None,
     ):
@@ -180,7 +184,7 @@ def tabulation_cache_key(
     compensated: bool = False,
     t_min: float = 1e-2,
     t_max: float = 1e12,
-    points: int = 768,
+    points: int = TABULATION_POINTS,
 ) -> str:
     """Content hash identifying one tabulated crossing distribution.
 

@@ -69,6 +69,12 @@ class SimulationConfig:
     #: off by default, and checks never perturb results either way - they
     #: only read state and raise on violation.  See :mod:`repro.verify`.
     verify: VerifyConfig = field(default_factory=VerifyConfig)
+    #: Quiescent-visit fast-forward: fold provably error-free scrub visits
+    #: into bulk charges instead of walking them one by one.  Results are
+    #: bit-identical either way (that is the feature's contract, enforced
+    #: by a metamorphic law); disable to run the naive event loop, e.g.
+    #: when timing it.  See docs/performance.md.
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.num_lines <= 0:

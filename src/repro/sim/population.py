@@ -105,6 +105,10 @@ class LinePopulation:
         self.hard_mismatch = np.zeros(num_lines, dtype=np.int16)
         #: Sub-line wear accumulated by partial rewrites (cells/C units).
         self._fractional_wear = np.zeros(num_lines)
+        #: Per-region fast-forward caches; armed by
+        #: :meth:`enable_region_tracking`, ``None`` keeps every mutator on
+        #: its exact pre-tracking path.
+        self._region_size: int | None = None
 
         self._endurance = endurance
         if endurance is not None:
@@ -155,6 +159,87 @@ class LinePopulation:
         """Total observable errors per line: drift + conflicting stuck cells."""
         return self.drift_error_counts(idx, now) + self.hard_mismatch[idx]
 
+    # -- per-region fast-forward caches --------------------------------------
+
+    def enable_region_tracking(self, region_size: int) -> None:
+        """Arm lazily maintained per-region actionable-time caches.
+
+        The fast-forward layer asks, per scrub visit, when a region will
+        next have anything observable (:meth:`region_actionable_time`) and
+        how worn its worst line is (:meth:`region_max_stuck`).  Recomputing
+        either from scratch costs a full region scan, so both are cached
+        per region and invalidated by the mutators (``rewrite``,
+        ``partial_rewrite``, and ``retire`` through them).
+        """
+        if region_size <= 0 or self.num_lines % region_size:
+            raise ValueError("region_size must evenly divide num_lines")
+        num_regions = self.num_lines // region_size
+        self._region_size = region_size
+        self._region_dirty = np.ones(num_regions, dtype=bool)
+        self._region_actionable = np.zeros(num_regions)
+        self._region_max_stuck = np.zeros(num_regions, dtype=np.int64)
+
+    def _mark_regions_dirty(self, idx: np.ndarray) -> None:
+        if self._region_size is None:
+            return
+        regions = np.unique(np.asarray(idx) // self._region_size)
+        self._region_dirty[regions] = True
+
+    def _refresh_region(self, region: int) -> None:
+        size = self._region_size
+        sl = slice(region * size, (region + 1) * size)
+        if self.hard_mismatch[sl].any():
+            # A standing hard mismatch is an error at every instant.
+            self._region_actionable[region] = -np.inf
+        else:
+            self._region_actionable[region] = float(self.crossing[sl, 0].min())
+        self._region_max_stuck[region] = int(
+            (self.lifetime[sl] <= self.writes[sl, None]).sum(axis=1).max()
+        )
+        self._region_dirty[region] = False
+
+    def region_actionable_time(self, region: int, theta: int = 1) -> float:
+        """Earliest instant any line of ``region`` reaches ``theta`` errors.
+
+        Folds hard mismatches through the same theta-index idiom as the
+        read-refresh window solver: a line with ``h`` standing hard
+        mismatches reaches ``theta`` total errors at its ``(theta - h)``-th
+        drift crossing, and is actionable immediately (``-inf``) once
+        ``h >= theta``.  The engine's fast-forward layer always asks for
+        ``theta == 1``: with decode-all schemes a single error already
+        perturbs the observed histogram, and with detector gating it makes
+        the detector's RNG draw significant — so only a strictly error-free
+        stretch may be skipped.  The ``theta == 1`` hot path is served from
+        the per-region cache.
+        """
+        if self._region_size is None:
+            raise RuntimeError("call enable_region_tracking() first")
+        if not 0 <= region < self._region_dirty.size:
+            raise ValueError(f"region {region} out of range")
+        if theta < 1:
+            raise ValueError("theta must be >= 1")
+        if theta == 1:
+            if self._region_dirty[region]:
+                self._refresh_region(region)
+            return float(self._region_actionable[region])
+        size = self._region_size
+        sl = slice(region * size, (region + 1) * size)
+        hard = self.hard_mismatch[sl].astype(np.int64)
+        theta_index = np.clip(theta - 1 - hard, 0, self.keep - 1)
+        times = self.crossing[sl][np.arange(size), theta_index]
+        times = np.where(hard >= theta, -np.inf, times)
+        return float(times.min())
+
+    def region_max_stuck(self, region: int) -> int:
+        """Worst per-line stuck-cell count in ``region`` (cached)."""
+        if self._region_size is None:
+            raise RuntimeError("call enable_region_tracking() first")
+        if not 0 <= region < self._region_dirty.size:
+            raise ValueError(f"region {region} out of range")
+        if self._region_dirty[region]:
+            self._refresh_region(region)
+        return int(self._region_max_stuck[region])
+
     # -- mutations -----------------------------------------------------------------
 
     def rewrite(
@@ -202,6 +287,7 @@ class LinePopulation:
             self.hard_mismatch[idx] = self.rng.binomial(
                 stuck_before, self._mismatch_probability
             ).astype(np.int16)
+        self._mark_regions_dirty(idx)
 
     def partial_rewrite(self, idx: np.ndarray, now: float) -> np.ndarray:
         """Re-program only the *drifted* cells of each line at time ``now``.
@@ -264,6 +350,7 @@ class LinePopulation:
             increments = np.floor(self._fractional_wear[w_idx]).astype(np.int64)
             self.writes[w_idx] += increments
             self._fractional_wear[w_idx] -= increments
+        self._mark_regions_dirty(idx)
         return crossed
 
     def retire(self, idx: np.ndarray, now: float) -> None:
@@ -283,6 +370,20 @@ class LinePopulation:
         if endurance is None:
             raise RuntimeError("retirement requires an endurance model")
         return self._lifetime_order_statistics(endurance, count)
+
+
+#: Chunk size for bulk RNG advancement: bounds peak memory while consuming
+#: exactly the doubles the skipped per-visit detector draws would have
+#: (``Generator.random`` fills sequentially, so any chunking of the same
+#: total consumes an identical stream).
+_RNG_ADVANCE_CHUNK = 1 << 20
+
+
+def _advance_rng(rng: np.random.Generator, count: int) -> None:
+    while count > 0:
+        take = min(count, _RNG_ADVANCE_CHUNK)
+        rng.random(take)
+        count -= take
 
 
 class PopulationEngine:
@@ -350,6 +451,7 @@ class PopulationEngine:
         spare_pool=None,
         obs: Observation | None = None,
         verifier: Verifier | None = None,
+        fast_forward: bool = True,
     ):
         if horizon <= 0:
             raise ValueError("horizon must be positive")
@@ -386,6 +488,25 @@ class PopulationEngine:
         #: Per-line time of the last scrub visit (or start of time).
         self._last_visit = np.zeros(population.num_lines)
         self._all_lines = np.arange(population.num_lines)
+        #: Quiescent-visit fast-forward (bit-identical to the naive walk;
+        #: see :meth:`_maybe_fast_forward`).
+        self.fast_forward = fast_forward
+        self.fast_forward_skipped_visits = 0
+        self.fast_forward_jumps = 0
+        self._ff_disabled_reported: set[str] = set()
+        # A region may fast-forward only if demand never touches it: any
+        # write rate perturbs state and RNG, and (under read-refresh) any
+        # read rate does too, so idleness is a static per-region property.
+        write = self.rates.write_rate.reshape(self.num_regions, region_size)
+        read = self.rates.read_rate.reshape(self.num_regions, region_size)
+        self._ff_region_idle = ~(
+            (write != 0).any(axis=1) | (read != 0).any(axis=1)
+        )
+        self._ff_counter = (
+            obs.metrics.counter("fast_forward_skipped_visits")
+            if obs is not None and fast_forward
+            else None
+        )
 
     def region_lines(self, region: int) -> np.ndarray:
         start = region * self.region_size
@@ -408,11 +529,28 @@ class PopulationEngine:
                 self.obs.timeseries,
             )
 
+        ff_active = self.fast_forward
+        if ff_active and self.read_refresh:
+            # Read-refresh plays demand probes between visits; a "quiet"
+            # window is never provably event-free, so fast-forward stands
+            # down for the whole run.
+            self._note_fast_forward_disabled("read_refresh", 0.0)
+            ff_active = False
+        if ff_active:
+            self.population.enable_region_tracking(self.region_size)
+
         with self._profiler.span("simulate"):
             while len(scheduler) and scheduler.peek_time() <= self.horizon:
                 visit = scheduler.pop()
                 if sampler is not None:
                     sampler.advance_to(visit.time)
+                if ff_active:
+                    resumed = self._maybe_fast_forward(
+                        visit.time, visit.region, engine_rng, sampler
+                    )
+                    if resumed is not None:
+                        scheduler.advance_to(resumed, visit.region)
+                        continue
                 next_interval = self._process_visit(
                     visit.time, visit.region, engine_rng, workload_rng
                 )
@@ -421,6 +559,115 @@ class PopulationEngine:
             if sampler is not None:
                 sampler.finalize(self.horizon)
         return self.stats
+
+    def _note_fast_forward_disabled(self, reason: str, time: float) -> None:
+        """Trace (once per run per cause) why fast-forward stood down."""
+        if reason in self._ff_disabled_reported:
+            return
+        self._ff_disabled_reported.add(reason)
+        if self._tracer.enabled:
+            self._tracer.emit("fast_forward_disabled", time, reason=reason)
+
+    def _maybe_fast_forward(
+        self,
+        time: float,
+        region: int,
+        engine_rng: np.random.Generator,
+        sampler: PeriodicSampler | None,
+    ) -> float | None:
+        """Fold a run of provably zero-error visits into one bulk charge.
+
+        Returns the resumed visit time (push it and move on), or ``None``
+        to take the naive per-visit path.  Bit-exactness argument, piece
+        by piece:
+
+        * **Eligibility** — the policy promises its zero-error decision is
+          deterministic, draws no RNG beyond the fixed detector check, and
+          leaves the interval unchanged; the region carries no demand
+          rates (no workload-RNG draws, no state changes between visits);
+          read-refresh is off (checked in :meth:`simulate`); and no line
+          is at the retirement limit (wear is static without writes, so it
+          stays below the limit for the whole window).
+        * **Event horizon** — :meth:`LinePopulation.region_actionable_time`
+          is the exact instant the region next has a nonzero error count.
+          Visits strictly before it observe all-zero counts and mutate
+          nothing; the cache is invalidated by every population mutator.
+        * **Visit times** — the naive loop accumulates ``t + I`` per push;
+          the skip loop replays the same iterated float additions, never a
+          fused ``t + k*I``, so the resumed time is bitwise the naive one.
+        * **Stats** — :meth:`ScrubStats.record_zero_error_visits` replays
+          the per-visit float additions; interleaving with other regions'
+          visits is immaterial because every zero-error visit adds the
+          same per-category constant.
+        * **RNG** — detector-less schemes draw nothing on any visit, so
+          skipping consumes nothing.  Detector schemes draw ``n`` uniforms
+          per visit on the engine stream shared by *all* regions in global
+          visit order; that order is only reproducible in bulk when there
+          is a single region, so multi-region detector runs stand down.
+        * **Sampling** — skips stop at the sampler's next due time, so a
+          sample at ``S`` sees exactly the visits at or before ``S``.
+        """
+        interval = self.policy.fast_forward_interval(region)
+        if interval is None:
+            self._note_fast_forward_disabled("policy", time)
+            return None
+        if not self._ff_region_idle[region]:
+            self._note_fast_forward_disabled("demand", time)
+            return None
+        has_detector = self.policy.scheme.has_detector
+        if has_detector and self.num_regions > 1:
+            self._note_fast_forward_disabled("detector_interleaving", time)
+            return None
+        population = self.population
+        actionable = population.region_actionable_time(region)
+        if actionable <= time:
+            return None
+        if (
+            self.retire_hard_limit is not None
+            and population.region_max_stuck(region) >= self.retire_hard_limit
+        ):
+            return None
+
+        cap = self.horizon
+        if sampler is not None and sampler.next_due < cap:
+            cap = sampler.next_due
+        visits = 1
+        last = time
+        nxt = time + interval
+        while nxt <= cap and nxt < actionable:
+            visits += 1
+            last = nxt
+            nxt = last + interval
+        if visits < 2:
+            return None  # nothing beyond the current visit; not worth a jump
+
+        with self._profiler.span("fastforward"):
+            n = self.region_size
+            self.stats.record_zero_error_visits(
+                visits, n, detector=has_detector, decode_all=not has_detector
+            )
+            if has_detector:
+                _advance_rng(engine_rng, visits * n)
+            self._last_visit[region * n : (region + 1) * n] = last
+            self.fast_forward_skipped_visits += visits
+            self.fast_forward_jumps += 1
+            if self._ff_counter is not None:
+                self._ff_counter.inc(visits)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "fast_forward",
+                    time,
+                    region=region,
+                    skipped=visits,
+                    to_time=float(nxt),
+                )
+            if self._verifier.enabled:
+                self._verifier.note_fast_forward(
+                    visited=visits * n,
+                    detected=visits * n if has_detector else 0,
+                    decoded=0 if has_detector else visits * n,
+                )
+        return nxt
 
     # -- internals ----------------------------------------------------------
 
@@ -630,20 +877,19 @@ class PopulationEngine:
             if pending.size == 0:
                 break
             hard = self.population.hard_mismatch[pending].astype(np.int64)
-            crossing = self.population.crossing[pending]
+            crossing = self.population.crossing
+            keep = crossing.shape[1]
             # Instant the line's total error count reaches the threshold:
             # the (theta - hard)-th drift crossing, or immediately when
             # stuck mismatches alone reach it.
-            theta_index = np.clip(threshold - 1 - hard, 0, crossing.shape[1] - 1)
-            theta_time = crossing[np.arange(pending.size), theta_index]
+            theta_index = np.clip(threshold - 1 - hard, 0, keep - 1)
+            theta_time = crossing[pending, theta_index]
             theta_time = np.where(hard >= threshold, window_start, theta_time)
             theta_time = np.maximum(theta_time, window_start)
-            # Instant the count exceeds the correction strength.
-            ue_index = np.clip(t_ecc - hard, 0, crossing.shape[1] - 1)
-            ue_time = crossing[np.arange(pending.size), ue_index]
-            ue_time = np.where(hard > t_ecc, window_start, ue_time)
 
-            # First read probe after the line became eligible.
+            # First read probe after the line became eligible.  The draw
+            # covers every pending line (its order is pinned by the
+            # goldens); only what follows is gated on the hits.
             probe = theta_time + rng.exponential(1.0 / pending_rates)
             in_window = (theta_time < now) & (probe < now)
             if not in_window.any():
@@ -652,7 +898,15 @@ class PopulationEngine:
             hit = np.flatnonzero(in_window)
             hit_lines = pending[hit]
             hit_probes = probe[hit]
-            is_ue = hit_probes >= ue_time[hit]
+            # Instant the count exceeds the correction strength — gathered
+            # only for lines whose window actually fires; the cold majority
+            # ends its window above, so their fancy-index gather (the
+            # loop's dominant cost) is skipped.
+            hard_hit = hard[hit]
+            ue_index = np.clip(t_ecc - hard_hit, 0, keep - 1)
+            ue_time = crossing[hit_lines, ue_index]
+            ue_time = np.where(hard_hit > t_ecc, window_start[hit], ue_time)
+            is_ue = hit_probes >= ue_time
 
             if is_ue.any():
                 ue_lines = hit_lines[is_ue]

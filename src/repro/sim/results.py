@@ -40,6 +40,11 @@ class RunResult:
     #: Per-phase wall-time report (``None`` unless ``config.obs.profile``
     #: was set); see :mod:`repro.obs.profile`.
     profile: dict[str, dict[str, float]] | None = None
+    #: Fast-forward engagement counters (``None`` when the run disabled
+    #: fast-forward).  Purely diagnostic: the simulated results are
+    #: bit-identical whether or not fast-forward engaged, so these live
+    #: outside the stats ledger and outside :meth:`to_dict`.
+    fast_forward: dict[str, int] | None = None
 
     @property
     def stuck_cells(self) -> float:

@@ -33,6 +33,7 @@ from ..pcm.energy import OperationCosts
 from ..verify.invariants import InvariantChecker
 from ..workloads.generators import DemandRates
 from .analytic import (
+    TABULATION_POINTS,
     CrossingDistribution,
     load_tabulation,
     save_tabulation,
@@ -86,7 +87,7 @@ def cached_crossing_distribution(
     cache_dir = tabulation_cache_dir()
     tabulation = None
     if cache_dir is not None:
-        tabulation = load_tabulation(key, spec.num_levels, 768, cache_dir)
+        tabulation = load_tabulation(key, spec.num_levels, TABULATION_POINTS, cache_dir)
 
     if compensated:
         from ..pcm.reference import CompensatedSensing
@@ -210,6 +211,7 @@ def run_experiment(
         spare_pool=spare_pool,
         obs=obs,
         verifier=verifier,
+        fast_forward=config.fast_forward,
     )
     started = _time.perf_counter()
     engine.simulate()
@@ -234,4 +236,12 @@ def run_experiment(
         trace=obs.trace_events if obs is not None else None,
         timeseries=obs.timeseries_or_none if obs is not None else None,
         profile=obs.profile_or_none if obs is not None else None,
+        fast_forward=(
+            {
+                "skipped_visits": engine.fast_forward_skipped_visits,
+                "jumps": engine.fast_forward_jumps,
+            }
+            if config.fast_forward
+            else None
+        ),
     )

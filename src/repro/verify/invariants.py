@@ -121,6 +121,9 @@ class Verifier:
     def note_refresh(self, writes: int, ues: int) -> None:
         """Account read-refresh events (they bypass the policy decision)."""
 
+    def note_fast_forward(self, visited: int, detected: int, decoded: int) -> None:
+        """Account a bulk-charged block of zero-error visits."""
+
     def check_final(self, final_state: dict[str, float]) -> None:
         """Run the horizon checks against the end-of-run state."""
 
@@ -182,6 +185,28 @@ class InvariantChecker(Verifier):
     def note_refresh(self, writes: int, ues: int) -> None:
         self._refresh_writes += writes
         self._refresh_ues += ues
+
+    def note_fast_forward(self, visited: int, detected: int, decoded: int) -> None:
+        """Fold a fast-forward bulk charge into the expectations and check.
+
+        A fast-forwarded block is ``k`` zero-error visits: every line is
+        read (``visited``), detector schemes check every line, decode-all
+        schemes decode every line (adding exactly ``decoded`` zeros of
+        histogram mass, which :meth:`_check_ledger`'s histogram identity
+        absorbs because the observed-error mass is unchanged).  Nothing is
+        written back, missed, uncorrectable, or retired.
+        """
+        if not 0 <= decoded <= visited or not 0 <= detected <= visited:
+            self._raise(
+                "fast_forward_within_visit", expected=f"<= {visited}",
+                actual={"detected": detected, "decoded": decoded},
+            )
+        self._lines_visited += visited
+        self._detects += detected
+        self._decodes += decoded
+        self._visit_index += 1
+        if self._visit_index % self.config.check_every == 0:
+            self._check_ledger(time=None, region=None)
 
     def check_visit(
         self,

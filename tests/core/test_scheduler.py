@@ -44,6 +44,26 @@ class TestScheduling:
         with pytest.raises(IndexError):
             scheduler.peek_time()
 
+    def test_same_time_breaks_ties_by_region(self):
+        # ScheduledVisit orders by (time, region); equal times must pop in
+        # region order, deterministically, so runs never depend on heap
+        # internals.
+        scheduler = ScrubScheduler(3, [9.0, 6.0, 18.0])
+        for region in (2, 0, 1):
+            scheduler.pop()  # drain the staggered first visits
+        for region in (2, 0, 1):
+            scheduler.push(50.0, region)
+        assert [scheduler.pop().region for __ in range(3)] == [0, 1, 2]
+
+    def test_stagger_phase_layout(self):
+        # Region r's first visit lands at interval * (r + 1) / num_regions:
+        # evenly spread across one interval, last region exactly at it.
+        scheduler = ScrubScheduler(4, [40.0, 80.0, 40.0, 80.0])
+        visits = sorted(
+            (scheduler.pop() for __ in range(4)), key=lambda v: v.region
+        )
+        assert [v.time for v in visits] == [10.0, 40.0, 30.0, 80.0]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ScrubScheduler(0, [])
@@ -54,3 +74,34 @@ class TestScheduling:
         scheduler = ScrubScheduler(1, [1.0])
         with pytest.raises(ValueError):
             scheduler.push(2.0, region=5)
+
+
+class TestAdvanceTo:
+    def test_jumps_region_past_skipped_visits(self):
+        scheduler = ScrubScheduler(2, [10.0, 10.0])
+        first = scheduler.pop()  # region 0 at t=5
+        scheduler.advance_to(95.0, first.region)
+        nxt = scheduler.pop()
+        assert (nxt.time, nxt.region) == (10.0, 1)
+        jumped = scheduler.pop()
+        assert (jumped.time, jumped.region) == (95.0, 0)
+
+    def test_now_tracks_pops(self):
+        scheduler = ScrubScheduler(2, [10.0, 10.0])
+        assert scheduler.now == 0.0
+        visit = scheduler.pop()
+        assert scheduler.now == visit.time
+
+    def test_rejects_time_travel(self):
+        scheduler = ScrubScheduler(1, [10.0])
+        scheduler.pop()  # now = 10.0
+        with pytest.raises(ValueError, match="before current time"):
+            scheduler.advance_to(9.0, 0)
+        scheduler.advance_to(10.0, 0)  # resuming at `now` itself is fine
+
+    def test_rejects_bad_region(self):
+        scheduler = ScrubScheduler(2, [10.0, 10.0])
+        with pytest.raises(ValueError, match="out of range"):
+            scheduler.advance_to(50.0, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            scheduler.advance_to(50.0, -1)

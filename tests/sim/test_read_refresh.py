@@ -7,7 +7,7 @@ import dataclasses
 import numpy as np
 
 from repro import units
-from repro.core import threshold_scrub
+from repro.core import basic_scrub, threshold_scrub
 from repro.sim import SimulationConfig, run_experiment
 from repro.workloads.generators import DemandRates, uniform_rates
 
@@ -72,3 +72,55 @@ class TestReadRefresh:
             rates,
         )
         assert result.uncorrectable > 0
+
+
+class TestPinnedResults:
+    """Exact values pinned across the read-refresh gather optimization.
+
+    ``_apply_read_refresh`` now gathers the uncorrectable-threshold
+    crossing times only for the *hit* lines instead of materialising a
+    fancy-indexed copy for every pending line.  The probe-time exponential
+    draw deliberately stays full-pending-size so the RNG stream is
+    consumed in the exact pre-optimization order; these values were
+    captured before the change and must never move.
+    """
+
+    CONFIG = dataclasses.replace(
+        BASE, num_lines=1024, horizon=7 * units.DAY, read_refresh=True
+    )
+
+    def rates(self):
+        reads = np.full(self.CONFIG.num_lines, 2e-4)
+        return DemandRates(
+            write_rate=np.zeros(self.CONFIG.num_lines),
+            read_rate=reads,
+            name="read-only",
+        )
+
+    def test_threshold_run_pinned(self):
+        result = run_experiment(
+            threshold_scrub(2 * units.HOUR, 3), self.CONFIG, self.rates()
+        )
+        assert result.stats.summary() == {
+            "visits": 86016.0,
+            "uncorrectable": 81.0,
+            "scrub_reads": 86016.0,
+            "scrub_decodes": 49106.0,
+            "scrub_writes": 11672.0,
+            "scrub_energy_j": 0.0002609525655179255,
+            "detector_misses": 1.0,
+            "retired": 0.0,
+            "demand_writes": 0.0,
+        }
+        histogram = result.stats.error_histogram
+        assert histogram[:8].tolist() == [0, 42839, 5604, 607, 52, 4, 0, 0]
+        assert histogram[8:].sum() == 0
+        assert result.final_state["mean_writes_per_line"] == 11.4775390625
+
+    def test_basic_run_pinned(self):
+        result = run_experiment(
+            basic_scrub(2 * units.HOUR), self.CONFIG, self.rates()
+        )
+        assert result.uncorrectable == 2553
+        assert result.stats.scrub_writes == 21969
+        assert result.stats.scrub_energy == 0.0004163041919999997

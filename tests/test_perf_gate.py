@@ -1,0 +1,102 @@
+"""The perf-regression gate's normalization and tolerance logic."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = Path(__file__).parent.parent / "benchmarks" / "perf_gate.py"
+spec = importlib.util.spec_from_file_location("perf_gate", GATE_PATH)
+perf_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_gate)
+
+
+def summary(calibration, wall):
+    return {
+        "_calibration_seconds": calibration,
+        "p02_fast_forward": {"fast_forward_wall_seconds": wall, "jumps": 3},
+    }
+
+
+class TestCompare:
+    def test_identical_run_passes(self):
+        base = summary(0.25, 2.0)
+        regressions, __ = perf_gate.compare(base, base, tolerance=4.0)
+        assert regressions == []
+
+    def test_slower_machine_is_normalized_away(self):
+        # 3x slower calibration loop excuses 3x slower experiments.
+        regressions, __ = perf_gate.compare(
+            summary(0.75, 6.0), summary(0.25, 2.0), tolerance=4.0
+        )
+        assert regressions == []
+
+    def test_real_regression_trips(self):
+        # Same machine speed, 10x slower experiment: beyond any tolerance.
+        regressions, __ = perf_gate.compare(
+            summary(0.25, 20.0), summary(0.25, 2.0), tolerance=4.0
+        )
+        assert len(regressions) == 1
+        assert "p02_fast_forward.fast_forward_wall_seconds" in regressions[0]
+
+    def test_missing_experiment_is_a_note_not_a_failure(self):
+        current = {"_calibration_seconds": 0.25}
+        regressions, notes = perf_gate.compare(
+            current, summary(0.25, 2.0), tolerance=4.0
+        )
+        assert regressions == []
+        assert any("not in this run" in note for note in notes)
+
+    def test_sub_floor_timings_never_gate(self):
+        # Millisecond-scale measurements are scheduler noise; a huge ratio
+        # on one must not trip the gate.
+        regressions, notes = perf_gate.compare(
+            summary(0.25, 0.09), summary(0.25, 0.003), tolerance=4.0
+        )
+        assert regressions == []
+        assert any("floor, not gated" in note for note in notes)
+
+    def test_missing_calibration_skips_comparison(self):
+        regressions, notes = perf_gate.compare(
+            {"p02_fast_forward": {"fast_forward_wall_seconds": 99.0}},
+            summary(0.25, 2.0),
+            tolerance=4.0,
+        )
+        assert regressions == []
+        assert any("cannot normalize" in note for note in notes)
+
+
+class TestMain:
+    def write(self, path, blob):
+        path.write_text(json.dumps(blob))
+
+    def test_missing_baseline_exits_zero(self, tmp_path, capsys):
+        s = tmp_path / "summary.json"
+        self.write(s, summary(0.25, 2.0))
+        code = perf_gate.main(
+            ["--summary", str(s), "--baseline", str(tmp_path / "none.json")]
+        )
+        assert code == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("mode,expected", [("warn", 0), ("block", 1)])
+    def test_regression_exit_codes(self, tmp_path, mode, expected):
+        s, b = tmp_path / "summary.json", tmp_path / "baseline.json"
+        self.write(s, summary(0.25, 20.0))
+        self.write(b, summary(0.25, 2.0))
+        code = perf_gate.main(
+            ["--summary", str(s), "--baseline", str(b), "--mode", mode]
+        )
+        assert code == expected
+
+    def test_clean_run_blocks_nothing(self, tmp_path):
+        s, b = tmp_path / "summary.json", tmp_path / "baseline.json"
+        self.write(s, summary(0.3, 2.2))
+        self.write(b, summary(0.25, 2.0))
+        code = perf_gate.main(
+            ["--summary", str(s), "--baseline", str(b), "--mode", "block"]
+        )
+        assert code == 0

@@ -7,6 +7,7 @@ from repro.verify.metamorphic import (
     PropertyResult,
     drift_monotonicity,
     ecc_monotonicity,
+    fast_forward_identity,
     horizon_superadditivity,
     interval_monotonicity,
     partial_writeback_economy,
@@ -64,13 +65,21 @@ class TestProperties:
         assert partial <= full
         assert partial > 0.0
 
+    def test_fast_forward_identity_holds_and_engages(self):
+        result = fast_forward_identity(quick=True)
+        assert result.passed
+        assert all(case.value == 1.0 for case in result.cases)
+        # Non-vacuous: every policy's fast-forward run actually skipped
+        # visits (the label carries the skipped count).
+        assert all("(skipped 0)" not in case.label for case in result.cases)
+
 
 class TestReport:
     def test_suite_aggregates_and_passes(self):
         report = run_metamorphic(quick=True)
         assert report.passed
         assert not report.failures
-        assert len(report.results) == 8
+        assert len(report.results) == 9
         payload = report.to_dict()
         assert payload["passed"] is True
         assert all("cases" in entry for entry in payload["results"])
