@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the naive per-visit event loop instead of fast-forwarding "
         "quiescent visits (results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--engine", choices=("scalar", "batch"), default="scalar",
+        help="visit engine: 'scalar' walks one region per event, 'batch' "
+        "evaluates whole scheduler cohorts / device rounds as array ops "
+        "(see docs/performance.md for when results are bit-identical)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     drift = sub.add_parser("drift-curve", help="per-level error probability vs time")
@@ -241,6 +247,7 @@ def _config(args: argparse.Namespace) -> SimulationConfig:
         compensated_sensing=getattr(args, "compensated", False),
         obs=_obs_config(args, horizon),
         fast_forward=not getattr(args, "no_fast_forward", False),
+        engine=getattr(args, "engine", "scalar"),
     )
 
 
@@ -421,6 +428,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             trace=True, sample_every=horizon / args.samples, profile=True
         ),
         fast_forward=not getattr(args, "no_fast_forward", False),
+        engine=getattr(args, "engine", "scalar"),
     )
     rates = _workload(args, config.num_lines)
     kwargs: dict = {"interval": args.interval}

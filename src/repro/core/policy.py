@@ -60,6 +60,41 @@ class VisitDecision:
             raise ValueError("a line cannot be both written back and uncorrectable")
 
 
+@dataclass(frozen=True)
+class BatchVisitDecision:
+    """What the scrub hardware did for a whole cohort of region visits.
+
+    The vectorized counterpart of :class:`VisitDecision`: all masks are
+    boolean ``(regions, region_size)`` arrays, row ``i`` describing the
+    cohort's ``i``-th region exactly as the scalar decision's masks would.
+    """
+
+    #: Lines that ran the full ECC decoder.
+    decoded: np.ndarray
+    #: Lines written back (correctable lines only).
+    written_back: np.ndarray
+    #: Lines whose decode failed (error count exceeded correction strength).
+    uncorrectable: np.ndarray
+    #: Lines whose errors went unnoticed (detector miss); state untouched.
+    missed: np.ndarray
+    #: Seconds until each cohort region's next scrub pass, shape ``(regions,)``.
+    next_intervals: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = self.decoded.shape
+        if len(shape) != 2:
+            raise ValueError("batch decision masks must be 2-D")
+        for name in ("written_back", "uncorrectable", "missed"):
+            if getattr(self, name).shape != shape:
+                raise ValueError(f"mask {name} shape mismatch")
+        if self.next_intervals.shape != (shape[0],):
+            raise ValueError("next_intervals must have one entry per region")
+        if bool((self.next_intervals <= 0).any()):
+            raise ValueError("next_intervals must be positive")
+        if bool((self.written_back & self.uncorrectable).any()):
+            raise ValueError("a line cannot be both written back and uncorrectable")
+
+
 class ScrubPolicy(ABC):
     """Base class for scrub mechanisms.
 
@@ -99,6 +134,20 @@ class ScrubPolicy(ABC):
         """
         return None
 
+    def batch_interval(self) -> float | None:
+        """Uniform static interval for device-round batching, or ``None``.
+
+        The batch engine's round-mode eligibility contract: a policy may
+        return its interval **only if** every region's visit cadence is the
+        same fixed value for the whole run — ``initial_interval(r)`` equals
+        it for all ``r`` and every decision reschedules at it unchanged.
+        The engine then replays whole device rounds (all regions, in the
+        scheduler's stagger order) as single batched evaluations.  Policies
+        that steer per-region intervals (the default) return ``None`` and
+        are driven through per-tick scheduler cohorts instead.
+        """
+        return None
+
     @abstractmethod
     def visit(
         self,
@@ -113,6 +162,28 @@ class ScrubPolicy(ABC):
         implementations must only act on them through the helpers below,
         which model what the hardware can actually observe.
         """
+
+    def visit_batch(
+        self,
+        times: np.ndarray,
+        regions: np.ndarray,
+        error_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> BatchVisitDecision | None:
+        """Decide a whole cohort of visits at once, or ``None`` to opt out.
+
+        ``error_counts`` is ``(len(regions), region_size)``; row ``i`` is
+        region ``regions[i]`` observed at ``times[i]``.  Opting in requires
+        the RNG draw-order contract: any randomness must be drawn exactly
+        as the scalar path would draw it for the cohort's visits processed
+        in row order (one C-order array fill over the cohort satisfies
+        this - ``Generator`` fills element-sequentially, so
+        ``rng.random((R, S))`` is bitwise the R successive per-visit
+        ``rng.random(S)`` draws).  Policies that return ``None`` (the
+        default) are driven through :meth:`visit` row by row, which
+        preserves the scalar draw order by construction.
+        """
+        return None
 
     # -- observability helpers -------------------------------------------------
 
@@ -130,6 +201,24 @@ class ScrubPolicy(ABC):
             return np.ones_like(has_error, dtype=bool), np.zeros_like(has_error)
         miss_probability = 2.0 ** (-self.scheme.detector_bits)
         missed = has_error & (rng.random(error_counts.shape[0]) < miss_probability)
+        flagged = has_error & ~missed
+        return flagged, missed
+
+    def _detect_batch(
+        self, error_counts: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the detector to a ``(regions, region_size)`` cohort.
+
+        One array fill covers the whole cohort; ``Generator.random`` fills
+        C-order element-sequentially, so the draw for row ``i`` is bitwise
+        the ``rng.random(region_size)`` the scalar :meth:`_detect` would
+        make for that visit, in the same order.
+        """
+        has_error = error_counts > 0
+        if not self.scheme.has_detector:
+            return np.ones_like(has_error, dtype=bool), np.zeros_like(has_error)
+        miss_probability = 2.0 ** (-self.scheme.detector_bits)
+        missed = has_error & (rng.random(error_counts.shape) < miss_probability)
         flagged = has_error & ~missed
         return flagged, missed
 

@@ -111,6 +111,40 @@ class ScrubStats:
             )
             self.error_histogram[0] += lines * visits
 
+    # -- bulk recording (batch-engine-facing) --------------------------------
+
+    def record_reads_bulk(self, lines: int, visits: int) -> None:
+        """Charge ``visits`` region scans of ``lines`` lines each.
+
+        Bit-identical to ``visits`` successive :meth:`record_reads` calls:
+        the energy accumulator replays the per-visit additions
+        (:meth:`~repro.pcm.energy.EnergyLedger.add_repeated`).
+        """
+        if lines < 0 or visits < 0:
+            raise ValueError("lines and visits must be >= 0")
+        self.ledger.add_repeated("scrub_read", self.costs.read_energy, lines, visits)
+        self.visits += lines * visits
+
+    def record_detects_bulk(self, lines: int, visits: int) -> None:
+        """Charge ``visits`` detector passes over ``lines`` lines each."""
+        if lines < 0 or visits < 0:
+            raise ValueError("lines and visits must be >= 0")
+        self.ledger.add_repeated(
+            "scrub_detect", self.costs.detect_energy, lines, visits
+        )
+
+    def record_decodes_bulk(self, counts) -> None:
+        """Charge one visit's decode count per entry of ``counts``, in order.
+
+        Bit-identical to per-visit :meth:`record_decodes` calls in the same
+        order (:meth:`~repro.pcm.energy.EnergyLedger.add_sequence`).
+        """
+        self.ledger.add_sequence("scrub_decode", self.costs.decode_energy, counts)
+
+    def record_scrub_writes_bulk(self, counts) -> None:
+        """Charge one visit's write-back count per entry of ``counts``."""
+        self.ledger.add_sequence("scrub_write", self.costs.write_energy, counts)
+
     def record_error_counts(self, counts: np.ndarray) -> None:
         """Fold one visit's observed per-line error counts into the histogram."""
         counts = np.asarray(counts)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..ecc.schemes import EccScheme, scheme_for_strength
-from .policy import ScrubPolicy, VisitDecision
+from .policy import BatchVisitDecision, ScrubPolicy, VisitDecision
 
 
 class ThresholdScrubPolicy(ScrubPolicy):
@@ -76,6 +76,41 @@ class ThresholdScrubPolicy(ScrubPolicy):
         reschedules at the fixed ``interval``.
         """
         return self.interval
+
+    def batch_interval(self) -> float | None:
+        """Static-interval policies batch whole device rounds.
+
+        Every region is visited at the same fixed cadence and every
+        decision reschedules at it unchanged, so the batch engine may
+        replay full rounds of the stagger schedule.
+        """
+        return self.interval
+
+    def visit_batch(
+        self,
+        times: np.ndarray,
+        regions: np.ndarray,
+        error_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> BatchVisitDecision:
+        """The threshold rule over a whole cohort in one set of array ops.
+
+        Decision logic is identical to :meth:`visit` row by row; the
+        detector draw is one C-order fill over the cohort, which is
+        bitwise the scalar per-visit draws in visit order.
+        """
+        flagged, missed = self._detect_batch(error_counts, rng)
+        decoded = flagged
+        uncorrectable = decoded & (error_counts > self.scheme.t)
+        correctable = decoded & ~uncorrectable
+        written_back = correctable & (error_counts >= self.threshold)
+        return BatchVisitDecision(
+            decoded=decoded,
+            written_back=written_back,
+            uncorrectable=uncorrectable,
+            missed=missed,
+            next_intervals=np.full(regions.shape[0], self.interval),
+        )
 
     def visit(
         self,

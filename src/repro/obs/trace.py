@@ -59,6 +59,10 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     #: Fast-forward stood down (once per run per cause: ``read_refresh``,
     #: ``policy``, ``demand``, ``detector_interleaving``).
     "fast_forward_disabled": ("reason",),
+    #: Trace header (once per run, at t=0): which visit engine produced the
+    #: run (``scalar`` or ``batch``), so downstream tooling can tell traces
+    #: apart.
+    "engine_mode": ("engine",),
 }
 
 

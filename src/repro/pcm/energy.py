@@ -138,6 +138,30 @@ class EnergyLedger:
         self.energy[category] = energy
         self.counts[category] += count * repeats
 
+    def add_sequence(
+        self, category: str, energy_per_op: float, counts
+    ) -> None:
+        """Record one :meth:`add` per entry of ``counts``, in order.
+
+        The batch engine's per-cohort bulk charge for categories whose
+        per-visit count varies (decodes, write-backs): bit-identical to the
+        scalar walk's sequence of ``add(category, energy_per_op, c)`` calls
+        because the float accumulator is advanced by the same per-visit
+        additions in the same order, never by one fused dot product.
+        """
+        if category not in self.counts:
+            raise KeyError(f"unknown ledger category {category!r}")
+        total = 0
+        energy = self.energy[category]
+        for count in counts:
+            count = int(count)
+            if count < 0:
+                raise ValueError("counts must be >= 0")
+            energy += energy_per_op * count
+            total += count
+        self.energy[category] = energy
+        self.counts[category] += total
+
     def merge(self, other: "EnergyLedger") -> None:
         """Fold another ledger into this one."""
         for cat in LEDGER_CATEGORIES:

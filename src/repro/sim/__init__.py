@@ -8,7 +8,10 @@ Three engines at different fidelity/speed points:
 * :mod:`repro.sim.population` - the workhorse: a vectorized Monte-Carlo
   engine that tracks, per line, only the few smallest drift crossing times
   (order-statistics sampling), making year-scale simulations of large line
-  populations run in seconds.
+  populations run in seconds.  :mod:`repro.sim.batch` layers a batched
+  visit loop on the same state (whole scheduler cohorts / device rounds as
+  single array ops) for busy workloads where fast-forward cannot engage;
+  select it with ``SimulationConfig(engine="batch")``.
 * :mod:`repro.sim.bitexact` - drives :class:`repro.pcm.array.LineArray`
   and the real BCH/SECDED codecs bit by bit; slow, used for validation.
 
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 from ..obs import ObsConfig
 from .analytic import AnalyticModel, CrossingDistribution
+from .batch import BatchPopulationEngine
 from .config import SimulationConfig
 from .parallel import RunSpec, default_jobs, parallel_map, run_many
 from .population import LinePopulation, PopulationEngine
@@ -29,6 +33,7 @@ from .runner import clear_distribution_cache, run_experiment
 
 __all__ = [
     "AnalyticModel",
+    "BatchPopulationEngine",
     "CrossingDistribution",
     "LinePopulation",
     "ObsConfig",

@@ -75,6 +75,16 @@ class SimulationConfig:
     #: by a metamorphic law); disable to run the naive event loop, e.g.
     #: when timing it.  See docs/performance.md.
     fast_forward: bool = True
+    #: Which visit engine drives the run: ``"scalar"`` walks regions one
+    #: visit at a time (the reference oracle); ``"batch"`` processes whole
+    #: scheduler cohorts — and, for static uniform-interval policies, whole
+    #: device rounds — as single array ops
+    #: (:class:`repro.sim.batch.BatchPopulationEngine`).  Bit-identical to
+    #: scalar wherever RNG draw order is preserved (idle workloads,
+    #: single-region runs, per-tick cohorts); statistically equivalent
+    #: (gated by ``pcm-scrub verify``) where batching demand traffic across
+    #: regions reorders draws.  See docs/performance.md.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.num_lines <= 0:
@@ -89,6 +99,10 @@ class SimulationConfig:
             raise ValueError("keep must exceed the strongest ECC strength")
         if self.spares_per_region is not None and self.spares_per_region < 0:
             raise ValueError("spares_per_region must be non-negative")
+        if self.engine not in ("scalar", "batch"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'batch', got {self.engine!r}"
+            )
         if self.compensated_sensing and self.thermal_profile is not None:
             raise ValueError(
                 "compensated sensing and thermal profiles do not compose; "

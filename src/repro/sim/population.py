@@ -145,17 +145,32 @@ class LinePopulation:
 
     # -- queries ------------------------------------------------------------
 
-    def drift_error_counts(self, idx: np.ndarray, now: float) -> np.ndarray:
-        """Drifted cells per line at time ``now`` (capped at ``keep``)."""
-        return (self.crossing[idx] <= now).sum(axis=1).astype(np.int64)
+    def drift_error_counts(
+        self, idx: np.ndarray, now: float | np.ndarray
+    ) -> np.ndarray:
+        """Drifted cells per line at time ``now`` (capped at ``keep``).
+
+        ``idx`` may be any integer index shape; the result matches it.  A
+        2-D ``(regions, region_size)`` block with a per-region ``now``
+        array evaluates a whole visit cohort in one comparison.
+        """
+        rows = self.crossing[idx]
+        now = np.asarray(now, dtype=np.float64)
+        if now.ndim:
+            now = now.reshape(now.shape + (1,) * (rows.ndim - now.ndim))
+        return (rows <= now).sum(axis=-1).astype(np.int64)
 
     def stuck_counts(self, idx: np.ndarray) -> np.ndarray:
         """Stuck (worn-out) cells per line (capped at ``keep``)."""
-        return (self.lifetime[idx] <= self.writes[idx, None]).sum(axis=1).astype(
-            np.int64
+        return (
+            (self.lifetime[idx] <= self.writes[idx][..., None])
+            .sum(axis=-1)
+            .astype(np.int64)
         )
 
-    def error_counts(self, idx: np.ndarray, now: float) -> np.ndarray:
+    def error_counts(
+        self, idx: np.ndarray, now: float | np.ndarray
+    ) -> np.ndarray:
         """Total observable errors per line: drift + conflicting stuck cells."""
         return self.drift_error_counts(idx, now) + self.hard_mismatch[idx]
 
@@ -437,6 +452,10 @@ class PopulationEngine:
         stats ledger stops agreeing with them.
     """
 
+    #: Which visit loop this engine implements; emitted once per traced run
+    #: (``engine_mode`` event) so downstream tooling can tell traces apart.
+    engine_mode = "scalar"
+
     def __init__(
         self,
         population: LinePopulation,
@@ -488,6 +507,14 @@ class PopulationEngine:
         #: Per-line time of the last scrub visit (or start of time).
         self._last_visit = np.zeros(population.num_lines)
         self._all_lines = np.arange(population.num_lines)
+        #: Row ``r`` is region ``r``'s line indices; ``region_lines`` serves
+        #: views of this instead of allocating an ``arange`` per visit.
+        self._region_index = self._all_lines.reshape(
+            self.num_regions, region_size
+        )
+        #: Scratch for per-line rewrite timestamps (``rewrite`` consumes the
+        #: values within the call), replacing a ``np.full`` per mutation.
+        self._fill_times = np.empty(region_size)
         #: Quiescent-visit fast-forward (bit-identical to the naive walk;
         #: see :meth:`_maybe_fast_forward`).
         self.fast_forward = fast_forward
@@ -509,8 +536,13 @@ class PopulationEngine:
         )
 
     def region_lines(self, region: int) -> np.ndarray:
-        start = region * self.region_size
-        return np.arange(start, start + self.region_size)
+        return self._region_index[region]
+
+    def _times_filled(self, count: int, time: float) -> np.ndarray:
+        """``count`` copies of ``time`` from the preallocated scratch buffer."""
+        buf = self._fill_times[:count]
+        buf.fill(time)
+        return buf
 
     def simulate(self) -> ScrubStats:
         """Simulate to the horizon and return the (shared) stats ledger."""
@@ -520,6 +552,7 @@ class PopulationEngine:
         )
         engine_rng = self.streams.get("engine")
         workload_rng = self.streams.get("workload")
+        self._emit_engine_mode()
 
         sampler = None
         if self.obs is not None and self.obs.config.sample_every is not None:
@@ -559,6 +592,11 @@ class PopulationEngine:
             if sampler is not None:
                 sampler.finalize(self.horizon)
         return self.stats
+
+    def _emit_engine_mode(self) -> None:
+        """Trace-header record of which visit loop produced this run."""
+        if self._tracer.enabled:
+            self._tracer.emit("engine_mode", 0.0, engine=self.engine_mode)
 
     def _note_fast_forward_disabled(self, reason: str, time: float) -> None:
         """Trace (once per run per cause) why fast-forward stood down."""
@@ -711,7 +749,7 @@ class PopulationEngine:
                         "uncorrectable", time, region=region, count=int(ue_idx.size)
                     )
                 self.population.rewrite(
-                    ue_idx, np.full(ue_idx.size, time), data_changed=True
+                    ue_idx, self._times_filled(ue_idx.size, time), data_changed=True
                 )
 
             # Write-backs: the scrub-cost metric the paper minimizes.
@@ -727,7 +765,9 @@ class PopulationEngine:
                 else:
                     self.stats.record_scrub_writes(wb_idx.size)
                     self.population.rewrite(
-                        wb_idx, np.full(wb_idx.size, time), data_changed=False
+                        wb_idx,
+                        self._times_filled(wb_idx.size, time),
+                        data_changed=False,
                     )
             elif getattr(self.policy, "partial_writeback", False):
                 partial_cells_visit = 0
@@ -768,7 +808,7 @@ class PopulationEngine:
                     region=region,
                     lines=int(idx.size),
                     errors=int(error_counts.sum()),
-                    max_errors=int(error_counts.max()),
+                    max_errors=int(error_counts.max()) if error_counts.size else 0,
                     decoded=num_decoded,
                     written_back=int(decision.written_back.sum()),
                     uncorrectable=int(decision.uncorrectable.sum()),

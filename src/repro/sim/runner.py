@@ -40,6 +40,7 @@ from .analytic import (
     tabulation_cache_dir,
     tabulation_cache_key,
 )
+from .batch import BatchPopulationEngine
 from .config import SimulationConfig
 from .population import LinePopulation, PopulationEngine
 from .results import RunResult
@@ -198,7 +199,10 @@ def run_experiment(
             spare_pool=spare_pool,
             tracer=obs.tracer if obs is not None else None,
         )
-    engine = PopulationEngine(
+    engine_cls = (
+        BatchPopulationEngine if config.engine == "batch" else PopulationEngine
+    )
+    engine = engine_cls(
         population=population,
         policy=policy,
         stats=stats,

@@ -59,6 +59,20 @@ RENEWAL_REL_FLOOR = 0.12
 #: approximates a z-sigma Poisson band in relative terms.
 RENEWAL_REL_Z = 4.0
 
+#: Relative-error floor for the batch-vs-scalar comparison.  The two runs
+#: share a seed but the batch engine consumes the workload and population
+#: streams in a different order (see :mod:`repro.sim.batch`), so they are
+#: effectively two independent samples of the same process: the paired
+#: difference scales like ``sqrt(2)`` of one run's sampling noise plus a
+#: small trajectory-divergence term.  Measured slack on the default grid
+#: is under 7%; 10% keeps headroom without admitting real regressions.
+BATCH_REL_FLOOR = 0.10
+
+#: Sampling multiplier for the batch ladder: ``z * sqrt(2 / expected)``
+#: is a z-sigma band on the difference of two independent Poisson-like
+#: counts of the same mean, in relative terms.
+BATCH_REL_Z = 4.0
+
 
 @dataclass(frozen=True)
 class EquivalenceRow:
@@ -283,10 +297,89 @@ def renewal_equivalence(
     return EquivalenceReport(rows=tuple(rows))
 
 
+def _batch_band(expected: float) -> tuple[float, float]:
+    """Acceptance band for batch-vs-scalar around the scalar count."""
+    if expected <= 0.0:
+        return 0.0, 0.0
+    rel = max(BATCH_REL_FLOOR, BATCH_REL_Z * math.sqrt(2.0 / expected))
+    return expected * (1.0 - rel), expected * (1.0 + rel)
+
+
+def batch_equivalence(
+    seed: int = 2012,
+    jobs: int = 1,
+    quick: bool = False,
+) -> EquivalenceReport:
+    """Batch-engine totals vs the scalar engine outside the identity domain.
+
+    The one regime where the batch engine is *not* bit-identical to the
+    scalar reference: a multi-region device under demand traffic in round
+    mode, where batching the round's Poisson demand into single fills
+    reorders the workload and population streams (the ``batch_identity``
+    metamorphic law pins every other regime exactly).  Both engines run
+    the same seeded configuration; the scalar totals serve as the
+    expectation and the batch totals must land inside the relative ladder
+    ``max(floor, z * sqrt(2 / expected))`` for uncorrectables and scrub
+    write-backs (see :data:`BATCH_REL_FLOOR`).
+    """
+    from ..workloads.generators import uniform_rates
+
+    intervals = [2 * units.HOUR, 4 * units.HOUR]
+    if quick:
+        intervals = intervals[:1]
+    num_lines = 2048 if quick else 8192
+    horizon = (3 if quick else 7) * units.DAY
+    specs = []
+    for interval in intervals:
+        for engine in ("scalar", "batch"):
+            specs.append(
+                RunSpec(
+                    policy="threshold",
+                    config=SimulationConfig(
+                        num_lines=num_lines,
+                        region_size=num_lines // 8,
+                        horizon=horizon,
+                        seed=seed,
+                        endurance=None,
+                        engine=engine,
+                    ),
+                    policy_kwargs={"interval": interval, "strength": 3},
+                    rates=uniform_rates(
+                        num_lines,
+                        total_write_rate=num_lines * 2.0 / units.DAY,
+                    ),
+                )
+            )
+    results = run_many(specs, jobs=jobs)
+
+    rows = []
+    for i, interval in enumerate(intervals):
+        scalar, batch = results[2 * i], results[2 * i + 1]
+        label = f"T={interval / units.HOUR:g}h multi-busy"
+        for metric in ("uncorrectable", "scrub_writes"):
+            expected = float(getattr(scalar.stats, metric))
+            observed = float(getattr(batch.stats, metric))
+            low, high = _batch_band(expected)
+            rows.append(
+                EquivalenceRow(
+                    check="batch_vs_scalar",
+                    label=label,
+                    metric=metric,
+                    observed=observed,
+                    expected=expected,
+                    low=low,
+                    high=high,
+                    passed=bool(low <= observed <= high),
+                )
+            )
+    return EquivalenceReport(rows=tuple(rows))
+
+
 def run_equivalence(
     seed: int = 2012, jobs: int = 1, quick: bool = False
 ) -> EquivalenceReport:
-    """Both cross-checks, merged into one report."""
+    """All cross-checks, merged into one report."""
     analytic = analytic_equivalence(seed=seed, jobs=jobs, quick=quick)
     renewal = renewal_equivalence(seed=seed, jobs=jobs, quick=quick)
-    return EquivalenceReport(rows=analytic.rows + renewal.rows)
+    batch = batch_equivalence(seed=seed, jobs=jobs, quick=quick)
+    return EquivalenceReport(rows=analytic.rows + renewal.rows + batch.rows)

@@ -9,12 +9,16 @@ is exercised by ``repro verify`` in CI.
 from __future__ import annotations
 
 from repro.verify.equivalence import (
+    BATCH_REL_FLOOR,
+    BATCH_REL_Z,
     EquivalenceReport,
     EquivalenceRow,
     RENEWAL_REL_FLOOR,
+    _batch_band,
     _relative_band,
     analytic_equivalence,
     analytic_grid,
+    batch_equivalence,
     renewal_equivalence,
     renewal_grid,
 )
@@ -59,6 +63,34 @@ class TestRenewal:
         assert low == 1e9 * (1 - RENEWAL_REL_FLOOR)
         assert high == 1e9 * (1 + RENEWAL_REL_FLOOR)
         assert _relative_band(0.0) == (0.0, 0.0)
+
+
+class TestBatchVsScalar:
+    def test_quick_grid_passes_both_metrics(self):
+        report = batch_equivalence(jobs=2, quick=True)
+        assert report.passed, [row.to_dict() for row in report.failures]
+        assert {row.check for row in report.rows} == {"batch_vs_scalar"}
+        assert {row.metric for row in report.rows} == {
+            "uncorrectable",
+            "scrub_writes",
+        }
+        # Non-vacuous: the scalar expectation must be a real count.
+        assert all(row.expected > 0 for row in report.rows)
+
+    def test_batch_band_has_documented_floor(self):
+        import math
+
+        low, high = _batch_band(1e9)  # sampling term negligible
+        assert low == 1e9 * (1 - BATCH_REL_FLOOR)
+        assert high == 1e9 * (1 + BATCH_REL_FLOOR)
+        assert _batch_band(0.0) == (0.0, 0.0)
+        # Small expectations widen by the paired-sample sqrt(2) term.
+        expected = 100.0
+        rel = BATCH_REL_Z * math.sqrt(2.0 / expected)
+        assert _batch_band(expected) == (
+            expected * (1 - rel),
+            expected * (1 + rel),
+        )
 
 
 class TestReport:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.verify.metamorphic import (
     MetamorphicReport,
     PropertyResult,
+    batch_identity,
     drift_monotonicity,
     ecc_monotonicity,
     fast_forward_identity,
@@ -73,13 +74,23 @@ class TestProperties:
         # visits (the label carries the skipped count).
         assert all("(skipped 0)" not in case.label for case in result.cases)
 
+    def test_batch_identity_holds_across_domains(self):
+        result = batch_identity(quick=True)
+        assert result.passed
+        assert all(case.value == 1.0 for case in result.cases)
+        # The quick set still spans both dispatch modes: static-interval
+        # policies (round mode) and a busy single-region detector run.
+        labels = [case.label for case in result.cases]
+        assert any("multi-idle" in label for label in labels)
+        assert any("single-busy" in label for label in labels)
+
 
 class TestReport:
     def test_suite_aggregates_and_passes(self):
         report = run_metamorphic(quick=True)
         assert report.passed
         assert not report.failures
-        assert len(report.results) == 9
+        assert len(report.results) == 10
         payload = report.to_dict()
         assert payload["passed"] is True
         assert all("cases" in entry for entry in payload["results"])
