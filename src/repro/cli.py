@@ -199,8 +199,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint and exit after N devices this invocation",
     )
     fleet.add_argument(
+        "--until", type=int, default=None, metavar="N",
+        help="incremental stop: complete devices with index < N, journal "
+        "the rest as pending, exit without aggregating",
+    )
+    fleet.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the fleet report as JSON",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="create a campaign directory for the sharded service "
+        "(spec + deterministic shard plan; workers drain it)",
+    )
+    submit.add_argument("spec", help="JSON campaign spec (see docs/fleet.md)")
+    submit.add_argument("root", help="campaign directory to create")
+    submit.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard count (default: CPU-count aware)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a submitted campaign under a supervised worker pool "
+        "(crashed workers are repaired and replaced)",
+    )
+    serve.add_argument("root", help="campaign directory from 'submit'")
+    serve.add_argument(
+        "--workers", type=int, default=2, help="worker processes"
+    )
+    serve.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="replacement workers before giving up",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="heartbeat age after which a shard lease is presumed dead",
+    )
+    serve.add_argument(
+        "--snapshot-budget", type=int, default=256, metavar="EVENTS",
+        help="engine events between mid-horizon device snapshots",
+    )
+    serve.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the final fleet report as JSON",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="one streaming progress snapshot of a campaign directory "
+        "(shard states + partial fleet report)",
+    )
+    status.add_argument("root", help="campaign directory")
+    status.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+    )
+    status.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full status (including the partial report) as JSON",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="poll a campaign until it finishes, streaming progress lines",
+    )
+    watch.add_argument("root", help="campaign directory")
+    watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+    )
+    watch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up (exit nonzero) after this long",
+    )
+    watch.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+    )
+
+    repair = sub.add_parser(
+        "repair",
+        help="re-queue dead workers' shards (break stale leases) and "
+        "sweep snapshots of already-journaled devices",
+    )
+    repair.add_argument("root", help="campaign directory")
+    repair.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
     )
     return parser
 
@@ -659,6 +742,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         stop_after=args.stop_after,
+        until=args.until,
     )
 
     if not outcome.finished:
@@ -684,6 +768,19 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             title=f"Fleet campaign '{spec.name}'",
         )
     )
+    _print_fleet_report(report)
+
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json() + "\n")
+        print(f"wrote fleet report to {path}")
+    return 0
+
+
+def _print_fleet_report(report) -> None:
+    """The reliability/lot/survival tables shared by fleet, serve, watch."""
 
     def _band(low: float, high: float, fmt: str = "{:.3g}") -> str:
         return f"[{fmt.format(low)}, {fmt.format(high)}]"
@@ -735,12 +832,139 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
     )
 
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .fleet import FleetSpec
+    from .service import submit_campaign
+
+    spec = FleetSpec.from_file(args.spec)
+    shards = args.shards if args.shards is not None else default_jobs()
+    campaign = submit_campaign(spec, args.root, shards=shards)
+    print(
+        format_table(
+            ["campaign", "devices", "shards", "spec hash", "root"],
+            [[spec.name, spec.devices, len(campaign.shards),
+              campaign.spec_hash[:12], str(campaign.root)]],
+            title="Campaign submitted",
+        )
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import final_report, serve_campaign
+
+    summary = serve_campaign(
+        args.root,
+        workers=args.workers,
+        max_restarts=args.max_restarts,
+        lease_timeout=args.lease_timeout,
+        snapshot_budget=args.snapshot_budget,
+    )
+    print(
+        format_table(
+            ["devices", "workers", "deaths", "restarts", "finished"],
+            [[f"{summary['devices_done']}/{summary['devices_total']}",
+              summary["workers"], summary["worker_deaths"],
+              summary["restarts"], summary["finished"]]],
+            title="Serve summary",
+        )
+    )
+    if not summary["finished"]:
+        return 1
+    report = final_report(args.root)
+    _print_fleet_report(report)
     if args.json:
         path = Path(args.json)
         if path.parent != Path("."):
             path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(report.to_json() + "\n")
         print(f"wrote fleet report to {path}")
+    return 0
+
+
+def _status_line(status: dict) -> str:
+    states = [row["state"] for row in status["shards"]]
+    return (
+        f"{status['name']}: {status['devices_done']}/{status['devices_total']} "
+        f"devices | shards {states.count('complete')} done, "
+        f"{states.count('running')} running, {states.count('queued')} queued, "
+        f"{states.count('stalled')} stalled"
+    )
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import campaign_status
+
+    status = campaign_status(args.root, lease_timeout=args.lease_timeout)
+    print(_status_line(status))
+    shard_rows = [
+        [row["shard"], f"{row['range'][0]}..{row['range'][1] - 1}",
+         f"{row['done']}/{row['total']}", row["state"],
+         row["worker"] or "-",
+         "-" if row["heartbeat_age"] is None else f"{row['heartbeat_age']:.1f}s",
+         "-" if row["wall_seconds"] is None else f"{row['wall_seconds']:.1f}s"]
+        for row in status["shards"]
+    ]
+    print(
+        format_table(
+            ["shard", "devices", "done", "state", "worker", "heartbeat",
+             "wall"],
+            shard_rows,
+            title=f"Campaign '{status['name']}' ({status['spec_hash'][:12]})",
+        )
+    )
+    if status["report"] is not None:
+        partial = status["report"]
+        print(
+            f"partial report over {partial['devices']} completed devices: "
+            f"{partial['uncorrectable']} UE, FIT {partial['fit']:.3g}"
+        )
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(status, indent=2) + "\n")
+        print(f"wrote status to {path}")
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from .service import final_report, watch_campaign
+
+    try:
+        watch_campaign(
+            args.root,
+            interval=args.interval,
+            timeout=args.timeout,
+            lease_timeout=args.lease_timeout,
+            on_status=lambda status: print(_status_line(status), flush=True),
+        )
+    except TimeoutError as error:
+        print(f"watch: {error}")
+        return 1
+    _print_fleet_report(final_report(args.root))
+    return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    from .service import repair_campaign
+
+    outcome = repair_campaign(args.root, lease_timeout=args.lease_timeout)
+    for broken in outcome["leases_broken"]:
+        print(
+            f"re-queued shard {broken['shard']} (lease held by "
+            f"{broken['worker']}, heartbeat {broken['heartbeat_age']:.1f}s ago)"
+        )
+    if outcome["snapshots_swept"]:
+        print(
+            f"swept {len(outcome['snapshots_swept'])} snapshot(s) of "
+            "already-journaled devices"
+        )
+    if not outcome["leases_broken"] and not outcome["snapshots_swept"]:
+        print("nothing to repair")
     return 0
 
 
@@ -755,6 +979,11 @@ COMMANDS = {
     "export": cmd_export,
     "verify": cmd_verify,
     "fleet": cmd_fleet,
+    "submit": cmd_submit,
+    "serve": cmd_serve,
+    "status": cmd_status,
+    "watch": cmd_watch,
+    "repair": cmd_repair,
 }
 
 

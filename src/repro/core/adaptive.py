@@ -129,6 +129,23 @@ class AdaptiveScrubPolicy(ScrubPolicy):
     def initial_interval(self, region: int) -> float:
         return self.controller.interval(region)
 
+    def state_dict(self) -> dict:
+        # The AIMD controller's per-region intervals are the only state
+        # this policy mutates during a run.  JSON round-trips finite
+        # floats exactly, so restored intervals are bitwise the saved ones.
+        return {
+            "intervals": {
+                str(region): interval
+                for region, interval in self.controller._intervals.items()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.controller._intervals = {
+            int(region): float(interval)
+            for region, interval in state.get("intervals", {}).items()
+        }
+
     def fast_forward_interval(self, region: int) -> float | None:
         """Opt in only where a zero-error pass cannot move the interval.
 

@@ -148,6 +148,27 @@ class ScrubPolicy(ABC):
         """
         return None
 
+    # -- suspend/resume state --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The policy's mutable per-run state, as JSON-clean values.
+
+        The suspend/resume contract: together with
+        :meth:`load_state_dict`, this must round-trip *everything* the
+        policy mutates during a run, so a policy restored into a fresh
+        object continues bit-identically.  Stateless policies (the
+        default) have nothing to save.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this policy."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but was handed "
+                f"snapshot state {sorted(state)}"
+            )
+
     @abstractmethod
     def visit(
         self,

@@ -89,3 +89,32 @@ class ScrubScheduler:
                 f"before current time {self._now}"
             )
         heapq.heappush(self._heap, ScheduledVisit(time=time, region=region))
+
+    # -- suspend/resume state ------------------------------------------------
+
+    def state(self) -> dict:
+        """The scheduler's complete mutable state, as plain values.
+
+        ``(time, region)`` keys are unique (one pending visit per region),
+        so the pop sequence is a function of the entry *set*, not of the
+        heap's internal layout - a sorted entry list restores bit-identical
+        pop order.
+        """
+        return {
+            "now": self._now,
+            "entries": sorted((visit.time, visit.region) for visit in self._heap),
+        }
+
+    @classmethod
+    def from_state(cls, num_regions: int, state: dict) -> "ScrubScheduler":
+        """Rebuild a scheduler from :meth:`state` output."""
+        scheduler = cls.__new__(cls)
+        scheduler.num_regions = num_regions
+        scheduler._now = float(state["now"])
+        heap = [
+            ScheduledVisit(time=float(time), region=int(region))
+            for time, region in state["entries"]
+        ]
+        heapq.heapify(heap)
+        scheduler._heap = heap
+        return scheduler

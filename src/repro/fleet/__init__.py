@@ -24,7 +24,14 @@ from __future__ import annotations
 
 from .campaign import CampaignOutcome, CampaignRunner, run_campaign
 from .checkpoint import CheckpointError, load_journal
-from .report import DeviceRecord, FleetInvariantError, FleetReport, aggregate
+from .report import (
+    DeviceRecord,
+    FleetInvariantError,
+    FleetReport,
+    aggregate,
+    aggregate_partial,
+    merge_records,
+)
 from .spec import DeviceSpec, FleetSpec, Lot, LotParameter
 
 __all__ = [
@@ -39,6 +46,8 @@ __all__ = [
     "Lot",
     "LotParameter",
     "aggregate",
+    "aggregate_partial",
     "load_journal",
+    "merge_records",
     "run_campaign",
 ]

@@ -30,6 +30,7 @@ from ..sim.runner import crossing_distribution_for
 from .checkpoint import (
     CheckpointError,
     append_device,
+    append_pending,
     load_journal,
     write_header,
 )
@@ -83,6 +84,13 @@ class CampaignRunner:
         this invocation - the programmatic form of killing a campaign
         mid-flight, used by the resume round-trip tests and by
         operators slicing a long campaign across maintenance windows.
+    until:
+        Incremental stop by device *index*: complete every device with
+        index < ``until``, journal the remainder as a ``pending`` record,
+        and return without aggregating.  Unlike ``stop_after`` (a
+        per-invocation work budget), ``until`` is an absolute position in
+        the campaign, so repeated invocations with growing ``until``
+        values walk the fleet front-to-back.
     """
 
     def __init__(
@@ -92,9 +100,12 @@ class CampaignRunner:
         checkpoint: str | Path | None = None,
         resume: bool = False,
         stop_after: int | None = None,
+        until: int | None = None,
     ):
         if stop_after is not None and stop_after <= 0:
             raise ValueError("stop_after must be positive (or None)")
+        if until is not None and until <= 0:
+            raise ValueError("until must be positive (or None)")
         if resume and checkpoint is None:
             raise ValueError("resume requires a checkpoint path")
         self.spec = spec
@@ -102,6 +113,7 @@ class CampaignRunner:
         self.checkpoint = None if checkpoint is None else Path(checkpoint)
         self.resume = resume
         self.stop_after = stop_after
+        self.until = until
 
     # -- execution ------------------------------------------------------------
 
@@ -132,6 +144,8 @@ class CampaignRunner:
                 write_header(self.checkpoint, spec_hash, spec.name)
 
         pending = [i for i in range(spec.devices) if i not in done]
+        if self.until is not None:
+            pending = [i for i in pending if i < self.until]
         if self.stop_after is not None:
             pending = pending[: self.stop_after]
 
@@ -168,6 +182,11 @@ class CampaignRunner:
         completed = len(done)
         wall = _time.perf_counter() - started
         if completed < spec.devices:
+            if self.until is not None and self.checkpoint is not None:
+                append_pending(
+                    self.checkpoint,
+                    [i for i in range(spec.devices) if i not in done],
+                )
             logger.info(
                 "campaign %s: checkpointed %d/%d devices (resume to finish)",
                 spec.name, completed, spec.devices,
@@ -194,9 +213,10 @@ def run_campaign(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     stop_after: int | None = None,
+    until: int | None = None,
 ) -> CampaignOutcome:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
         spec, jobs=jobs, checkpoint=checkpoint, resume=resume,
-        stop_after=stop_after,
+        stop_after=stop_after, until=until,
     ).run()

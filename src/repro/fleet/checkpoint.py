@@ -55,6 +55,28 @@ def append_device(path: str | Path, record: dict) -> None:
         os.fsync(handle.fileno())
 
 
+def append_pending(path: str | Path, indices: list[int]) -> None:
+    """Journal the device indices an ``--until`` stop left unfinished.
+
+    Purely informational: :func:`load_journal` skips ``pending`` records,
+    so a later resume recomputes the remaining set from the spec exactly
+    as it would after a crash.  The record exists so ``status`` tooling
+    (and humans reading the journal) can tell a deliberate early stop
+    from an interrupted run.
+    """
+    line = (
+        json.dumps(
+            {"kind": "pending", "indices": sorted(int(i) for i in indices)},
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 def load_journal(
     path: str | Path, expected_hash: str | None = None
 ) -> tuple[dict, dict[int, dict]]:
@@ -100,6 +122,8 @@ def load_journal(
 
     devices: dict[int, dict] = {}
     for number, record in enumerate(parsed[1:], start=2):
+        if record.get("kind") == "pending":
+            continue  # informational --until marker; remaining work is recomputed
         if record.get("kind") != "device" or "index" not in record:
             raise CheckpointError(
                 f"checkpoint {path} line {number} is not a device record"

@@ -229,6 +229,39 @@ class FleetReport:
         return json.dumps(self.to_dict(), indent=indent)
 
 
+def merge_records(
+    *record_sets: Iterable[DeviceRecord] | dict[int, DeviceRecord],
+) -> dict[int, DeviceRecord]:
+    """Associative, commutative merge of per-shard device records.
+
+    The shard-merge layer deliberately unions *records*, not pre-summed
+    partial reports: ``math.fsum`` partial sums do not recombine exactly,
+    but a union of records followed by one :func:`aggregate` pass is a
+    pure function of the record set - so ``merge(merge(A, B), C)`` and
+    ``merge(A, merge(B, C))`` (and any other bracketing of any partition)
+    aggregate to byte-identical reports.
+
+    Identical duplicates are tolerated (a shard rerun after a worker
+    death re-journals its devices); conflicting duplicates raise
+    :class:`FleetInvariantError` - two different results for one device
+    index mean the journals mix campaigns or spec evaluation broke.
+    """
+    merged: dict[int, DeviceRecord] = {}
+    for records in record_sets:
+        if isinstance(records, dict):
+            records = records.values()
+        for record in records:
+            existing = merged.get(record.index)
+            if existing is None:
+                merged[record.index] = record
+            elif existing != record:
+                raise FleetInvariantError(
+                    f"conflicting records for device {record.index}: shard "
+                    "journals disagree (mixed campaigns?)"
+                )
+    return merged
+
+
 def aggregate(spec: FleetSpec, records: Iterable[DeviceRecord]) -> FleetReport:
     """Roll per-device records up into a :class:`FleetReport`.
 
@@ -245,7 +278,44 @@ def aggregate(spec: FleetSpec, records: Iterable[DeviceRecord]) -> FleetReport:
             f"{len(indices)} records"
             + (f" (first mismatch near index {next((i for i, v in enumerate(indices) if i != v), len(indices))})" if indices else "")
         )
+    return _aggregate(spec, ordered, complete=True)
 
+
+def aggregate_partial(
+    spec: FleetSpec, records: Iterable[DeviceRecord]
+) -> FleetReport:
+    """Aggregate whatever device records exist *so far* into a report.
+
+    The streaming-``status`` view: any non-empty subset of the fleet's
+    devices produces a report over the completed population (``devices``,
+    device-hours, availability, and survival denominators are the
+    completed count, not the fleet size).  Apportionment checks are
+    relaxed - an in-flight campaign legitimately has lots mid-fill - but
+    the summation cross-checks still run.  A *complete* record set takes
+    the exact :func:`aggregate` path, so the final streamed report is
+    byte-identical to the batch one.
+    """
+    ordered = sorted(records, key=lambda record: record.index)
+    if not ordered:
+        raise FleetInvariantError(
+            "aggregate_partial needs at least one device record"
+        )
+    indices = [record.index for record in ordered]
+    if len(set(indices)) != len(indices):
+        raise FleetInvariantError("duplicate device indices in partial records")
+    if indices[0] < 0 or indices[-1] >= spec.devices:
+        raise FleetInvariantError(
+            f"device indices {indices[0]}..{indices[-1]} outside the spec's "
+            f"0..{spec.devices - 1}"
+        )
+    if len(ordered) == spec.devices:
+        return _aggregate(spec, ordered, complete=True)
+    return _aggregate(spec, ordered, complete=False)
+
+
+def _aggregate(
+    spec: FleetSpec, ordered: Sequence[DeviceRecord], complete: bool
+) -> FleetReport:
     counts = _sum_counts(ordered)
     scrub_energy = _sum_energy(ordered)
 
@@ -263,7 +333,7 @@ def aggregate(spec: FleetSpec, records: Iterable[DeviceRecord]) -> FleetReport:
     lot_rows = []
     for lot in spec.lots:
         members = by_lot.get(lot.name, [])
-        if len(members) != expected_counts[lot.name]:
+        if complete and len(members) != expected_counts[lot.name]:
             raise FleetInvariantError(
                 f"lot {lot.name!r} has {len(members)} device records but the "
                 f"spec apportions {expected_counts[lot.name]}"
@@ -300,7 +370,14 @@ def aggregate(spec: FleetSpec, records: Iterable[DeviceRecord]) -> FleetReport:
             f"fleet total is {scrub_energy!r}"
         )
 
-    device_hours = spec.device_hours
+    # Denominators cover the aggregated population: the whole fleet for a
+    # complete record set (``spec.device_hours`` exactly, so the complete
+    # path is byte-identical to historical reports), the completed device
+    # count for a streaming partial view.
+    population = spec.devices if complete else len(ordered)
+    device_hours = (
+        spec.device_hours if complete else population * horizon_hours
+    )
     total_ue = counts["uncorrectable"]
     ue_low, ue_high = poisson_interval(total_ue)
     fit = total_ue / device_hours * FIT_HOURS
@@ -309,22 +386,22 @@ def aggregate(spec: FleetSpec, records: Iterable[DeviceRecord]) -> FleetReport:
     scale = spec.capacity_scale
 
     survivors = sum(1 for record in ordered if record.uncorrectable == 0)
-    availability = survivors / spec.devices
+    availability = survivors / population
     availability_low, availability_high = binomial_interval(
-        survivors, spec.devices
+        survivors, population
     )
 
     ue_counts = [record.uncorrectable for record in ordered]
     thresholds = sorted({0, *ue_counts})[:32]
     survival = tuple(
-        (k, sum(1 for ue in ue_counts if ue >= k) / spec.devices)
+        (k, sum(1 for ue in ue_counts if ue >= k) / population)
         for k in thresholds
     )
 
-    simulated_gib_total = spec.devices * spec.simulated_gib_per_device
+    simulated_gib_total = population * spec.simulated_gib_per_device
     return FleetReport(
         name=spec.name,
-        devices=spec.devices,
+        devices=population,
         device_hours=device_hours,
         capacity_gib_per_device=spec.capacity_gib_per_device,
         simulated_gib_per_device=spec.simulated_gib_per_device,

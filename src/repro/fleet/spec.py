@@ -407,6 +407,8 @@ class FleetSpec:
                 "compensated_sensing": config.compensated_sensing,
                 "keep": config.keep,
                 "spares_per_region": config.spares_per_region,
+                "engine": config.engine,
+                "fast_forward": config.fast_forward,
                 "obs": {
                     "trace": config.obs.trace,
                     "sample_every": config.obs.sample_every,

@@ -1,0 +1,58 @@
+"""Sharded campaign service: fleet jobs over a crash-tolerant worker pool.
+
+``repro.fleet`` answers "run this campaign here, now, in one process
+tree".  This package lifts that to a small filesystem-coordinated
+service - no broker, no sockets, just a campaign *directory* that any
+number of worker processes (across hosts sharing the filesystem) drain
+cooperatively:
+
+* :mod:`repro.service.shards` - deterministic, apportionment-stable
+  planning of the device index space into contiguous shards;
+* :mod:`repro.service.jobs` - the campaign directory format
+  (``submit_campaign`` / ``load_campaign``), spec-hash-bound;
+* :mod:`repro.service.leases` - exclusive-create shard claims with
+  heartbeats and stale-lease stealing;
+* :mod:`repro.service.worker` - the claim/run loop, driving each device
+  through mid-horizon :mod:`repro.sim.snapshot` checkpoints;
+* :mod:`repro.service.supervisor` - ``serve``: a spawn-context worker
+  pool that repairs and replaces crashed workers;
+* :mod:`repro.service.status` - streaming partial reports (monotone
+  device counts; the finished stream equals the batch report
+  byte-for-byte), ``watch``, and ``repair``.
+
+CLI: ``pcm-scrub submit | serve | status | watch | repair``; see
+``docs/service.md`` for the lifecycle and crash-safety arguments.
+"""
+
+from __future__ import annotations
+
+from .jobs import Campaign, ServiceError, load_campaign, submit_campaign
+from .leases import DEFAULT_LEASE_TIMEOUT, Lease
+from .shards import CampaignShard, plan_shards
+from .status import (
+    campaign_status,
+    final_report,
+    repair_campaign,
+    watch_campaign,
+)
+from .supervisor import ServeFailed, serve_campaign
+from .worker import run_shard, run_worker
+
+__all__ = [
+    "Campaign",
+    "CampaignShard",
+    "DEFAULT_LEASE_TIMEOUT",
+    "Lease",
+    "ServeFailed",
+    "ServiceError",
+    "campaign_status",
+    "final_report",
+    "load_campaign",
+    "plan_shards",
+    "repair_campaign",
+    "run_shard",
+    "run_worker",
+    "serve_campaign",
+    "submit_campaign",
+    "watch_campaign",
+]

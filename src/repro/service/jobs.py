@@ -1,0 +1,215 @@
+"""Campaign directories: the on-disk job format the service executes.
+
+``submit_campaign`` turns a :class:`repro.fleet.spec.FleetSpec` into a
+self-describing directory; everything after that - workers, status,
+repair - operates on the directory alone, so any process on any host
+sharing the filesystem can participate:
+
+.. code-block:: text
+
+    <root>/
+      spec.json              # the FleetSpec + its content hash
+      plan.json              # deterministic shard plan (shards.py)
+      shards/shard-0000.jsonl   # per-shard checkpoint journal
+      shards/shard-0000.done    # completion marker {wall_seconds, worker}
+      leases/shard-0000.json    # live claim (leases.py)
+      snapshots/device-00003.npz  # mid-horizon EngineSnapshot, transient
+
+Ground truth for progress is always the shard *journals* (append-only,
+spec-hash-validated); ``.done`` markers and leases are advisory
+metadata for scheduling and latency reporting.  The spec hash stored in
+``spec.json`` binds every journal and snapshot fingerprint to one
+campaign, so directories can never silently mix work from two specs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..fleet.checkpoint import CheckpointError, load_journal
+from ..fleet.report import DeviceRecord
+from ..fleet.spec import FleetSpec
+from .shards import CampaignShard, plan_shards
+
+#: Campaign directory format version.
+PLAN_VERSION = 1
+
+
+class ServiceError(RuntimeError):
+    """A campaign directory is missing, malformed, or mismatched."""
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    """Atomic JSON write: temp file in the same directory + ``os.replace``."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A loaded campaign directory."""
+
+    root: Path
+    spec: FleetSpec
+    spec_hash: str
+    shards: tuple[CampaignShard, ...]
+
+    # -- paths ----------------------------------------------------------------
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def snapshots_dir(self) -> Path:
+        return self.root / "snapshots"
+
+    def journal_path(self, shard: CampaignShard) -> Path:
+        return self.shards_dir / f"{shard.name}.jsonl"
+
+    def marker_path(self, shard: CampaignShard) -> Path:
+        return self.shards_dir / f"{shard.name}.done"
+
+    def lease_path(self, shard: CampaignShard) -> Path:
+        return self.leases_dir / f"{shard.name}.json"
+
+    def snapshot_path(self, index: int) -> Path:
+        return self.snapshots_dir / f"device-{index:05d}.npz"
+
+    def device_fingerprint(self, index: int) -> str:
+        """Binds a mid-horizon snapshot to this campaign and device."""
+        return f"{self.spec_hash}/device-{index}"
+
+    # -- progress -------------------------------------------------------------
+
+    def shard_records(self, shard: CampaignShard) -> dict[int, DeviceRecord]:
+        """Completed device records journaled for ``shard`` (may be empty)."""
+        path = self.journal_path(shard)
+        if not path.exists():
+            return {}
+        _, journaled = load_journal(path, expected_hash=self.spec_hash)
+        records = {}
+        for index, record in journaled.items():
+            if index not in shard.indices:
+                raise ServiceError(
+                    f"{path} holds device {index}, outside shard "
+                    f"[{shard.start}, {shard.stop})"
+                )
+            records[index] = DeviceRecord.from_dict(record)
+        return records
+
+    def shard_complete(self, shard: CampaignShard) -> bool:
+        if self.marker_path(shard).exists():
+            return True
+        try:
+            return len(self.shard_records(shard)) == shard.count
+        except CheckpointError:
+            return False
+
+
+def submit_campaign(
+    spec: FleetSpec, root: str | Path, shards: int
+) -> Campaign:
+    """Create (or idempotently re-open) a campaign directory for ``spec``.
+
+    Re-submitting the same spec to an existing directory is a no-op that
+    returns the existing campaign - the natural "resubmit after a crash"
+    flow.  A *different* spec (by content hash) or a different shard
+    count is refused: a directory belongs to exactly one plan.
+    """
+    root = Path(root)
+    spec_hash = spec.content_hash()
+    plan = plan_shards(spec.devices, shards)
+
+    spec_path = root / "spec.json"
+    plan_path = root / "plan.json"
+    if spec_path.exists():
+        existing = load_campaign(root)
+        if existing.spec_hash != spec_hash:
+            raise ServiceError(
+                f"{root} already holds campaign {existing.spec_hash[:12]}; "
+                f"refusing to overwrite with {spec_hash[:12]}"
+            )
+        if [s.to_dict() for s in existing.shards] != [s.to_dict() for s in plan]:
+            raise ServiceError(
+                f"{root} was planned with {len(existing.shards)} shards; "
+                f"resubmit with the same count (got {len(plan)})"
+            )
+        return existing
+
+    root.mkdir(parents=True, exist_ok=True)
+    for sub in ("shards", "leases", "snapshots"):
+        (root / sub).mkdir(exist_ok=True)
+    _write_json(
+        spec_path, {"spec_hash": spec_hash, "spec": spec.to_dict()}
+    )
+    _write_json(
+        plan_path,
+        {
+            "version": PLAN_VERSION,
+            "spec_hash": spec_hash,
+            "devices": spec.devices,
+            "shards": [shard.to_dict() for shard in plan],
+        },
+    )
+    return Campaign(
+        root=root, spec=spec, spec_hash=spec_hash, shards=tuple(plan)
+    )
+
+
+def load_campaign(root: str | Path) -> Campaign:
+    """Load a submitted campaign directory, validating its internal hash."""
+    root = Path(root)
+    spec_path = root / "spec.json"
+    plan_path = root / "plan.json"
+    try:
+        spec_payload = json.loads(spec_path.read_text())
+        plan_payload = json.loads(plan_path.read_text())
+    except FileNotFoundError as error:
+        raise ServiceError(
+            f"{root} is not a campaign directory (missing {error.filename})"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"corrupt campaign metadata under {root}: {error}") from None
+
+    if plan_payload.get("version") != PLAN_VERSION:
+        raise ServiceError(
+            f"{plan_path} has plan version {plan_payload.get('version')!r}; "
+            f"this build reads version {PLAN_VERSION}"
+        )
+    spec = FleetSpec.from_dict(spec_payload["spec"])
+    spec_hash = spec.content_hash()
+    if spec_payload.get("spec_hash") != spec_hash:
+        raise ServiceError(
+            f"{spec_path} does not hash to its recorded spec_hash; "
+            "the spec file was edited after submission"
+        )
+    if plan_payload.get("spec_hash") != spec_hash:
+        raise ServiceError(f"{plan_path} belongs to a different spec")
+
+    shards = tuple(
+        CampaignShard.from_dict(entry) for entry in plan_payload["shards"]
+    )
+    covered = [index for shard in shards for index in shard.indices]
+    if covered != list(range(spec.devices)):
+        raise ServiceError(f"{plan_path} shards do not tile 0..{spec.devices - 1}")
+    return Campaign(root=root, spec=spec, spec_hash=spec_hash, shards=shards)

@@ -1,0 +1,177 @@
+"""Shard leases: exclusive-create claim files with heartbeats.
+
+A worker claims a shard by creating ``leases/<shard>.json`` with
+``O_CREAT | O_EXCL`` - the filesystem arbitrates, exactly one claimant
+wins.  While it holds the shard it refreshes the lease's ``heartbeat``
+timestamp through an atomic temp-file + ``os.replace`` rewrite, so
+readers never see a torn lease.  A lease whose heartbeat is older than
+the timeout (or whose pid is provably dead on this host) is *stale*:
+any worker - or an explicit ``pcm-scrub repair`` - may break it and
+re-queue the shard.
+
+The steal path (read, judge stale, unlink, re-acquire) has a classic
+window: between the staleness read and the unlink, the original owner
+could refresh.  That race is accepted deliberately rather than papered
+over, because the journal layer makes it harmless: device records are
+deterministic functions of ``(spec, index)`` and journals key by device
+index, so two workers transiently driving one shard duplicate compute
+but can never corrupt the record set or change the final report.  The
+timeout only trades re-work latency against the odds of that window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Seconds without a heartbeat before a lease is presumed dead.  Workers
+#: heartbeat at every device completion *and* every mid-device snapshot
+#: checkpoint, so a healthy worker refreshes far more often than this.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """The claim record stored in a lease file."""
+
+    worker: str
+    pid: int
+    host: str
+    acquired: float
+    heartbeat: float
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "pid": self.pid,
+            "host": self.host,
+            "acquired": self.acquired,
+            "heartbeat": self.heartbeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(
+            worker=str(data["worker"]),
+            pid=int(data["pid"]),
+            host=str(data["host"]),
+            acquired=float(data["acquired"]),
+            heartbeat=float(data["heartbeat"]),
+        )
+
+    def age(self, now: float | None = None) -> float:
+        return (time.time() if now is None else now) - self.heartbeat
+
+    def is_stale(self, timeout: float, now: float | None = None) -> bool:
+        """Heartbeat expired, or the owning process is dead on this host."""
+        if self.age(now) > timeout:
+            return True
+        if self.host == socket.gethostname() and not _pid_alive(self.pid):
+            return True
+        return False
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def _write_lease(path: Path, lease: Lease, exclusive: bool) -> bool:
+    payload = json.dumps(lease.to_dict(), sort_keys=True)
+    if exclusive:
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return True
+
+
+def try_acquire(path: str | Path, worker: str) -> Lease | None:
+    """Claim the lease file exclusively; ``None`` when someone holds it."""
+    path = Path(path)
+    now = time.time()
+    lease = Lease(
+        worker=worker,
+        pid=os.getpid(),
+        host=socket.gethostname(),
+        acquired=now,
+        heartbeat=now,
+    )
+    return lease if _write_lease(path, lease, exclusive=True) else None
+
+
+def refresh(path: str | Path, lease: Lease) -> Lease:
+    """Atomically bump the lease's heartbeat (temp file + ``os.replace``)."""
+    path = Path(path)
+    refreshed = Lease(
+        worker=lease.worker,
+        pid=lease.pid,
+        host=lease.host,
+        acquired=lease.acquired,
+        heartbeat=time.time(),
+    )
+    _write_lease(path, refreshed, exclusive=False)
+    return refreshed
+
+
+def read_lease(path: str | Path) -> Lease | None:
+    """Parse a lease file; ``None`` when absent or unreadable."""
+    try:
+        data = json.loads(Path(path).read_text())
+        return Lease.from_dict(data)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError):
+        return None
+
+
+def release(path: str | Path) -> None:
+    Path(path).unlink(missing_ok=True)
+
+
+def break_if_stale(
+    path: str | Path, timeout: float = DEFAULT_LEASE_TIMEOUT
+) -> Lease | None:
+    """Remove the lease if its holder looks dead; return the broken lease.
+
+    Returns ``None`` when the lease is absent or still fresh.  Losing an
+    unlink race with another breaker is fine - the shard just becomes
+    claimable either way.
+    """
+    path = Path(path)
+    lease = read_lease(path)
+    if lease is None or not lease.is_stale(timeout):
+        return None
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        return None
+    return lease

@@ -1,0 +1,80 @@
+"""Deterministic shard planning over a fleet's device index space.
+
+A shard is a contiguous, half-open slice ``[start, stop)`` of device
+indices.  The planner uses floor apportionment - shard ``k`` of ``n``
+over ``d`` devices covers ``[floor(k*d/n), floor((k+1)*d/n))`` - so the
+plan is a pure function of ``(devices, shards)``: sizes differ by at
+most one, the union is exactly ``0..devices-1``, and re-planning with
+the same arguments always yields the same slices.
+
+Apportionment stability of the *results* is deeper than the plan:
+:meth:`repro.fleet.spec.FleetSpec.device_spec` seeds every device from
+``(campaign_seed, index)`` alone, so a device's simulation is identical
+no matter which shard - or how many shards - it lands in.  Sharding is
+purely an execution concern; the record set (and therefore the report)
+is invariant under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """One contiguous slice of a campaign's device index space."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise ValueError("shard_id must be non-negative")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"shard {self.shard_id}: need 0 <= start < stop, "
+                f"got [{self.start}, {self.stop})"
+            )
+
+    @property
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+    @property
+    def count(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def name(self) -> str:
+        return f"shard-{self.shard_id:04d}"
+
+    def to_dict(self) -> dict:
+        return {"id": self.shard_id, "start": self.start, "stop": self.stop}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignShard":
+        return cls(
+            shard_id=int(data["id"]),
+            start=int(data["start"]),
+            stop=int(data["stop"]),
+        )
+
+
+def plan_shards(devices: int, shards: int) -> list[CampaignShard]:
+    """Split ``devices`` indices into ``shards`` contiguous slices.
+
+    Empty slices are never emitted: asking for more shards than devices
+    yields one single-device shard per device.
+    """
+    if devices <= 0:
+        raise ValueError("devices must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    shards = min(shards, devices)
+    plan = []
+    for k in range(shards):
+        start = k * devices // shards
+        stop = (k + 1) * devices // shards
+        plan.append(CampaignShard(shard_id=k, start=start, stop=stop))
+    return plan

@@ -1,0 +1,139 @@
+"""The ``serve`` supervisor: a worker pool with crash detection.
+
+``serve_campaign`` spawns N worker processes (spawn context - same
+bit-identical-under-parallelism regime as :mod:`repro.sim.parallel`)
+over one campaign directory and babysits them: a worker that dies - any
+nonzero exit, including SIGKILL - gets its shards re-queued through
+:func:`repro.service.status.repair_campaign` and is replaced, up to
+``max_restarts`` replacements total.  Because every worker checkpoints
+each device mid-horizon and journals each completed device durably, a
+replacement resumes from at most ``snapshot_budget`` events of lost
+work; the final report is byte-identical to an undisturbed run.
+
+The supervisor exits when the campaign finishes (normally all workers
+then exit zero on their own) or when the restart budget is exhausted
+with work still pending - the latter raises so operators see a wedged
+campaign instead of a silent partial result.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time as _time
+
+from ..sim.snapshot import DEFAULT_SNAPSHOT_BUDGET
+from . import leases
+from .jobs import load_campaign
+from .status import campaign_status, repair_campaign
+from .worker import run_worker
+
+logger = logging.getLogger(__name__)
+
+#: Replacement workers the supervisor will spawn before giving up.
+DEFAULT_MAX_RESTARTS = 3
+
+
+class ServeFailed(RuntimeError):
+    """Worker restarts were exhausted with devices still pending."""
+
+
+def _worker_main(
+    root: str,
+    worker_id: str,
+    lease_timeout: float,
+    snapshot_budget: int,
+) -> None:
+    run_worker(
+        root,
+        worker_id=worker_id,
+        lease_timeout=lease_timeout,
+        snapshot_budget=snapshot_budget,
+    )
+
+
+def serve_campaign(
+    root,
+    workers: int = 2,
+    max_restarts: int = DEFAULT_MAX_RESTARTS,
+    lease_timeout: float = leases.DEFAULT_LEASE_TIMEOUT,
+    snapshot_budget: int = DEFAULT_SNAPSHOT_BUDGET,
+    poll_seconds: float = 0.25,
+) -> dict:
+    """Run the campaign under a supervised worker pool; return a summary."""
+    campaign = load_campaign(root)
+    workers = max(1, workers)
+    context = multiprocessing.get_context("spawn")
+
+    def spawn(index: int, generation: int):
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                str(root),
+                f"serve-{index}g{generation}",
+                lease_timeout,
+                snapshot_budget,
+            ),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    pool = {index: spawn(index, 0) for index in range(workers)}
+    generations = {index: 0 for index in range(workers)}
+    restarts = 0
+    deaths = 0
+    try:
+        while True:
+            status = campaign_status(root, lease_timeout=lease_timeout,
+                                     include_report=False)
+            if status["finished"]:
+                break
+            for index, process in list(pool.items()):
+                if process.is_alive():
+                    continue
+                if process.exitcode == 0:
+                    # Finished cleanly but the campaign has pending work:
+                    # another worker holds it; this slot simply retires.
+                    pool.pop(index)
+                    continue
+                deaths += 1
+                logger.warning(
+                    "serve: worker %d died (exit %s); repairing and %s",
+                    index, process.exitcode,
+                    "replacing" if restarts < max_restarts else "NOT replacing",
+                )
+                repair_campaign(root, lease_timeout=lease_timeout)
+                pool.pop(index)
+                if restarts < max_restarts:
+                    restarts += 1
+                    generations[index] += 1
+                    pool[index] = spawn(index, generations[index])
+            if not pool:
+                final = campaign_status(root, lease_timeout=lease_timeout,
+                                        include_report=False)
+                if final["finished"]:
+                    break
+                raise ServeFailed(
+                    f"campaign {campaign.spec.name}: all workers gone with "
+                    f"{final['devices_total'] - final['devices_done']} devices "
+                    f"pending (restart budget {max_restarts} exhausted)"
+                )
+            _time.sleep(poll_seconds)
+    finally:
+        for process in pool.values():
+            process.join(timeout=2 * lease_timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    status = campaign_status(root, lease_timeout=lease_timeout,
+                             include_report=False)
+    return {
+        "finished": status["finished"],
+        "devices_done": status["devices_done"],
+        "devices_total": status["devices_total"],
+        "workers": workers,
+        "worker_deaths": deaths,
+        "restarts": restarts,
+    }

@@ -29,12 +29,19 @@ from .parallel import RunSpec, default_jobs, parallel_map, run_many
 from .population import LinePopulation, PopulationEngine
 from .results import RunResult
 from .rng import RngStreams
-from .runner import clear_distribution_cache, run_experiment
+from .runner import (
+    build_engine,
+    clear_distribution_cache,
+    finalize_result,
+    run_experiment,
+)
+from .snapshot import EngineSnapshot, SnapshotError, run_resumable
 
 __all__ = [
     "AnalyticModel",
     "BatchPopulationEngine",
     "CrossingDistribution",
+    "EngineSnapshot",
     "LinePopulation",
     "ObsConfig",
     "PopulationEngine",
@@ -42,9 +49,13 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "SimulationConfig",
+    "SnapshotError",
+    "build_engine",
     "clear_distribution_cache",
     "default_jobs",
+    "finalize_result",
     "parallel_map",
     "run_experiment",
     "run_many",
+    "run_resumable",
 ]

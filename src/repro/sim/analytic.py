@@ -250,6 +250,8 @@ def save_tabulation(
                     grid=distribution.grid,
                     per_level_cdf=distribution.per_level_cdf,
                 )
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

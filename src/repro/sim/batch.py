@@ -51,7 +51,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.policy import BatchVisitDecision
-from ..core.scheduler import ScrubScheduler
 from ..core.stats import ScrubStats
 from ..obs.sampler import PeriodicSampler
 from .population import PopulationEngine, _advance_rng
@@ -85,50 +84,46 @@ class BatchPopulationEngine(PopulationEngine):
         # scalar `_apply_demand` early return.
         write = self.rates.write_rate.reshape(self.num_regions, self.region_size)
         self._demand_active = (write != 0).any(axis=1)
+        #: Round-mode visit clock (``None`` until round mode starts, and
+        #: forever in cohort mode).  Lives on the engine so round-mode runs
+        #: can suspend between rounds and resume bit-identically.
+        self._round_times: np.ndarray | None = None
 
-    def simulate(self) -> ScrubStats:
-        """Simulate to the horizon and return the (shared) stats ledger."""
+    def simulate(self, budget: int | None = None) -> ScrubStats:
+        """Simulate to the horizon and return the (shared) stats ledger.
+
+        ``budget`` bounds this call to that many loop events (device
+        rounds or round-skip jumps in round mode, scheduler cohorts in
+        cohort mode); see
+        :meth:`repro.sim.population.PopulationEngine.simulate` for the
+        suspend/resume contract.
+        """
+        if self.complete:
+            return self.stats
         engine_rng = self.streams.get("engine")
         workload_rng = self.streams.get("workload")
-        self._emit_engine_mode()
+        interval = self.policy.batch_interval()
+        if interval is not None:
+            return self._simulate_rounds(
+                interval, engine_rng, workload_rng, budget
+            )
+        return self._simulate_cohorts(engine_rng, workload_rng, budget)
 
-        sampler = None
+    # -- round mode (static uniform-interval policies) -----------------------
+
+    def _prepare_rounds(self, interval: float) -> None:
+        """Round-mode analogue of the base engine's ``_prepare``."""
+        if self._prepared:
+            return
+        self._prepared = True
+        self._emit_engine_mode()
         if self.obs is not None and self.obs.config.sample_every is not None:
-            sampler = PeriodicSampler(
+            self._sampler = PeriodicSampler(
                 self.obs.config.sample_every,
                 self._collect_sample,
                 self.obs.timeseries,
             )
-
-        interval = self.policy.batch_interval()
-        if interval is not None:
-            return self._simulate_rounds(
-                interval, engine_rng, workload_rng, sampler
-            )
-        return self._simulate_cohorts(engine_rng, workload_rng, sampler)
-
-    # -- round mode (static uniform-interval policies) -----------------------
-
-    def _simulate_rounds(
-        self,
-        interval: float,
-        engine_rng: np.random.Generator,
-        workload_rng: np.random.Generator,
-        sampler: PeriodicSampler | None,
-    ) -> ScrubStats:
         num_regions = self.num_regions
-        regions = np.arange(num_regions)
-        # The scheduler's stagger, replayed verbatim: region r first visits
-        # at interval*(r+1)/R, then advances by iterated `+= interval` per
-        # round - the same per-region float additions the scalar heap
-        # replays, so every visit time is bitwise the scalar one.  Within a
-        # round times ascend with the region index and rounds never
-        # interleave (round k ends at (k+1)*interval, before round k+1's
-        # first phase), matching the heap's (time, region) pop order.
-        times = np.array(
-            [interval * (r + 1) / num_regions for r in range(num_regions)]
-        )
-
         ff_active = self.fast_forward
         if ff_active and self.read_refresh:
             self._note_fast_forward_disabled("read_refresh", 0.0)
@@ -145,13 +140,43 @@ class BatchPopulationEngine(PopulationEngine):
                 ff_active = False
             else:
                 self.population.enable_region_tracking(self.region_size)
+        self._ff_active = ff_active
+        if self._round_times is None:
+            # The scheduler's stagger, replayed verbatim: region r first
+            # visits at interval*(r+1)/R, then advances by iterated
+            # `+= interval` per round - the same per-region float additions
+            # the scalar heap replays, so every visit time is bitwise the
+            # scalar one.  Within a round times ascend with the region
+            # index and rounds never interleave (round k ends at
+            # (k+1)*interval, before round k+1's first phase), matching the
+            # heap's (time, region) pop order.
+            self._round_times = np.array(
+                [interval * (r + 1) / num_regions for r in range(num_regions)]
+            )
+
+    def _simulate_rounds(
+        self,
+        interval: float,
+        engine_rng: np.random.Generator,
+        workload_rng: np.random.Generator,
+        budget: int | None,
+    ) -> ScrubStats:
+        num_regions = self.num_regions
+        regions = np.arange(num_regions)
+        self._prepare_rounds(interval)
+        times = self._round_times
+        sampler = self._sampler
 
         scratch_last = np.empty(num_regions)
+        steps = 0
         with self._profiler.span("simulate"):
             while times[0] <= self.horizon:
+                if budget is not None and steps >= budget:
+                    return self.stats
+                steps += 1
                 if sampler is not None:
                     sampler.advance_to(times[0])
-                if ff_active and self._skip_quiescent_rounds(
+                if self._ff_active and self._skip_quiescent_rounds(
                     times, interval, engine_rng, sampler, scratch_last
                 ):
                     continue
@@ -171,6 +196,7 @@ class BatchPopulationEngine(PopulationEngine):
             self._account_demand_reads()
             if sampler is not None:
                 sampler.finalize(self.horizon)
+        self.complete = True
         return self.stats
 
     def _skip_quiescent_rounds(
@@ -259,25 +285,21 @@ class BatchPopulationEngine(PopulationEngine):
         self,
         engine_rng: np.random.Generator,
         workload_rng: np.random.Generator,
-        sampler: PeriodicSampler | None,
+        budget: int | None,
     ) -> ScrubStats:
-        scheduler = ScrubScheduler(
-            self.num_regions,
-            [self.policy.initial_interval(r) for r in range(self.num_regions)],
-        )
-        ff_active = self.fast_forward
-        if ff_active and self.read_refresh:
-            self._note_fast_forward_disabled("read_refresh", 0.0)
-            ff_active = False
-        if ff_active:
-            self.population.enable_region_tracking(self.region_size)
-
+        self._prepare()
+        scheduler = self._scheduler
+        sampler = self._sampler
+        steps = 0
         with self._profiler.span("simulate"):
             while len(scheduler) and scheduler.peek_time() <= self.horizon:
+                if budget is not None and steps >= budget:
+                    return self.stats
+                steps += 1
                 visit = scheduler.pop()
                 if sampler is not None:
                     sampler.advance_to(visit.time)
-                if ff_active:
+                if self._ff_active:
                     resumed = self._maybe_fast_forward(
                         visit.time, visit.region, engine_rng, sampler
                     )
@@ -329,6 +351,7 @@ class BatchPopulationEngine(PopulationEngine):
             self._account_demand_reads()
             if sampler is not None:
                 sampler.finalize(self.horizon)
+        self.complete = True
         return self.stats
 
     # -- the batched visit ----------------------------------------------------

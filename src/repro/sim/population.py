@@ -534,6 +534,16 @@ class PopulationEngine:
             if obs is not None and fast_forward
             else None
         )
+        #: Loop state lives on the engine (not in :meth:`simulate` locals)
+        #: so a run can suspend at an event boundary and resume - in this
+        #: process or, via :mod:`repro.sim.snapshot`, in another one.
+        self._scheduler: ScrubScheduler | None = None
+        self._sampler: PeriodicSampler | None = None
+        self._ff_active = False
+        self._prepared = False
+        #: True once the run reached the horizon and final accounting
+        #: (demand reads, sampler flush) has been charged.
+        self.complete = False
 
     def region_lines(self, region: int) -> np.ndarray:
         return self._region_index[region]
@@ -544,24 +554,24 @@ class PopulationEngine:
         buf.fill(time)
         return buf
 
-    def simulate(self) -> ScrubStats:
-        """Simulate to the horizon and return the (shared) stats ledger."""
-        scheduler = ScrubScheduler(
-            self.num_regions,
-            [self.policy.initial_interval(r) for r in range(self.num_regions)],
-        )
-        engine_rng = self.streams.get("engine")
-        workload_rng = self.streams.get("workload")
-        self._emit_engine_mode()
+    def _prepare(self) -> None:
+        """One-time loop setup, shared by fresh starts and snapshot resumes.
 
-        sampler = None
+        A snapshot restore pre-seeds ``self._scheduler`` before the first
+        :meth:`simulate` call; everything else here is deterministic,
+        draws no randomness, and is safe to recompute on resume (the
+        fast-forward caches are lazily rebuilt from the restored arrays).
+        """
+        if self._prepared:
+            return
+        self._prepared = True
+        self._emit_engine_mode()
         if self.obs is not None and self.obs.config.sample_every is not None:
-            sampler = PeriodicSampler(
+            self._sampler = PeriodicSampler(
                 self.obs.config.sample_every,
                 self._collect_sample,
                 self.obs.timeseries,
             )
-
         ff_active = self.fast_forward
         if ff_active and self.read_refresh:
             # Read-refresh plays demand probes between visits; a "quiet"
@@ -571,13 +581,43 @@ class PopulationEngine:
             ff_active = False
         if ff_active:
             self.population.enable_region_tracking(self.region_size)
+        self._ff_active = ff_active
+        if self._scheduler is None:
+            self._scheduler = ScrubScheduler(
+                self.num_regions,
+                [self.policy.initial_interval(r) for r in range(self.num_regions)],
+            )
 
+    def simulate(self, budget: int | None = None) -> ScrubStats:
+        """Simulate to the horizon and return the (shared) stats ledger.
+
+        ``budget`` bounds this call to that many scheduler events (scrub
+        visits or fast-forward jumps).  When the budget runs out before
+        the horizon, the engine returns with ``self.complete`` still
+        ``False``, suspended at an event boundary: all loop state lives on
+        the engine, so a later ``simulate`` call (or a snapshot taken by
+        :mod:`repro.sim.snapshot` and resumed elsewhere) continues
+        bit-identically.  Final accounting (bulk demand-read energy, the
+        sampler's horizon flush) is charged exactly once, when the run
+        actually completes.
+        """
+        if self.complete:
+            return self.stats
+        engine_rng = self.streams.get("engine")
+        workload_rng = self.streams.get("workload")
+        self._prepare()
+        scheduler = self._scheduler
+        sampler = self._sampler
+        steps = 0
         with self._profiler.span("simulate"):
             while len(scheduler) and scheduler.peek_time() <= self.horizon:
+                if budget is not None and steps >= budget:
+                    return self.stats
+                steps += 1
                 visit = scheduler.pop()
                 if sampler is not None:
                     sampler.advance_to(visit.time)
-                if ff_active:
+                if self._ff_active:
                     resumed = self._maybe_fast_forward(
                         visit.time, visit.region, engine_rng, sampler
                     )
@@ -591,6 +631,7 @@ class PopulationEngine:
             self._account_demand_reads()
             if sampler is not None:
                 sampler.finalize(self.horizon)
+        self.complete = True
         return self.stats
 
     def _emit_engine_mode(self) -> None:

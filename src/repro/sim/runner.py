@@ -160,25 +160,19 @@ def build_stats(policy: ScrubPolicy, config: SimulationConfig) -> ScrubStats:
     return ScrubStats(costs=costs)
 
 
-def run_experiment(
+def build_engine(
     policy: ScrubPolicy,
-    config: SimulationConfig | None = None,
+    config: SimulationConfig,
     rates: DemandRates | None = None,
-) -> RunResult:
-    """Simulate ``policy`` under ``rates`` for ``config`` and return results.
+) -> PopulationEngine:
+    """Construct the (unstarted) engine :func:`run_experiment` would run.
 
-    >>> from repro.core import basic_scrub
-    >>> from repro import units
-    >>> result = run_experiment(
-    ...     basic_scrub(interval=units.HOUR),
-    ...     SimulationConfig(num_lines=1024, region_size=256,
-    ...                      horizon=units.DAY, endurance=None),
-    ... )
-    >>> result.stats.visits > 0
-    True
+    The engine carries everything the run needs - population, stats,
+    streams, spare pool, observability, verifier - so callers can drive
+    it incrementally (``engine.simulate(budget=...)``), snapshot it
+    between calls (:mod:`repro.sim.snapshot`), and finish through
+    :func:`finalize_result`.
     """
-    if config is None:
-        config = SimulationConfig()
     obs = Observation.maybe(config.obs)
     profiler = obs.profiler if obs is not None else NULL_PROFILER
     streams = RngStreams(config.seed)
@@ -202,7 +196,7 @@ def run_experiment(
     engine_cls = (
         BatchPopulationEngine if config.engine == "batch" else PopulationEngine
     )
-    engine = engine_cls(
+    return engine_cls(
         population=population,
         policy=policy,
         stats=stats,
@@ -217,24 +211,34 @@ def run_experiment(
         verifier=verifier,
         fast_forward=config.fast_forward,
     )
-    started = _time.perf_counter()
-    engine.simulate()
-    elapsed = _time.perf_counter() - started
+
+
+def finalize_result(
+    engine: PopulationEngine,
+    policy: ScrubPolicy,
+    config: SimulationConfig,
+    elapsed: float,
+) -> RunResult:
+    """Package a completed engine run into a :class:`RunResult`."""
+    if not engine.complete:
+        raise RuntimeError("finalize_result requires a completed engine run")
+    population = engine.population
+    obs = engine.obs
     all_lines = np.arange(population.num_lines)
     final_state = {
         "stuck_cells": float(population.stuck_counts(all_lines).sum()),
         "hard_mismatch_cells": float(population.hard_mismatch.sum()),
         "mean_writes_per_line": float(population.writes.mean()),
     }
-    if spare_pool is not None:
-        final_state.update(spare_pool.metrics())
-    if verifier is not None:
-        verifier.check_final(final_state)
+    if engine.spare_pool is not None:
+        final_state.update(engine.spare_pool.metrics())
+    if engine._verifier.enabled:
+        engine._verifier.check_final(final_state)
     return RunResult(
         policy_name=policy.name,
         workload_name=engine.rates.name,
         config=config,
-        stats=stats,
+        stats=engine.stats,
         runtime_seconds=elapsed,
         final_state=final_state,
         trace=obs.trace_events if obs is not None else None,
@@ -249,3 +253,29 @@ def run_experiment(
             else None
         ),
     )
+
+
+def run_experiment(
+    policy: ScrubPolicy,
+    config: SimulationConfig | None = None,
+    rates: DemandRates | None = None,
+) -> RunResult:
+    """Simulate ``policy`` under ``rates`` for ``config`` and return results.
+
+    >>> from repro.core import basic_scrub
+    >>> from repro import units
+    >>> result = run_experiment(
+    ...     basic_scrub(interval=units.HOUR),
+    ...     SimulationConfig(num_lines=1024, region_size=256,
+    ...                      horizon=units.DAY, endurance=None),
+    ... )
+    >>> result.stats.visits > 0
+    True
+    """
+    if config is None:
+        config = SimulationConfig()
+    engine = build_engine(policy, config, rates)
+    started = _time.perf_counter()
+    engine.simulate()
+    elapsed = _time.perf_counter() - started
+    return finalize_result(engine, policy, config, elapsed)

@@ -170,3 +170,40 @@ class TestOutcome:
         assert sum(
             lot.counts["uncorrectable"] for lot in outcome.report.lots
         ) == outcome.report.uncorrectable
+
+
+class TestUntil:
+    def test_until_completes_prefix_and_journals_pending(self, tmp_path):
+        spec = hetero_spec()
+        journal = tmp_path / "campaign.jsonl"
+        partial = run_campaign(spec, checkpoint=journal, until=4)
+        assert not partial.finished
+        assert partial.completed == 4
+        _, devices = load_journal(journal, expected_hash=spec.content_hash())
+        assert set(devices) == {0, 1, 2, 3}
+        # The pending marker names exactly the unfinished indices.
+        lines = [json.loads(line) for line in journal.read_text().splitlines()]
+        pending = [line for line in lines if line["kind"] == "pending"]
+        assert pending and pending[-1]["indices"] == [4, 5]
+
+    def test_incremental_until_then_resume_is_bit_identical(self, tmp_path):
+        spec = hetero_spec()
+        straight = run_campaign(spec, jobs=2)
+        journal = tmp_path / "campaign.jsonl"
+        run_campaign(spec, checkpoint=journal, until=2)
+        run_campaign(spec, checkpoint=journal, resume=True, until=5)
+        final = run_campaign(spec, checkpoint=journal, resume=True)
+        assert final.finished
+        assert report_json(final) == report_json(straight)
+
+    def test_until_beyond_fleet_finishes(self, tmp_path):
+        spec = hetero_spec(devices=2)
+        straight = run_campaign(spec)
+        journal = tmp_path / "campaign.jsonl"
+        done = run_campaign(spec, checkpoint=journal, until=99)
+        assert done.finished
+        assert report_json(done) == report_json(straight)
+
+    def test_until_must_be_positive(self):
+        with pytest.raises(ValueError, match="until"):
+            CampaignRunner(hetero_spec(), until=0)

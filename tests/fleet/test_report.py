@@ -160,3 +160,114 @@ class TestBinomialInterval:
     def test_interval_is_finite(self):
         low, high = binomial_interval(3, 7, confidence=0.99)
         assert math.isfinite(low) and math.isfinite(high)
+
+
+class TestMergeRecords:
+    """Shard-merge algebra: union of records, associative and exact."""
+
+    def _records(self, spec):
+        return [record(i, ue=i % 3, energy=0.1 + 0.01 * i) for i in range(spec.devices)]
+
+    def test_any_bracketing_aggregates_identically(self):
+        from repro.fleet import merge_records
+
+        spec = make_spec(devices=9)
+        records = self._records(spec)
+        a, b, c = records[:3], records[3:5], records[5:]
+        left = merge_records(merge_records(a, b), c)
+        right = merge_records(a, merge_records(b, c))
+        assert aggregate(spec, left.values()).to_dict() == \
+            aggregate(spec, right.values()).to_dict()
+
+    def test_random_partitions_equal_unsharded_report(self):
+        import numpy as np
+
+        from repro.fleet import merge_records
+
+        spec = make_spec(devices=12)
+        records = self._records(spec)
+        unsharded = aggregate(spec, records).to_json()
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            order = rng.permutation(spec.devices)
+            cuts = sorted(rng.choice(range(1, spec.devices), size=3, replace=False))
+            parts = [
+                [records[i] for i in order[lo:hi]]
+                for lo, hi in zip([0, *cuts], [*cuts, spec.devices])
+            ]
+            rng.shuffle(parts)
+            merged = merge_records(*parts)
+            assert aggregate(spec, merged.values()).to_json() == unsharded
+
+    def test_identical_duplicates_tolerated(self):
+        from repro.fleet import merge_records
+
+        first = record(0, ue=2)
+        merged = merge_records([first], [record(0, ue=2)])
+        assert merged[0] == first
+
+    def test_conflicting_duplicates_raise(self):
+        from repro.fleet import merge_records
+
+        with pytest.raises(FleetInvariantError, match="conflicting"):
+            merge_records([record(0, ue=1)], [record(0, ue=2)])
+
+
+class TestAggregatePartial:
+    def test_complete_set_is_byte_identical_to_aggregate(self):
+        from repro.fleet import aggregate_partial
+
+        spec = make_spec(devices=5)
+        records = [record(i, ue=i) for i in range(5)]
+        assert aggregate_partial(spec, records).to_json() == \
+            aggregate(spec, records).to_json()
+
+    def test_partial_uses_completed_denominators(self):
+        from repro.fleet import aggregate_partial
+
+        spec = make_spec(devices=10)
+        records = [record(i, ue=(1 if i == 0 else 0)) for i in range(4)]
+        report = aggregate_partial(spec, records)
+        assert report.devices == 4
+        assert report.device_hours == pytest.approx(4 * 24.0)
+        assert report.availability == pytest.approx(3 / 4)
+        assert report.fit == pytest.approx(1 / (4 * 24.0) * FIT_HOURS)
+
+    def test_monotone_growth_never_shrinks(self):
+        from repro.fleet import aggregate_partial
+
+        spec = make_spec(devices=6)
+        records = [record(i, ue=1) for i in range(6)]
+        seen = 0
+        for upto in range(1, 7):
+            report = aggregate_partial(spec, records[:upto])
+            assert report.devices >= seen
+            seen = report.devices
+
+    def test_relaxes_lot_apportionment(self):
+        from repro.fleet import aggregate_partial
+
+        spec = make_spec(
+            devices=4, lots=(Lot(name="a", weight=1), Lot(name="b", weight=1))
+        )
+        # Only lot-a devices done so far: full aggregate would reject this.
+        lot_of = {i: spec.device_spec(i).lot for i in range(4)}
+        a_indices = [i for i, lot in lot_of.items() if lot == "a"]
+        records = [record(i, lot="a") for i in a_indices[:1]]
+        report = aggregate_partial(spec, records)
+        assert report.devices == 1
+
+    def test_empty_rejected(self):
+        from repro.fleet import aggregate_partial
+
+        with pytest.raises(FleetInvariantError, match="at least one"):
+            aggregate_partial(make_spec(devices=3), [])
+
+    def test_duplicate_and_out_of_range_rejected(self):
+        from repro.fleet import aggregate_partial
+
+        spec = make_spec(devices=3)
+        with pytest.raises(FleetInvariantError, match="duplicate"):
+            aggregate_partial(spec, [record(1), record(1)])
+        with pytest.raises(FleetInvariantError, match="outside"):
+            aggregate_partial(spec, [record(7)])

@@ -1,0 +1,144 @@
+"""The ``pcm-scrub submit|serve|status|watch|repair`` surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fleet import run_campaign
+from repro.fleet.spec import FleetSpec
+from repro.service import submit_campaign
+from repro.service.jobs import load_campaign
+from repro.service.worker import run_shard
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    spec = {
+        "version": 1,
+        "name": "cli-service",
+        "devices": 4,
+        "policy": "threshold",
+        "policy_kwargs": {"interval": 14400.0, "strength": 3, "threshold": 1},
+        "capacity_gib_per_device": 16.0,
+        "config": {
+            "num_lines": 256,
+            "region_size": 256,
+            "horizon_days": 1.0,
+            "seed": 2012,
+            "endurance": None,
+        },
+        "lots": [
+            {"name": "a", "weight": 1},
+            {
+                "name": "b",
+                "weight": 1,
+                "nu_sigma_scale": {"mean": 1.2, "spread": 0.05, "low": 0.0},
+            },
+        ],
+        "demand_write_rate": 0.05,
+    }
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+class TestSubmitServe:
+    def test_submit_then_serve_matches_batch_fleet(
+        self, spec_path, tmp_path, capsys
+    ):
+        root = tmp_path / "camp"
+        assert main(["submit", str(spec_path), str(root), "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign submitted" in out
+
+        report_path = tmp_path / "report.json"
+        assert main([
+            "serve", str(root), "--workers", "2",
+            "--json", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Serve summary" in out
+        assert "Fleet reliability" in out
+
+        served = json.loads(report_path.read_text())
+        spec = FleetSpec.from_file(spec_path)
+        batch = run_campaign(spec, jobs=1).report.to_dict()
+        assert served == batch
+
+    def test_resubmit_is_idempotent(self, spec_path, tmp_path, capsys):
+        root = tmp_path / "camp"
+        assert main(["submit", str(spec_path), str(root), "--shards", "2"]) == 0
+        assert main(["submit", str(spec_path), str(root), "--shards", "2"]) == 0
+
+
+class TestStatusWatchRepair:
+    def _submitted(self, spec_path, tmp_path):
+        root = tmp_path / "camp"
+        spec = FleetSpec.from_file(spec_path)
+        submit_campaign(spec, root, shards=2)
+        return root
+
+    def test_status_empty_campaign(self, spec_path, tmp_path, capsys):
+        root = self._submitted(spec_path, tmp_path)
+        status_path = tmp_path / "status.json"
+        assert main(["status", str(root), "--json", str(status_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0/4 devices" in out
+        assert "queued" in out
+        payload = json.loads(status_path.read_text())
+        assert payload["devices_done"] == 0
+        assert payload["report"] is None
+
+    def test_status_partial_report(self, spec_path, tmp_path, capsys):
+        root = self._submitted(spec_path, tmp_path)
+        campaign = load_campaign(root)
+        run_shard(campaign, campaign.shards[0])
+        assert main(["status", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "partial report over" in out
+
+    def test_watch_finished_campaign(self, spec_path, tmp_path, capsys):
+        root = self._submitted(spec_path, tmp_path)
+        campaign = load_campaign(root)
+        for shard in campaign.shards:
+            run_shard(campaign, shard)
+        assert main(["watch", str(root), "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 devices" in out
+        assert "Fleet reliability" in out
+
+    def test_watch_timeout_exits_nonzero(self, spec_path, tmp_path, capsys):
+        root = self._submitted(spec_path, tmp_path)
+        assert main([
+            "watch", str(root), "--interval", "0.01", "--timeout", "0.05",
+        ]) == 1
+        assert "not finished" in capsys.readouterr().out
+
+    def test_repair_reports_nothing_to_do(self, spec_path, tmp_path, capsys):
+        root = self._submitted(spec_path, tmp_path)
+        assert main(["repair", str(root)]) == 0
+        assert "nothing to repair" in capsys.readouterr().out
+
+
+class TestFleetUntil:
+    def test_until_then_resume_round_trip(self, spec_path, tmp_path, capsys):
+        journal = tmp_path / "journal.jsonl"
+        assert main([
+            "fleet", str(spec_path), "--checkpoint", str(journal),
+            "--until", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed" in out.lower()
+
+        report_path = tmp_path / "report.json"
+        assert main([
+            "fleet", str(spec_path), "--checkpoint", str(journal),
+            "--resume", "--json", str(report_path),
+        ]) == 0
+        resumed = json.loads(report_path.read_text())
+        spec = FleetSpec.from_file(spec_path)
+        batch = run_campaign(spec, jobs=1).report.to_dict()
+        assert resumed == batch

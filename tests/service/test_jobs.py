@@ -1,0 +1,87 @@
+"""Campaign directory format: submit, load, and integrity guards."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import units
+from repro.fleet import FleetSpec, Lot, LotParameter
+from repro.service import ServiceError, load_campaign, submit_campaign
+from repro.sim.config import SimulationConfig
+
+
+def make_spec(devices=6, seed=2012) -> FleetSpec:
+    return FleetSpec(
+        name="jobs-test",
+        devices=devices,
+        policy="threshold",
+        policy_kwargs={"interval": 4 * units.HOUR, "strength": 3, "threshold": 1},
+        base_config=SimulationConfig(
+            num_lines=256, region_size=256, horizon=units.DAY, seed=seed,
+            endurance=None,
+        ),
+        lots=(
+            Lot(name="a", weight=2, nu_mu_scale=LotParameter(1.0, 0.05, low=0.0)),
+            Lot(name="b", weight=1),
+        ),
+    )
+
+
+class TestSubmit:
+    def test_creates_layout(self, tmp_path):
+        campaign = submit_campaign(make_spec(), tmp_path / "camp", shards=3)
+        root = campaign.root
+        assert (root / "spec.json").exists()
+        assert (root / "plan.json").exists()
+        assert (root / "shards").is_dir()
+        assert (root / "leases").is_dir()
+        assert (root / "snapshots").is_dir()
+        assert len(campaign.shards) == 3
+
+    def test_resubmit_same_spec_is_idempotent(self, tmp_path):
+        root = tmp_path / "camp"
+        first = submit_campaign(make_spec(), root, shards=3)
+        second = submit_campaign(make_spec(), root, shards=3)
+        assert second.spec_hash == first.spec_hash
+        assert second.shards == first.shards
+
+    def test_different_spec_refused(self, tmp_path):
+        root = tmp_path / "camp"
+        submit_campaign(make_spec(seed=1), root, shards=2)
+        with pytest.raises(ServiceError, match="refusing to overwrite"):
+            submit_campaign(make_spec(seed=2), root, shards=2)
+
+    def test_different_shard_count_refused(self, tmp_path):
+        root = tmp_path / "camp"
+        submit_campaign(make_spec(), root, shards=2)
+        with pytest.raises(ServiceError, match="shards"):
+            submit_campaign(make_spec(), root, shards=3)
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        submitted = submit_campaign(make_spec(), tmp_path / "camp", shards=3)
+        loaded = load_campaign(tmp_path / "camp")
+        assert loaded.spec_hash == submitted.spec_hash
+        assert loaded.shards == submitted.shards
+        assert loaded.spec.content_hash() == submitted.spec_hash
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="not a campaign directory"):
+            load_campaign(tmp_path / "nope")
+
+    def test_edited_spec_rejected(self, tmp_path):
+        root = tmp_path / "camp"
+        submit_campaign(make_spec(), root, shards=2)
+        payload = json.loads((root / "spec.json").read_text())
+        payload["spec"]["devices"] = 99
+        (root / "spec.json").write_text(json.dumps(payload))
+        with pytest.raises(ServiceError, match="hash"):
+            load_campaign(root)
+
+    def test_fingerprint_names_campaign_and_device(self, tmp_path):
+        campaign = submit_campaign(make_spec(), tmp_path / "camp", shards=2)
+        fingerprint = campaign.device_fingerprint(3)
+        assert fingerprint == f"{campaign.spec_hash}/device-3"

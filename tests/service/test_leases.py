@@ -1,0 +1,108 @@
+"""Lease protocol: exclusive claims, heartbeats, stale detection."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.service.leases import (
+    Lease,
+    break_if_stale,
+    read_lease,
+    refresh,
+    release,
+    try_acquire,
+)
+
+
+class TestAcquire:
+    def test_exclusive_create_single_winner(self, tmp_path):
+        path = tmp_path / "shard-0000.json"
+        first = try_acquire(path, "w1")
+        assert first is not None and first.worker == "w1"
+        assert try_acquire(path, "w2") is None
+        assert read_lease(path).worker == "w1"
+
+    def test_release_frees_the_slot(self, tmp_path):
+        path = tmp_path / "lease.json"
+        assert try_acquire(path, "w1") is not None
+        release(path)
+        assert try_acquire(path, "w2") is not None
+
+    def test_release_is_idempotent(self, tmp_path):
+        release(tmp_path / "never-existed.json")
+
+
+class TestHeartbeat:
+    def test_refresh_bumps_heartbeat_atomically(self, tmp_path):
+        path = tmp_path / "lease.json"
+        lease = try_acquire(path, "w1")
+        time.sleep(0.01)
+        refreshed = refresh(path, lease)
+        assert refreshed.heartbeat > lease.heartbeat
+        on_disk = read_lease(path)
+        assert on_disk.heartbeat == refreshed.heartbeat
+        assert on_disk.acquired == lease.acquired
+        # No temp litter from the atomic rewrite.
+        assert [p for p in tmp_path.iterdir()] == [path]
+
+    def test_corrupt_lease_reads_as_none(self, tmp_path):
+        path = tmp_path / "lease.json"
+        path.write_text("{torn")
+        assert read_lease(path) is None
+
+
+class TestStaleness:
+    def test_fresh_lease_not_stale(self, tmp_path):
+        path = tmp_path / "lease.json"
+        lease = try_acquire(path, "w1")
+        assert not lease.is_stale(timeout=60.0)
+        assert break_if_stale(path, timeout=60.0) is None
+        assert path.exists()
+
+    def test_expired_heartbeat_is_stale(self, tmp_path):
+        path = tmp_path / "lease.json"
+        lease = try_acquire(path, "w1")
+        stale = Lease(
+            worker=lease.worker,
+            pid=lease.pid,
+            host=lease.host,
+            acquired=lease.acquired - 100.0,
+            heartbeat=lease.heartbeat - 100.0,
+        )
+        path.write_text(json.dumps(stale.to_dict()))
+        broken = break_if_stale(path, timeout=30.0)
+        assert broken is not None and broken.worker == "w1"
+        assert not path.exists()
+
+    def test_dead_pid_on_this_host_is_stale(self, tmp_path):
+        path = tmp_path / "lease.json"
+        lease = try_acquire(path, "w1")
+        # A pid from a process that no longer exists: fork and reap one.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        dead = Lease(
+            worker="w1",
+            pid=pid,
+            host=lease.host,
+            acquired=lease.acquired,
+            heartbeat=lease.heartbeat,
+        )
+        path.write_text(json.dumps(dead.to_dict()))
+        assert break_if_stale(path, timeout=1e9) is not None
+
+    def test_other_host_judged_by_heartbeat_only(self, tmp_path):
+        path = tmp_path / "lease.json"
+        lease = try_acquire(path, "w1")
+        remote = Lease(
+            worker="w1",
+            pid=1,  # pid 1 exists here, but the lease claims another host
+            host="some-other-host",
+            acquired=lease.acquired,
+            heartbeat=lease.heartbeat,
+        )
+        path.write_text(json.dumps(remote.to_dict()))
+        assert break_if_stale(path, timeout=1e9) is None

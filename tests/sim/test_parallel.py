@@ -155,6 +155,55 @@ class TestDiskCache:
         save_tabulation(distribution, key, _isolated_disk_cache)
         assert load_tabulation(key, spec.num_levels, 512, _isolated_disk_cache) is None
 
+    def test_concurrent_writers_race(self, tmp_path):
+        # Regression for the shared-cache race: many writers publishing the
+        # same key while readers poll must never surface a partial entry -
+        # every read is either a clean miss or the complete, bit-exact
+        # tabulation - and the temp-file + os.replace protocol must leave
+        # no litter behind.
+        import threading
+
+        spec = CellSpec()
+        distribution = CrossingDistribution(spec, temperature_k=300.0)
+        key = tabulation_cache_key(spec, 300.0)
+        start = threading.Barrier(6)
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                start.wait()
+                for _ in range(5):
+                    assert (
+                        save_tabulation(distribution, key, tmp_path) is not None
+                    )
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def reader():
+            try:
+                start.wait()
+                for _ in range(25):
+                    loaded = load_tabulation(
+                        key, spec.num_levels, 768, tmp_path
+                    )
+                    if loaded is not None:
+                        grid, cdf = loaded
+                        assert np.array_equal(grid, distribution.grid)
+                        assert np.array_equal(cdf, distribution.per_level_cdf)
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        final = load_tabulation(key, spec.num_levels, 768, tmp_path)
+        assert final is not None
+        assert [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
     def test_disabled_via_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
         crossing_distribution_for(SMALL)
