@@ -1,0 +1,107 @@
+"""P4 (performance): analytic-surrogate screening with MC escalation.
+
+The acceptance demonstration for `repro.screen`: the bundled screening
+fleet (three lots straddling a FIT limit — a cool aisle that passes
+analytically, a recalled lot that fails analytically, a hot aisle whose
+predictive interval overlaps the limit) run once screened and once as a
+full Monte-Carlo campaign.  The screen must spend MC device-runs on at
+most a fifth of the fleet (>=5x fewer), and the screened FIT point must
+land inside the full campaign's own Garwood band — the surrogate saves
+the work without moving the answer outside MC's uncertainty.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.fleet import FleetSpec, run_campaign
+from repro.fleet.report import FIT_HOURS
+from repro.obs import NULL_PROFILER
+from repro.screen import ScreenConstraints, run_screened_campaign
+
+SPEC_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "examples"
+    / "specs"
+    / "fleet_screen.json"
+)
+JOBS = 4
+#: Count budget c* = 4 expected horizon UEs per device: between the cool
+#: lot's predictive high and the hot lot's straddle (see docs/screening.md).
+COUNT_BUDGET = 4.0
+MIN_ESCALATION_RATIO = 5.0
+MAX_MC_FRACTION = 0.20
+
+
+def compute(profiler=NULL_PROFILER):
+    spec = FleetSpec.from_file(SPEC_PATH)
+    horizon_hours = spec.base_config.horizon / 3600.0
+    constraints = ScreenConstraints(
+        fit_limit=COUNT_BUDGET * FIT_HOURS * spec.capacity_scale / horizon_hours
+    )
+
+    screened_started = time.perf_counter()
+    with profiler.span("p04.screened"):
+        screened = run_screened_campaign(spec, constraints, jobs=JOBS)
+    screened_wall = time.perf_counter() - screened_started
+
+    full_started = time.perf_counter()
+    with profiler.span("p04.full_mc"):
+        full = run_campaign(spec, jobs=JOBS)
+    full_wall = time.perf_counter() - full_started
+    return spec, screened, full, screened_wall, full_wall
+
+
+def test_p04_screening(benchmark, emit, bench_summary, bench_profiler):
+    spec, screened, full, screened_wall, full_wall = benchmark.pedantic(
+        compute, args=(bench_profiler,), rounds=1, iterations=1
+    )
+    assert screened.finished
+    report = screened.report
+
+    # MC effort: at most a fifth of the fleet, >=5x fewer device-runs.
+    assert report.mc_devices == len(screened.plan.escalated)
+    assert screened.plan.mc_fraction <= MAX_MC_FRACTION
+    assert report.escalation_ratio >= MIN_ESCALATION_RATIO
+
+    # Accuracy: the screened FIT point sits inside the full campaign's
+    # own Garwood band — the surrogate contribution is indistinguishable
+    # from MC at MC's own uncertainty.
+    assert full.report.fit_low <= report.fit <= full.report.fit_high
+
+    speedup = full_wall / screened_wall if screened_wall > 0 else 0.0
+    bench_summary["p04_screening"] = {
+        "devices": spec.devices,
+        "mc_devices": report.mc_devices,
+        "mc_fraction": round(screened.plan.mc_fraction, 4),
+        "escalation_ratio": round(report.escalation_ratio, 3),
+        "jobs": JOBS,
+        "screened_wall_seconds": round(screened_wall, 4),
+        "full_wall_seconds": round(full_wall, 4),
+        "speedup": round(speedup, 3),
+        "screened_fit": round(report.fit, 3),
+        "full_fit_band": [
+            round(full.report.fit_low, 3),
+            round(full.report.fit_high, 3),
+        ],
+        "inside_full_band": True,
+    }
+    emit(
+        "p04_screening",
+        "\n".join(
+            [
+                f"P4: analytic screening + MC escalation ({spec.devices} "
+                f"devices, {len(spec.lots)} lots, jobs={JOBS})",
+                f"  screened run:    {screened_wall:8.2f}s  "
+                f"({report.mc_devices}/{spec.devices} devices escalated "
+                f"to MC, {report.escalation_ratio:.1f}x fewer runs)",
+                f"  full MC run:     {full_wall:8.2f}s  "
+                f"({spec.devices} devices)",
+                f"  speedup:         {speedup:8.2f}x",
+                f"  screened FIT:    {report.fit:12.1f} in full band "
+                f"[{full.report.fit_low:.1f}, {full.report.fit_high:.1f}]",
+                f"  classifications: {screened.plan.counts()}",
+            ]
+        ),
+    )

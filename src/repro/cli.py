@@ -49,6 +49,60 @@ from .workloads import uniform_rates, zipf_rates
 DEFAULT_SAMPLES = 64
 
 
+def _add_screen_arguments(parser: argparse.ArgumentParser) -> None:
+    """The surrogate-screening flag group shared by ``fleet`` and ``submit``."""
+    group = parser.add_argument_group(
+        "screening",
+        "classify devices through the exact finite-horizon renewal "
+        "surrogate and Monte-Carlo only the uncertain ones "
+        "(docs/screening.md)",
+    )
+    group.add_argument(
+        "--screen", action="store_true",
+        help="enable surrogate screening (requires --fit-limit and/or "
+        "--availability-limit)",
+    )
+    group.add_argument(
+        "--fit-limit", type=float, default=None, metavar="FIT",
+        help="per-device budget on capacity-scaled FIT",
+    )
+    group.add_argument(
+        "--availability-limit", type=float, default=None, metavar="P",
+        help="per-device floor on the probability of a UE-free horizon",
+    )
+    group.add_argument(
+        "--screen-confidence", type=float, default=0.95, metavar="C",
+        help="central coverage of the Poisson predictive interval "
+        "(default 0.95)",
+    )
+    group.add_argument(
+        "--availability-margin", type=float, default=0.02, metavar="M",
+        help="band around --availability-limit that escalates to MC "
+        "(default 0.02)",
+    )
+
+
+def _screen_constraints(args: argparse.Namespace):
+    """Build ScreenConstraints from CLI flags, or None when not screening."""
+    if not args.screen:
+        if args.fit_limit is not None or args.availability_limit is not None:
+            raise SystemExit(
+                "pcm-scrub: --fit-limit/--availability-limit require --screen"
+            )
+        return None
+    from .screen import ScreenConstraints, ScreenError
+
+    try:
+        return ScreenConstraints(
+            fit_limit=args.fit_limit,
+            min_availability=args.availability_limit,
+            confidence=args.screen_confidence,
+            availability_margin=args.availability_margin,
+        )
+    except ScreenError as error:
+        raise SystemExit(f"pcm-scrub: {error}") from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="pcm-scrub",
@@ -207,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="write the fleet report as JSON",
     )
+    _add_screen_arguments(fleet)
 
     submit = sub.add_parser(
         "submit",
@@ -219,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="shard count (default: CPU-count aware)",
     )
+    _add_screen_arguments(submit)
 
     serve = sub.add_parser(
         "serve",
@@ -736,6 +792,9 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from .fleet import FleetSpec, run_campaign
 
     spec = FleetSpec.from_file(args.spec)
+    constraints = _screen_constraints(args)
+    if constraints is not None:
+        return _cmd_fleet_screened(args, spec, constraints)
     outcome = run_campaign(
         spec,
         jobs=_jobs(args),
@@ -779,11 +838,106 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_screened(args: argparse.Namespace, spec, constraints) -> int:
+    from .screen import run_screened_campaign
+
+    if args.until is not None:
+        raise SystemExit("pcm-scrub: --until is not supported with --screen")
+    outcome = run_screened_campaign(
+        spec,
+        constraints,
+        jobs=_jobs(args),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        stop_after=args.stop_after,
+    )
+    plan = outcome.plan
+    counts = plan.counts()
+    print(
+        format_table(
+            ["devices", "pass", "fail", "uncertain", "MC escalated",
+             "MC fraction"],
+            [[plan.devices, counts["pass"], counts["fail"],
+              counts["uncertain"], len(plan.escalated),
+              f"{plan.mc_fraction:.1%}"]],
+            title=f"Screen plan for '{spec.name}'",
+        )
+    )
+    if not outcome.finished:
+        mc = outcome.mc_outcome
+        print(
+            format_table(
+                ["campaign", "MC completed", "executed now", "wall"],
+                [[spec.name, f"{mc.completed}/{mc.total}", mc.executed,
+                  f"{mc.wall_seconds:.1f}s"]],
+                title="Screened campaign checkpointed "
+                "(re-run with --resume to finish)",
+            )
+        )
+        return 0
+
+    report = outcome.report
+    _print_screened_report(report)
+    if args.json:
+        path = Path(args.json)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json() + "\n")
+        print(f"wrote screened fleet report to {path}")
+    return 0
+
+
+def _band(low: float, high: float, fmt: str = "{:.3g}") -> str:
+    return f"[{fmt.format(low)}, {fmt.format(high)}]"
+
+
+def _print_screened_report(report) -> None:
+    """The composed surrogate+MC tables for screened campaigns."""
+    print(
+        format_table(
+            ["metric", "value", "95% interval"],
+            [
+                ["surrogate devices", report.surrogate_devices,
+                 "exact expectations"],
+                ["MC devices", report.mc_devices,
+                 f"{report.mc_fraction:.1%} of fleet"],
+                ["surrogate expected UE", f"{report.surrogate_expected_ue:.3g}",
+                 ""],
+                ["MC observed UE", report.mc_uncorrectable, ""],
+                ["FIT (simulated pop.)", f"{report.fit:.3g}",
+                 _band(report.fit_low, report.fit_high)],
+                [f"FIT ({report.capacity_gib_per_device:g} GiB device)",
+                 f"{report.fit_scaled:.3g}",
+                 _band(report.fit_scaled_low, report.fit_scaled_high)],
+                ["availability (UE-free)", f"{report.availability:.1%}",
+                 _band(report.availability_low, report.availability_high,
+                       "{:.3f}")],
+            ],
+            title=f"Screened fleet reliability over "
+            f"{report.device_hours:.3g} device-hours "
+            f"({report.escalation_ratio:.1f}x fewer MC device-runs)",
+        )
+    )
+    if report.mc_report is not None:
+        mc = report.mc_report
+        print(
+            f"MC subset: {mc.devices} devices, {mc.uncorrectable} UE, "
+            f"scrub energy {units.format_energy(mc.scrub_energy_j)}"
+        )
+
+
+def _print_any_report(report) -> None:
+    """Dispatch on report type (serve/watch can yield either kind)."""
+    from .screen import ScreenedFleetReport
+
+    if isinstance(report, ScreenedFleetReport):
+        _print_screened_report(report)
+    else:
+        _print_fleet_report(report)
+
+
 def _print_fleet_report(report) -> None:
     """The reliability/lot/survival tables shared by fleet, serve, watch."""
-
-    def _band(low: float, high: float, fmt: str = "{:.3g}") -> str:
-        return f"[{fmt.format(low)}, {fmt.format(high)}]"
 
     metric_rows = [
         ["uncorrectable errors", report.uncorrectable, ""],
@@ -838,16 +992,32 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from .service import submit_campaign
 
     spec = FleetSpec.from_file(args.spec)
+    constraints = _screen_constraints(args)
     shards = args.shards if args.shards is not None else default_jobs()
-    campaign = submit_campaign(spec, args.root, shards=shards)
+    campaign = submit_campaign(
+        spec, args.root, shards=shards, constraints=constraints
+    )
+    rows = [[spec.name, spec.devices, len(campaign.shards),
+             campaign.spec_hash[:12], str(campaign.root)]]
     print(
         format_table(
             ["campaign", "devices", "shards", "spec hash", "root"],
-            [[spec.name, spec.devices, len(campaign.shards),
-              campaign.spec_hash[:12], str(campaign.root)]],
+            rows,
             title="Campaign submitted",
         )
     )
+    if campaign.screen is not None:
+        counts = campaign.screen.counts()
+        print(
+            format_table(
+                ["pass", "fail", "uncertain", "MC escalated", "MC fraction"],
+                [[counts["pass"], counts["fail"], counts["uncertain"],
+                  len(campaign.screen.escalated),
+                  f"{campaign.screen.mc_fraction:.1%}"]],
+                title="Screen plan (workers Monte-Carlo only the escalated "
+                "subset)",
+            )
+        )
     return 0
 
 
@@ -873,7 +1043,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not summary["finished"]:
         return 1
     report = final_report(args.root)
-    _print_fleet_report(report)
+    _print_any_report(report)
     if args.json:
         path = Path(args.json)
         if path.parent != Path("."):
@@ -916,12 +1086,28 @@ def cmd_status(args: argparse.Namespace) -> int:
             title=f"Campaign '{status['name']}' ({status['spec_hash'][:12]})",
         )
     )
+    if status.get("screen") is not None:
+        screen = status["screen"]
+        counts = screen["counts"]
+        print(
+            f"screened campaign: {screen['devices']} devices "
+            f"({counts['pass']} pass, {counts['fail']} fail, "
+            f"{counts['uncertain']} escalated to MC, "
+            f"{screen['mc_fraction']:.1%} MC fraction)"
+        )
     if status["report"] is not None:
         partial = status["report"]
-        print(
-            f"partial report over {partial['devices']} completed devices: "
-            f"{partial['uncorrectable']} UE, FIT {partial['fit']:.3g}"
-        )
+        if "surrogate_expected_ue" in partial:
+            print(
+                f"screened report: FIT {partial['fit']:.3g} "
+                f"[{partial['fit_low']:.3g}, {partial['fit_high']:.3g}], "
+                f"availability {partial['availability']:.1%}"
+            )
+        else:
+            print(
+                f"partial report over {partial['devices']} completed devices: "
+                f"{partial['uncorrectable']} UE, FIT {partial['fit']:.3g}"
+            )
     if args.json:
         path = Path(args.json)
         if path.parent != Path("."):
@@ -945,7 +1131,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     except TimeoutError as error:
         print(f"watch: {error}")
         return 1
-    _print_fleet_report(final_report(args.root))
+    _print_any_report(final_report(args.root))
     return 0
 
 

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import logging
 import time as _time
-from dataclasses import dataclass
+from collections.abc import Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..sim.parallel import run_many
@@ -49,16 +50,23 @@ class CampaignOutcome:
     """What one :meth:`CampaignRunner.run` invocation accomplished."""
 
     #: The fleet report; ``None`` when the campaign was checkpointed
-    #: before completion (``stop_after``) and needs a resume.
+    #: before completion (``stop_after``) and needs a resume, or when the
+    #: runner covered only a subset of the fleet (``indices``) - a subset
+    #: cannot aggregate into a full :class:`FleetReport`.
     report: FleetReport | None
     #: Devices completed across all invocations (journal + this run).
     completed: int
     #: Devices simulated by *this* invocation (excludes resumed ones).
     executed: int
-    #: Fleet size.
+    #: Devices this runner is responsible for (the fleet size, or the
+    #: subset length when ``indices`` was given).
     total: int
     #: Wall-clock seconds of this invocation.
     wall_seconds: float
+    #: The completed device records, in index order, once finished
+    #: (empty until then).  This is what subset runs - the screening
+    #: escalation path - aggregate from.
+    records: tuple[DeviceRecord, ...] = field(default=())
 
     @property
     def finished(self) -> bool:
@@ -91,6 +99,14 @@ class CampaignRunner:
         per-invocation work budget), ``until`` is an absolute position in
         the campaign, so repeated invocations with growing ``until``
         values walk the fleet front-to-back.
+    indices:
+        Restrict the run to this subset of device indices (sorted,
+        deduplicated internally).  Devices are simulated exactly as they
+        would be in a full run - per-device seeding makes results
+        independent of which subset they execute in - but the outcome
+        carries no :class:`FleetReport` (a subset cannot aggregate);
+        callers compose from :attr:`CampaignOutcome.records`.  This is
+        the MC-escalation path of :mod:`repro.screen`.
     """
 
     def __init__(
@@ -101,6 +117,7 @@ class CampaignRunner:
         resume: bool = False,
         stop_after: int | None = None,
         until: int | None = None,
+        indices: Sequence[int] | None = None,
     ):
         if stop_after is not None and stop_after <= 0:
             raise ValueError("stop_after must be positive (or None)")
@@ -108,12 +125,20 @@ class CampaignRunner:
             raise ValueError("until must be positive (or None)")
         if resume and checkpoint is None:
             raise ValueError("resume requires a checkpoint path")
+        if indices is not None:
+            indices = sorted(set(int(i) for i in indices))
+            bad = [i for i in indices if not 0 <= i < spec.devices]
+            if bad:
+                raise ValueError(
+                    f"subset indices {bad[:4]} outside fleet of {spec.devices}"
+                )
         self.spec = spec
         self.jobs = max(1, jobs)
         self.checkpoint = None if checkpoint is None else Path(checkpoint)
         self.resume = resume
         self.stop_after = stop_after
         self.until = until
+        self.indices = None if indices is None else tuple(indices)
 
     # -- execution ------------------------------------------------------------
 
@@ -143,7 +168,10 @@ class CampaignRunner:
             else:
                 write_header(self.checkpoint, spec_hash, spec.name)
 
-        pending = [i for i in range(spec.devices) if i not in done]
+        targets = (
+            list(range(spec.devices)) if self.indices is None else list(self.indices)
+        )
+        pending = [i for i in targets if i not in done]
         if self.until is not None:
             pending = [i for i in pending if i < self.until]
         if self.stop_after is not None:
@@ -179,31 +207,34 @@ class CampaignRunner:
                 done[device.index] = record
                 executed += 1
 
-        completed = len(done)
+        completed = sum(1 for i in targets if i in done)
         wall = _time.perf_counter() - started
-        if completed < spec.devices:
+        if completed < len(targets):
             if self.until is not None and self.checkpoint is not None:
                 append_pending(
                     self.checkpoint,
-                    [i for i in range(spec.devices) if i not in done],
+                    [i for i in targets if i not in done],
                 )
             logger.info(
                 "campaign %s: checkpointed %d/%d devices (resume to finish)",
-                spec.name, completed, spec.devices,
+                spec.name, completed, len(targets),
             )
             return CampaignOutcome(
                 report=None, completed=completed, executed=executed,
-                total=spec.devices, wall_seconds=wall,
+                total=len(targets), wall_seconds=wall,
             )
 
-        report = aggregate(spec, done.values())
+        records = tuple(done[i] for i in targets)
+        # A subset run cannot make the full-fleet report; the caller
+        # (repro.screen) composes from the records instead.
+        report = aggregate(spec, records) if self.indices is None else None
         logger.info(
             "campaign %s: %d devices, %d executed this run, wall %.2fs",
             spec.name, completed, executed, wall,
         )
         return CampaignOutcome(
             report=report, completed=completed, executed=executed,
-            total=spec.devices, wall_seconds=wall,
+            total=len(targets), wall_seconds=wall, records=records,
         )
 
 
@@ -214,9 +245,10 @@ def run_campaign(
     resume: bool = False,
     stop_after: int | None = None,
     until: int | None = None,
+    indices: Sequence[int] | None = None,
 ) -> CampaignOutcome:
     """One-call convenience wrapper around :class:`CampaignRunner`."""
     return CampaignRunner(
         spec, jobs=jobs, checkpoint=checkpoint, resume=resume,
-        stop_after=stop_after, until=until,
+        stop_after=stop_after, until=until, indices=indices,
     ).run()

@@ -1,0 +1,74 @@
+"""Screened campaign execution: surrogate first, MC only where uncertain.
+
+:func:`run_screened_campaign` is the batch entry point behind
+``pcm-scrub fleet --screen``: plan the screen, fan *only the escalated
+subset* through the existing :class:`repro.fleet.campaign.CampaignRunner`
+(same process pool, same checkpoint journal, same bit-identical resume),
+and compose the :class:`~repro.screen.report.ScreenedFleetReport`.
+
+Durability rides entirely on the campaign journal: the screen plan is a
+pure function of ``(spec, constraints)`` and is simply recomputed on
+resume, so a killed screened campaign resumes from its journal exactly
+like an unscreened one - and the kill/resume bit-identity tests hold
+verbatim on the screened path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..fleet.campaign import CampaignOutcome, CampaignRunner
+from ..fleet.spec import FleetSpec
+from .planner import ScreenConstraints, ScreenPlan, plan_screen
+from .report import ScreenedFleetReport, compose_screened_report
+
+
+@dataclass(frozen=True)
+class ScreenedOutcome:
+    """What one screened-campaign invocation accomplished."""
+
+    #: Every device's classification and surrogate evaluation.
+    plan: ScreenPlan
+    #: The composed report; ``None`` when the MC escalation was
+    #: checkpointed before completion (resume to finish).
+    report: ScreenedFleetReport | None
+    #: The MC subset's execution outcome; ``None`` when nothing escalated.
+    mc_outcome: CampaignOutcome | None
+
+    @property
+    def finished(self) -> bool:
+        return self.report is not None
+
+    @property
+    def mc_devices(self) -> int:
+        return len(self.plan.escalated)
+
+
+def run_screened_campaign(
+    spec: FleetSpec,
+    constraints: ScreenConstraints,
+    jobs: int = 1,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    stop_after: int | None = None,
+) -> ScreenedOutcome:
+    """Screen the fleet, MC the uncertain subset, compose the report."""
+    plan = plan_screen(spec, constraints)
+    escalated = plan.escalated
+    if not escalated:
+        report = compose_screened_report(spec, plan, ())
+        return ScreenedOutcome(plan=plan, report=report, mc_outcome=None)
+
+    outcome = CampaignRunner(
+        spec,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        stop_after=stop_after,
+        indices=escalated,
+    ).run()
+    if not outcome.finished:
+        return ScreenedOutcome(plan=plan, report=None, mc_outcome=outcome)
+    report = compose_screened_report(spec, plan, outcome.records)
+    return ScreenedOutcome(plan=plan, report=report, mc_outcome=outcome)

@@ -1,0 +1,394 @@
+"""Surrogate screening: classify fleet devices before any MC is spent.
+
+A million-device campaign cannot Monte-Carlo every device.  But most
+devices in a real fleet are nowhere near their reliability budget, and
+for the paper's own modelling assumptions the finite-horizon renewal
+solution (:meth:`repro.sim.renewal.RenewalModel.finite_horizon`) is an
+*exact* surrogate for the engine: same expected UE and write-back
+counts, same per-line survival probability, at closed-form cost.  The
+planner evaluates every lot-sampled device parameter point through that
+surrogate and classifies it against the campaign's constraints:
+
+``pass``
+    the device's predictive interval clears every constraint - no MC;
+``fail``
+    the predictive interval violates a constraint outright - no MC
+    either (the verdict is already deterministic);
+``uncertain``
+    the interval straddles a constraint, *or* the device sits outside
+    the surrogate's validated regime (demand traffic, non-threshold
+    policies, detector-gated decode, wear, spares, multi-region phase
+    offsets) - these escalate to the full MC engine.
+
+Classification is a pure function of ``(spec, constraints)``: device
+parameters are drawn from ``default_rng([seed, index])`` exactly as the
+campaign runner draws them, so the plan is independent of shard layout,
+``--jobs``, or resume boundaries - the property the deterministic-
+classification tests pin.
+
+The *FIT* constraint is a per-device budget on the capacity-scaled FIT
+(the same scaling as :attr:`repro.fleet.report.FleetReport.fit_scaled`).
+The surrogate gives the exact expectation ``lambda`` of the device's UE
+count over the horizon; the realized count is Poisson-distributed around
+it, so the screen compares the central predictive interval against the
+count budget ``c* = fit_limit * horizon_hours / (1e9 * capacity_scale)``.
+The *availability* constraint compares the exact probability of a
+UE-free horizon ``p0 = q(V)^num_lines`` against the floor, with a
+configurable margin band that routes borderline devices to MC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..fleet.report import FIT_HOURS
+from ..fleet.spec import DeviceSpec, FleetSpec
+from ..obs.metrics import GLOBAL_REGISTRY
+from ..sim.renewal import RenewalModel
+from ..sim.runner import crossing_distribution_for
+
+
+class ScreenError(ValueError):
+    """A screening request is malformed or unsatisfiable."""
+
+
+class ScreenInvariantError(RuntimeError):
+    """A screening artifact failed an internal cross-check."""
+
+
+#: Decision labels.
+PASS, FAIL, UNCERTAIN = "pass", "fail", "uncertain"
+#: Provenance labels.
+SURROGATE, MC = "surrogate", "mc"
+
+
+@dataclass(frozen=True)
+class ScreenConstraints:
+    """The reliability budget devices are screened against.
+
+    At least one of ``fit_limit`` (capacity-scaled per-device FIT) and
+    ``min_availability`` (per-device probability of a UE-free horizon)
+    must be set.  ``confidence`` is the central coverage of the Poisson
+    predictive interval used for the FIT screen; ``availability_margin``
+    is the +-band around ``min_availability`` inside which a device is
+    escalated instead of classified.
+    """
+
+    fit_limit: float | None = None
+    min_availability: float | None = None
+    confidence: float = 0.95
+    availability_margin: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.fit_limit is None and self.min_availability is None:
+            raise ScreenError(
+                "screening needs at least one constraint: fit_limit "
+                "and/or min_availability"
+            )
+        if self.fit_limit is not None and self.fit_limit <= 0:
+            raise ScreenError("fit_limit must be positive")
+        if self.min_availability is not None and not 0 < self.min_availability < 1:
+            raise ScreenError("min_availability must be in (0, 1)")
+        if not 0 < self.confidence < 1:
+            raise ScreenError("confidence must be in (0, 1)")
+        if self.availability_margin < 0:
+            raise ScreenError("availability_margin must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "fit_limit": self.fit_limit,
+            "min_availability": self.min_availability,
+            "confidence": self.confidence,
+            "availability_margin": self.availability_margin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScreenConstraints":
+        return cls(
+            fit_limit=(
+                None if data.get("fit_limit") is None else float(data["fit_limit"])
+            ),
+            min_availability=(
+                None
+                if data.get("min_availability") is None
+                else float(data["min_availability"])
+            ),
+            confidence=float(data.get("confidence", 0.95)),
+            availability_margin=float(data.get("availability_margin", 0.02)),
+        )
+
+
+@dataclass(frozen=True)
+class ScreenDecision:
+    """One device's screening verdict and its surrogate evaluation."""
+
+    index: int
+    lot: str
+    #: ``pass`` / ``fail`` / ``uncertain``.
+    classification: str
+    #: Why the device escalated (empty for surrogate-resolved devices):
+    #: ``regime:*`` markers for out-of-regime points, ``fit_ci_overlap``
+    #: and ``availability_margin`` for constraint-straddling ones.
+    reasons: tuple[str, ...] = ()
+    #: Exact expected device UE count over the horizon (``None`` when the
+    #: surrogate was not evaluated because the device is out of regime).
+    expected_ue: float | None = None
+    #: Exact expected scrub write-backs over the horizon.
+    expected_writes: float | None = None
+    #: Exact probability of a UE-free horizon.
+    no_ue_probability: float | None = None
+    #: Capacity-scaled FIT implied by ``expected_ue``.
+    fit_scaled: float | None = None
+
+    @property
+    def method(self) -> str:
+        """Where this device's report contribution comes from."""
+        return MC if self.classification == UNCERTAIN else SURROGATE
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "lot": self.lot,
+            "classification": self.classification,
+            "method": self.method,
+            "reasons": list(self.reasons),
+            "expected_ue": self.expected_ue,
+            "expected_writes": self.expected_writes,
+            "no_ue_probability": self.no_ue_probability,
+            "fit_scaled": self.fit_scaled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScreenDecision":
+        def opt(key: str) -> float | None:
+            return None if data.get(key) is None else float(data[key])
+
+        return cls(
+            index=int(data["index"]),
+            lot=str(data["lot"]),
+            classification=str(data["classification"]),
+            reasons=tuple(str(r) for r in data.get("reasons", [])),
+            expected_ue=opt("expected_ue"),
+            expected_writes=opt("expected_writes"),
+            no_ue_probability=opt("no_ue_probability"),
+            fit_scaled=opt("fit_scaled"),
+        )
+
+
+@dataclass(frozen=True)
+class ScreenPlan:
+    """Every device's decision plus the constraints that produced them."""
+
+    spec_hash: str
+    constraints: ScreenConstraints
+    decisions: tuple[ScreenDecision, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        indices = [decision.index for decision in self.decisions]
+        if indices != list(range(len(indices))):
+            raise ScreenInvariantError(
+                "screen plan decisions must cover device indices "
+                f"0..{len(indices) - 1} in order"
+            )
+
+    @property
+    def devices(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def escalated(self) -> tuple[int, ...]:
+        """Device indices routed to the MC engine, ascending."""
+        return tuple(
+            decision.index
+            for decision in self.decisions
+            if decision.method == MC
+        )
+
+    @property
+    def surrogate_indices(self) -> tuple[int, ...]:
+        return tuple(
+            decision.index
+            for decision in self.decisions
+            if decision.method == SURROGATE
+        )
+
+    @property
+    def mc_fraction(self) -> float:
+        return len(self.escalated) / self.devices if self.devices else 0.0
+
+    def counts(self) -> dict[str, int]:
+        out = {PASS: 0, FAIL: 0, UNCERTAIN: 0}
+        for decision in self.decisions:
+            out[decision.classification] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_hash": self.spec_hash,
+            "constraints": self.constraints.to_dict(),
+            "decisions": [decision.to_dict() for decision in self.decisions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScreenPlan":
+        return cls(
+            spec_hash=str(data["spec_hash"]),
+            constraints=ScreenConstraints.from_dict(data["constraints"]),
+            decisions=tuple(
+                ScreenDecision.from_dict(entry) for entry in data["decisions"]
+            ),
+        )
+
+
+# -- regime checks ------------------------------------------------------------
+
+#: Policies whose visit rule the renewal surrogate models exactly.  The
+#: threshold family covers basic-style immediate write-back through
+#: ``threshold=1``; adaptive/combined/budgeted schedules and partial
+#: (cell-selective) write-back change the dynamics the solver propagates.
+SURROGATE_POLICIES = frozenset({"threshold"})
+
+
+def regime_reasons(spec: FleetSpec, device: DeviceSpec) -> tuple[str, ...]:
+    """Why the surrogate's validity assumptions fail for ``device``.
+
+    Empty means the finite-horizon renewal solution is exact for this
+    device (idle, pure threshold rule without a detector, single region,
+    no wear/retire/refresh/spares).
+    """
+    reasons = []
+    if spec.policy not in SURROGATE_POLICIES:
+        reasons.append(f"regime:policy:{spec.policy}")
+    elif spec.policy_kwargs.get("with_detector", True):
+        # The CRC detector gates decode and can miss; the solver models
+        # unconditional decode.  ``threshold_scrub`` defaults it on.
+        reasons.append("regime:detector")
+    if spec.demand_write_rate is not None:
+        reasons.append("regime:demand_workload")
+    config = device.config
+    if config.region_size != config.num_lines:
+        # Multi-region devices stagger first-visit phases off the aligned
+        # grid the recursion assumes.
+        reasons.append("regime:multi_region")
+    if config.endurance is not None:
+        reasons.append("regime:endurance")
+    if config.retire_hard_limit is not None:
+        reasons.append("regime:retire_limit")
+    if config.read_refresh:
+        reasons.append("regime:read_refresh")
+    if config.spares_per_region:
+        reasons.append("regime:spares")
+    return tuple(reasons)
+
+
+def _poisson_predictive(lam: float, confidence: float) -> tuple[int, int]:
+    """Central predictive interval on a Poisson(``lam``) realization."""
+    if lam <= 0.0:
+        return 0, 0
+    from scipy.stats import poisson
+
+    alpha = 1.0 - confidence
+    lo = int(poisson.ppf(alpha / 2.0, lam))
+    hi = int(poisson.ppf(1.0 - alpha / 2.0, lam))
+    return max(0, lo), max(0, hi)
+
+
+def plan_screen(spec: FleetSpec, constraints: ScreenConstraints) -> ScreenPlan:
+    """Classify every device of ``spec`` against ``constraints``.
+
+    Pure and deterministic: the result depends only on the spec and the
+    constraints.  Also publishes ``screen_*`` gauges into the process
+    metrics registry.
+    """
+    horizon = spec.base_config.horizon
+    horizon_hours = horizon / 3600.0
+    num_lines = spec.base_config.num_lines
+    # Count budget equivalent to the scaled-FIT limit (see module doc).
+    count_limit = (
+        None
+        if constraints.fit_limit is None
+        else constraints.fit_limit * horizon_hours / FIT_HOURS / spec.capacity_scale
+    )
+
+    interval = float(spec.policy_kwargs.get("interval", 0.0))
+    strength = int(spec.policy_kwargs.get("strength", 4))
+    threshold = spec.policy_kwargs.get("threshold")
+    threshold = max(1, strength - 1) if threshold is None else int(threshold)
+
+    decisions = []
+    for index in range(spec.devices):
+        device = spec.device_spec(index)
+        reasons = regime_reasons(spec, device)
+        if reasons:
+            decisions.append(
+                ScreenDecision(
+                    index=index, lot=device.lot,
+                    classification=UNCERTAIN, reasons=reasons,
+                )
+            )
+            continue
+
+        model = RenewalModel(
+            crossing_distribution_for(device.config),
+            device.config.cells_per_line,
+        )
+        solution = model.finite_horizon(interval, strength, threshold, horizon)
+        lam = solution.expected_ue * num_lines
+        expected_writes = solution.expected_writes * num_lines
+        no_ue = solution.no_ue_probability ** num_lines
+        fit_scaled = lam / horizon_hours * FIT_HOURS * spec.capacity_scale
+
+        verdicts = []
+        escalation = []
+        if count_limit is not None:
+            lo, hi = _poisson_predictive(lam, constraints.confidence)
+            if hi <= count_limit:
+                verdicts.append(PASS)
+            elif lo > count_limit:
+                verdicts.append(FAIL)
+            else:
+                verdicts.append(UNCERTAIN)
+                escalation.append("fit_ci_overlap")
+        if constraints.min_availability is not None:
+            margin = constraints.availability_margin
+            if no_ue >= constraints.min_availability + margin:
+                verdicts.append(PASS)
+            elif no_ue < constraints.min_availability - margin:
+                verdicts.append(FAIL)
+            else:
+                verdicts.append(UNCERTAIN)
+                escalation.append("availability_margin")
+
+        if FAIL in verdicts:
+            classification, reasons = FAIL, ()
+        elif UNCERTAIN in verdicts:
+            classification, reasons = UNCERTAIN, tuple(escalation)
+        else:
+            classification, reasons = PASS, ()
+        decisions.append(
+            ScreenDecision(
+                index=index,
+                lot=device.lot,
+                classification=classification,
+                reasons=reasons,
+                expected_ue=lam,
+                expected_writes=expected_writes,
+                no_ue_probability=no_ue,
+                fit_scaled=fit_scaled,
+            )
+        )
+
+    plan = ScreenPlan(
+        spec_hash=spec.content_hash(),
+        constraints=constraints,
+        decisions=tuple(decisions),
+    )
+    counts = plan.counts()
+    GLOBAL_REGISTRY.gauge("screen_devices").set(plan.devices)
+    GLOBAL_REGISTRY.gauge("screen_surrogate").set(len(plan.surrogate_indices))
+    GLOBAL_REGISTRY.gauge("screen_escalated").set(len(plan.escalated))
+    GLOBAL_REGISTRY.gauge("screen_pass").set(counts[PASS])
+    GLOBAL_REGISTRY.gauge("screen_fail").set(counts[FAIL])
+    GLOBAL_REGISTRY.gauge("screen_uncertain").set(counts[UNCERTAIN])
+    GLOBAL_REGISTRY.gauge("screen_mc_fraction").set(plan.mc_fraction)
+    return plan

@@ -9,7 +9,9 @@ cooperatively:
 * :mod:`repro.service.shards` - deterministic, apportionment-stable
   planning of the device index space into contiguous shards;
 * :mod:`repro.service.jobs` - the campaign directory format
-  (``submit_campaign`` / ``load_campaign``), spec-hash-bound;
+  (``submit_campaign`` / ``load_campaign``), spec-hash-bound; screened
+  submissions (``pcm-scrub submit --screen``) persist the surrogate plan
+  as ``screen.json`` and shard only the escalated subset;
 * :mod:`repro.service.leases` - exclusive-create shard claims with
   heartbeats and stale-lease stealing;
 * :mod:`repro.service.worker` - the claim/run loop, driving each device
@@ -28,7 +30,7 @@ from __future__ import annotations
 
 from .jobs import Campaign, ServiceError, load_campaign, submit_campaign
 from .leases import DEFAULT_LEASE_TIMEOUT, Lease
-from .shards import CampaignShard, plan_shards
+from .shards import CampaignShard, plan_shards, plan_subset_shards
 from .status import (
     campaign_status,
     final_report,
@@ -49,6 +51,7 @@ __all__ = [
     "final_report",
     "load_campaign",
     "plan_shards",
+    "plan_subset_shards",
     "repair_campaign",
     "run_shard",
     "run_worker",

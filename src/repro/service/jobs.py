@@ -10,6 +10,7 @@ sharing the filesystem can participate:
     <root>/
       spec.json              # the FleetSpec + its content hash
       plan.json              # deterministic shard plan (shards.py)
+      screen.json            # screen plan (screened campaigns only)
       shards/shard-0000.jsonl   # per-shard checkpoint journal
       shards/shard-0000.done    # completion marker {wall_seconds, worker}
       leases/shard-0000.json    # live claim (leases.py)
@@ -20,6 +21,13 @@ spec-hash-validated); ``.done`` markers and leases are advisory
 metadata for scheduling and latency reporting.  The spec hash stored in
 ``spec.json`` binds every journal and snapshot fingerprint to one
 campaign, so directories can never silently mix work from two specs.
+
+A campaign submitted with :class:`repro.screen.ScreenConstraints` is a
+*screened* campaign: ``screen.json`` records every device's surrogate
+classification, and the shard plan covers only the escalated subset -
+workers Monte-Carlo exactly those devices, and the final report composes
+surrogate expectations with the journaled MC records
+(:func:`repro.screen.compose_screened_report`).
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ from pathlib import Path
 from ..fleet.checkpoint import CheckpointError, load_journal
 from ..fleet.report import DeviceRecord
 from ..fleet.spec import FleetSpec
-from .shards import CampaignShard, plan_shards
+from ..screen import ScreenConstraints, ScreenPlan, plan_screen
+from .shards import CampaignShard, plan_shards, plan_subset_shards
 
 #: Campaign directory format version.
 PLAN_VERSION = 1
@@ -68,6 +77,16 @@ class Campaign:
     spec: FleetSpec
     spec_hash: str
     shards: tuple[CampaignShard, ...]
+    #: The screen plan for screened campaigns; ``None`` for full-MC ones.
+    screen: ScreenPlan | None = None
+
+    @property
+    def target_indices(self) -> tuple[int, ...]:
+        """Device indices the service Monte-Carlos (the whole fleet, or
+        the screened campaign's escalated subset)."""
+        if self.screen is not None:
+            return self.screen.escalated
+        return tuple(range(self.spec.devices))
 
     # -- paths ----------------------------------------------------------------
 
@@ -82,6 +101,10 @@ class Campaign:
     @property
     def snapshots_dir(self) -> Path:
         return self.root / "snapshots"
+
+    @property
+    def screen_path(self) -> Path:
+        return self.root / "screen.json"
 
     def journal_path(self, shard: CampaignShard) -> Path:
         return self.shards_dir / f"{shard.name}.jsonl"
@@ -127,18 +150,33 @@ class Campaign:
 
 
 def submit_campaign(
-    spec: FleetSpec, root: str | Path, shards: int
+    spec: FleetSpec,
+    root: str | Path,
+    shards: int,
+    constraints: ScreenConstraints | None = None,
 ) -> Campaign:
     """Create (or idempotently re-open) a campaign directory for ``spec``.
 
-    Re-submitting the same spec to an existing directory is a no-op that
-    returns the existing campaign - the natural "resubmit after a crash"
-    flow.  A *different* spec (by content hash) or a different shard
-    count is refused: a directory belongs to exactly one plan.
+    With ``constraints`` the campaign is *screened*: the surrogate plan
+    is computed up front, persisted as ``screen.json``, and the shard
+    plan covers only the escalated device subset (possibly no shards at
+    all when the surrogate resolves every device).
+
+    Re-submitting the same spec (and constraints) to an existing
+    directory is a no-op that returns the existing campaign - the
+    natural "resubmit after a crash" flow.  A *different* spec (by
+    content hash), different constraints, or a different shard count is
+    refused: a directory belongs to exactly one plan.
     """
     root = Path(root)
     spec_hash = spec.content_hash()
-    plan = plan_shards(spec.devices, shards)
+    screen = None if constraints is None else plan_screen(spec, constraints)
+    if screen is None:
+        plan = plan_shards(spec.devices, shards)
+    elif screen.escalated:
+        plan = plan_subset_shards(screen.escalated, shards)
+    else:
+        plan = []
 
     spec_path = root / "spec.json"
     plan_path = root / "plan.json"
@@ -148,6 +186,14 @@ def submit_campaign(
             raise ServiceError(
                 f"{root} already holds campaign {existing.spec_hash[:12]}; "
                 f"refusing to overwrite with {spec_hash[:12]}"
+            )
+        existing_screen = (
+            None if existing.screen is None else existing.screen.to_dict()
+        )
+        if existing_screen != (None if screen is None else screen.to_dict()):
+            raise ServiceError(
+                f"{root} was submitted with different screening constraints; "
+                "a directory belongs to exactly one screen plan"
             )
         if [s.to_dict() for s in existing.shards] != [s.to_dict() for s in plan]:
             raise ServiceError(
@@ -162,6 +208,8 @@ def submit_campaign(
     _write_json(
         spec_path, {"spec_hash": spec_hash, "spec": spec.to_dict()}
     )
+    if screen is not None:
+        _write_json(root / "screen.json", screen.to_dict())
     _write_json(
         plan_path,
         {
@@ -172,7 +220,8 @@ def submit_campaign(
         },
     )
     return Campaign(
-        root=root, spec=spec, spec_hash=spec_hash, shards=tuple(plan)
+        root=root, spec=spec, spec_hash=spec_hash, shards=tuple(plan),
+        screen=screen,
     )
 
 
@@ -206,10 +255,35 @@ def load_campaign(root: str | Path) -> Campaign:
     if plan_payload.get("spec_hash") != spec_hash:
         raise ServiceError(f"{plan_path} belongs to a different spec")
 
+    screen = None
+    screen_path = root / "screen.json"
+    if screen_path.exists():
+        try:
+            screen = ScreenPlan.from_dict(json.loads(screen_path.read_text()))
+        except (json.JSONDecodeError, KeyError, ValueError) as error:
+            raise ServiceError(f"corrupt screen plan {screen_path}: {error}") from None
+        if screen.spec_hash != spec_hash:
+            raise ServiceError(f"{screen_path} belongs to a different spec")
+        if screen.devices != spec.devices:
+            raise ServiceError(
+                f"{screen_path} covers {screen.devices} devices, "
+                f"spec has {spec.devices}"
+            )
+
     shards = tuple(
         CampaignShard.from_dict(entry) for entry in plan_payload["shards"]
     )
     covered = [index for shard in shards for index in shard.indices]
-    if covered != list(range(spec.devices)):
-        raise ServiceError(f"{plan_path} shards do not tile 0..{spec.devices - 1}")
-    return Campaign(root=root, spec=spec, spec_hash=spec_hash, shards=shards)
+    expected = (
+        list(range(spec.devices)) if screen is None else list(screen.escalated)
+    )
+    if covered != expected:
+        what = (
+            f"0..{spec.devices - 1}"
+            if screen is None
+            else "the screened campaign's escalated subset"
+        )
+        raise ServiceError(f"{plan_path} shards do not tile {what}")
+    return Campaign(
+        root=root, spec=spec, spec_hash=spec_hash, shards=shards, screen=screen
+    )

@@ -25,6 +25,7 @@ import time as _time
 
 from ..fleet.report import aggregate, aggregate_partial, merge_records
 from ..obs.metrics import GLOBAL_REGISTRY
+from ..screen import compose_screened_report
 from . import leases
 from .jobs import load_campaign
 
@@ -37,7 +38,12 @@ def campaign_status(
     """One JSON-able snapshot of campaign progress.
 
     ``report`` is the partial (or, when finished, final) fleet report as
-    a dict, or ``None`` while no device has completed yet.
+    a dict, or ``None`` while no device has completed yet.  For screened
+    campaigns ``devices_total`` counts the *escalated* subset (the
+    service's MC work), ``screen`` summarizes the surrogate plan, and the
+    finished ``report`` is the composed
+    :class:`~repro.screen.ScreenedFleetReport`; partial snapshots report
+    the MC subset only.
     """
     campaign = load_campaign(root)
     shard_rows = []
@@ -85,8 +91,9 @@ def campaign_status(
             }
         )
 
+    targets = campaign.target_indices
     devices_done = len(all_records)
-    finished = devices_done == campaign.spec.devices
+    finished = devices_done == len(targets)
     mean_latency = (
         math.fsum(shard_latencies) / len(shard_latencies)
         if shard_latencies
@@ -104,34 +111,55 @@ def campaign_status(
         GLOBAL_REGISTRY.gauge("service_shard_wall_seconds_mean").set(mean_latency)
 
     report = None
-    if include_report and all_records:
-        report = aggregate_partial(campaign.spec, all_records.values()).to_dict()
+    if include_report:
+        if campaign.screen is not None and finished:
+            report = compose_screened_report(
+                campaign.spec, campaign.screen, all_records.values()
+            ).to_dict()
+        elif all_records:
+            report = aggregate_partial(campaign.spec, all_records.values()).to_dict()
+
+    screen_summary = None
+    if campaign.screen is not None:
+        screen_summary = {
+            "devices": campaign.screen.devices,
+            "counts": campaign.screen.counts(),
+            "mc_fraction": campaign.screen.mc_fraction,
+        }
 
     return {
         "name": campaign.spec.name,
         "spec_hash": campaign.spec_hash,
         "devices_done": devices_done,
-        "devices_total": campaign.spec.devices,
+        "devices_total": len(targets),
         "finished": finished,
         "queue_depth": queue_depth,
         "workers_alive": workers_alive,
         "workers_stale": workers_stale,
         "shard_wall_seconds_mean": mean_latency,
+        "screen": screen_summary,
         "shards": shard_rows,
         "report": report,
     }
 
 
 def final_report(root):
-    """The completed campaign's :class:`~repro.fleet.report.FleetReport`.
+    """The completed campaign's report.
 
-    Raises :class:`~repro.fleet.report.FleetInvariantError` while any
-    device is still missing - use :func:`campaign_status` for partials.
+    A :class:`~repro.fleet.report.FleetReport` for full-MC campaigns, a
+    :class:`~repro.screen.ScreenedFleetReport` for screened ones.
+    Raises :class:`~repro.fleet.report.FleetInvariantError` (or
+    :class:`~repro.screen.ScreenInvariantError`) while any target device
+    is still missing - use :func:`campaign_status` for partials.
     """
     campaign = load_campaign(root)
     all_records = {}
     for shard in campaign.shards:
         all_records = merge_records(all_records, campaign.shard_records(shard))
+    if campaign.screen is not None:
+        return compose_screened_report(
+            campaign.spec, campaign.screen, all_records.values()
+        )
     return aggregate(campaign.spec, all_records.values())
 
 

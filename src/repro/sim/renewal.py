@@ -1,4 +1,4 @@
-"""Renewal analysis of threshold scrub: steady-state rates without MC.
+"""Renewal analysis of threshold scrub: exact rates and horizon counts.
 
 Under an idle workload, one line's life under a threshold policy is a
 renewal process: it is (re)written, accumulates drift errors while scrub
@@ -16,8 +16,20 @@ propagating the error-count distribution over visit ages:
 * states ``k < theta`` survive; ``theta <= k <= t`` ends the cycle in a
   write-back; ``k > t`` ends it in a UE.
 
+Two views of the same propagation:
+
+* :meth:`RenewalModel.solve` - steady-state per-second rates (cycle
+  expectation ratios), the classic renewal-reward answer;
+* :meth:`RenewalModel.finite_horizon` - *exact* expected counts over a
+  finite horizon of ``V`` aligned visits, via the discrete renewal
+  recursion over the per-visit cycle-resolution probabilities.  This is
+  the transient-corrected form: a horizon of a few cycles carries up to
+  half a cycle of bias per line when approximated by ``rate x horizon``,
+  which the recursion eliminates entirely.
+
 The model is exact for the population engine's own assumptions (idle
-lines, iid uniform symbols, no wear), which makes it a second independent
+lines, iid uniform symbols, no wear, single region so every visit lands
+on the aligned grid ``T, 2T, ...``), which makes it a second independent
 implementation to validate the Monte-Carlo engine against (benchmark A6)
 - and a design tool: sweeping ``(T, t, theta)`` costs microseconds per
 point instead of a simulation.
@@ -25,6 +37,7 @@ point instead of a simulation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,6 +69,41 @@ class RenewalSolution:
         return self.write_rate * self.interval
 
 
+@dataclass(frozen=True)
+class FiniteHorizonSolution:
+    """Exact per-line expectations over a finite horizon of ``V`` visits.
+
+    All quantities are per *line*; multiply by the population size for
+    device/fleet totals.  ``expected_ue``/``expected_writes`` are exact
+    expectations of the engine's ledger counters (no steady-state
+    approximation), and ``no_ue_probability`` is the exact probability a
+    line survives the whole horizon without an uncorrectable error.
+    """
+
+    #: Scrub interval (seconds).
+    interval: float
+    #: Requested horizon (seconds).
+    horizon: float
+    #: Aligned scrub visits within the horizon (``k*T <= horizon``).
+    visits: int
+    #: Expected uncorrectable errors per line over the horizon.
+    expected_ue: float
+    #: Expected scrub write-backs per line (UE recoveries excluded).
+    expected_writes: float
+    #: Probability the line sees zero uncorrectable errors.
+    no_ue_probability: float
+
+    @property
+    def ue_rate(self) -> float:
+        """Horizon-averaged UE rate per line per second."""
+        return self.expected_ue / self.horizon if self.horizon > 0 else 0.0
+
+    @property
+    def write_rate(self) -> float:
+        """Horizon-averaged write-back rate per line per second."""
+        return self.expected_writes / self.horizon if self.horizon > 0 else 0.0
+
+
 class RenewalModel:
     """Exact threshold-scrub renewal solver over a crossing distribution."""
 
@@ -75,11 +123,17 @@ class RenewalModel:
         self.max_visits = max_visits
         self.tolerance = tolerance
 
-    def solve(self, interval: float, t_ecc: int, threshold: int) -> RenewalSolution:
-        """Propagate the count distribution until the cycle resolves.
+    def _propagate(
+        self, interval: float, t_ecc: int, threshold: int, max_visits: int
+    ) -> tuple[list[float], list[float], float, float, float, float, float]:
+        """One fresh cycle's count-state propagation over visit ages.
 
-        ``threshold`` in ``[1, t_ecc]`` as for the policies; ``threshold=1``
-        recovers the immediate-write-back (basic/strong/light) algorithm.
+        Returns ``(ue_by_visit, write_by_visit, end_ue, end_write,
+        expected_visits, error_visits, leftover)`` where the per-visit
+        lists hold the probability that the cycle resolves (in a UE /
+        write-back) exactly at visit ``m`` (1-indexed; entry ``m - 1``),
+        and the scalars are accumulated in the same order as always so
+        :meth:`solve` stays bit-identical to its historical results.
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -91,13 +145,15 @@ class RenewalModel:
         survive = np.zeros(threshold)
         survive[0] = 1.0
 
+        ue_by_visit: list[float] = []
+        write_by_visit: list[float] = []
         end_write = 0.0
         end_ue = 0.0
         expected_visits = 0.0
         error_visits = 0.0
         prev_f = 0.0
 
-        for n in range(1, self.max_visits + 1):
+        for n in range(1, max_visits + 1):
             age = n * interval
             f = float(self.distribution.cdf(age))
             denom = 1.0 - prev_f
@@ -109,6 +165,8 @@ class RenewalModel:
                 break
             expected_visits += alive
 
+            visit_write = 0.0
+            visit_ue = 0.0
             next_survive = np.zeros(threshold)
             for k in range(threshold):
                 mass = survive[k]
@@ -128,14 +186,33 @@ class RenewalModel:
                             error_visits += share
                     else:  # threshold <= total <= t_ecc: write-back
                         end_write += share
+                        visit_write += share
                         error_visits += share
                 ue_share = mass * max(0.0, 1.0 - float(pmf.sum()))
                 end_ue += ue_share
+                visit_ue += ue_share
                 error_visits += ue_share
+            ue_by_visit.append(visit_ue)
+            write_by_visit.append(visit_write)
             survive = next_survive
 
-        resolved = end_write + end_ue
         leftover = float(survive.sum())
+        return (
+            ue_by_visit, write_by_visit, end_ue, end_write,
+            expected_visits, error_visits, leftover,
+        )
+
+    def solve(self, interval: float, t_ecc: int, threshold: int) -> RenewalSolution:
+        """Propagate the count distribution until the cycle resolves.
+
+        ``threshold`` in ``[1, t_ecc]`` as for the policies; ``threshold=1``
+        recovers the immediate-write-back (basic/strong/light) algorithm.
+        """
+        (
+            _, _, end_ue, end_write, expected_visits, error_visits, leftover,
+        ) = self._propagate(interval, t_ecc, threshold, self.max_visits)
+
+        resolved = end_write + end_ue
         if resolved + leftover < 1e-6:
             raise RuntimeError("renewal propagation lost probability mass")
         # Treat truncated mass as censored at max_visits (conservative: it
@@ -150,4 +227,80 @@ class RenewalModel:
             ue_rate=(end_ue / total_cycles) / cycle_seconds,
             write_rate=(end_write / total_cycles) / cycle_seconds,
             error_visit_fraction=error_visits / max(expected_visits, 1e-300),
+        )
+
+    def finite_horizon(
+        self, interval: float, t_ecc: int, threshold: int, horizon: float
+    ) -> FiniteHorizonSolution:
+        """Exact expected counts over a horizon of aligned visits.
+
+        The engine visits a single-region device at ``T, 2T, ...`` and
+        includes a visit landing exactly on the horizon boundary, so the
+        line sees ``V = floor(horizon / T)`` visits.  Every cycle - the
+        first one included, because lines are written fresh at ``t = 0``
+        and every resolution rewrites the line *at a visit* - is an iid
+        copy aligned to the visit grid, so with ``u_m`` / ``w_m`` the
+        probabilities that a fresh cycle resolves in a UE / write-back
+        exactly at its ``m``-th visit, the expected UE count over ``v``
+        remaining visits obeys the discrete renewal recursion
+
+        ``N_ue(v) = sum_{m<=v} (u_m + (u_m + w_m) * N_ue(v - m))``
+
+        (and symmetrically for write-backs).  Cycles still unresolved at
+        the horizon contribute their resolution mass nothing - exactly
+        the censoring the engine applies.  ``P(no UE in v visits)``
+        satisfies the same kind of recursion with the censored mass
+        surviving: ``q(v) = 1 - sum_{m<=v}(u_m + w_m) + sum_{m<=v} w_m *
+        q(v - m)``.  Cost is ``O(V^2)`` on top of one cycle propagation
+        capped at ``V`` visits - cheap for screening horizons (hundreds
+        of visits), and much cheaper than :meth:`solve` when cycles are
+        long-lived.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        # Visits = |{k >= 1 : k * T <= horizon}| with the engine's own
+        # float comparison, so boundary visits are counted identically.
+        visits = int(math.floor(horizon / interval))
+        while (visits + 1) * interval <= horizon:
+            visits += 1
+        while visits > 0 and visits * interval > horizon:
+            visits -= 1
+        if visits == 0:
+            return FiniteHorizonSolution(
+                interval=interval, horizon=horizon, visits=0,
+                expected_ue=0.0, expected_writes=0.0, no_ue_probability=1.0,
+            )
+
+        ue_by_visit, write_by_visit, *_ = self._propagate(
+            interval, t_ecc, threshold, min(self.max_visits, visits)
+        )
+        u = ue_by_visit + [0.0] * (visits - len(ue_by_visit))
+        w = write_by_visit + [0.0] * (visits - len(write_by_visit))
+
+        n_ue = [0.0] * (visits + 1)
+        n_write = [0.0] * (visits + 1)
+        no_ue = [1.0] * (visits + 1)
+        for v in range(1, visits + 1):
+            total_ue = 0.0
+            total_write = 0.0
+            survive = 1.0
+            for m in range(1, v + 1):
+                um, wm = u[m - 1], w[m - 1]
+                tail = v - m
+                total_ue += um + (um + wm) * n_ue[tail]
+                total_write += wm + (um + wm) * n_write[tail]
+                survive += wm * no_ue[tail] - (um + wm)
+            n_ue[v] = total_ue
+            n_write[v] = total_write
+            no_ue[v] = min(1.0, max(0.0, survive))
+
+        return FiniteHorizonSolution(
+            interval=interval,
+            horizon=horizon,
+            visits=visits,
+            expected_ue=n_ue[visits],
+            expected_writes=n_write[visits],
+            no_ue_probability=no_ue[visits],
         )

@@ -18,16 +18,21 @@ Two regimes, because the models answer different questions:
   a sum of N i.i.d. Bernoulli trials with small p, so the exact Garwood
   Poisson interval on the observed count must cover the expectation.
 
-* **Steady state** (``renewal_equivalence``).  Multi-visit dynamics -
+* **Finite horizon** (``renewal_equivalence``).  Multi-visit dynamics -
   lines accumulating errors across visits until a threshold write-back
   or a UE resets them - are exactly a renewal process when the policy is
   a pure threshold rule with no detector, no demand traffic, and no
   endurance.  We compare horizon totals for uncorrectables *and* scrub
-  write-backs against ``rate x horizon x N``.  The solver's rates are
-  steady-state; a finite horizon carries a transient of roughly half a
-  renewal cycle per line, so the acceptance band is a relative-error
-  ladder ``max(floor, z / sqrt(expected))`` with a documented floor
-  (see :data:`RENEWAL_REL_FLOOR`) rather than a pure sampling interval.
+  write-backs against the *exact* finite-horizon expectation from
+  :meth:`repro.sim.renewal.RenewalModel.finite_horizon`, which resolves
+  the discrete renewal recursion over aligned visits instead of
+  approximating by ``rate x horizon`` (that approximation carries up to
+  half a renewal cycle of bias per line and used to force a 12% floor on
+  the band).  With the transient gone the only residual is sampling
+  noise, so the band is the pure relative ladder ``z / sqrt(expected)``
+  (see :data:`RENEWAL_REL_Z`): UEs are rare per line and Poisson-like,
+  and write-back counts are renewal counts whose cycle-length dispersion
+  is sub-Poisson, so Poisson width bounds both.
 
 Both grids reuse the run pipeline end-to-end (``run_many``), so an
 equivalence pass also exercises the process-pool path, the distribution
@@ -47,16 +52,12 @@ from ..sim.parallel import RunSpec, run_many
 from ..sim.renewal import RenewalModel
 from ..sim.runner import crossing_distribution_for
 
-#: Relative-error floor for renewal steady-state comparisons.  Covers the
-#: finite-horizon transient (about half a renewal cycle per line at the
-#: grid's horizon) plus steady-state approximation error; measured slack
-#: on the default grid is under 8%, so 12% keeps headroom without
-#: admitting real regressions (a broken threshold rule shifts counts by
-#: 2x or more).
-RENEWAL_REL_FLOOR = 0.12
-
-#: Sampling multiplier for the renewal ladder: ``z / sqrt(expected)``
-#: approximates a z-sigma Poisson band in relative terms.
+#: Sampling multiplier for the renewal band: ``z / sqrt(expected)`` is a
+#: z-sigma Poisson interval in relative terms.  The expectation is the
+#: exact finite-horizon renewal solution, so no transient floor is needed
+#: - the band is pure sampling width (4 sigma keeps the family-wise false
+#: alarm rate across the grid's 18 comparisons well under 0.1%, while a
+#: broken threshold rule shifts counts by 2x or more).
 RENEWAL_REL_Z = 4.0
 
 #: Relative-error floor for the batch-vs-scalar comparison.  The two runs
@@ -225,10 +226,10 @@ def analytic_equivalence(
 
 
 def _relative_band(expected: float) -> tuple[float, float]:
-    """Acceptance band from the relative-error ladder around ``expected``."""
+    """Pure-Poisson relative band ``expected * (1 +- z / sqrt(expected))``."""
     if expected <= 0.0:
         return 0.0, 0.0
-    rel = max(RENEWAL_REL_FLOOR, RENEWAL_REL_Z / math.sqrt(expected))
+    rel = RENEWAL_REL_Z / math.sqrt(expected)
     return expected * (1.0 - rel), expected * (1.0 + rel)
 
 
@@ -237,7 +238,7 @@ def renewal_equivalence(
     jobs: int = 1,
     quick: bool = False,
 ) -> EquivalenceReport:
-    """MC horizon totals vs the steady-state renewal solver.
+    """MC horizon totals vs the exact finite-horizon renewal solution.
 
     Checks uncorrectables and scrub write-backs at every grid point with
     threshold ``theta = t - 1`` (write back just before the correction
@@ -274,13 +275,15 @@ def renewal_equivalence(
             crossing_distribution_for(result.config),
             result.config.cells_per_line,
         )
-        solution = solver.solve(interval, t_ecc=t, threshold=t - 1)
+        solution = solver.finite_horizon(
+            interval, t_ecc=t, threshold=t - 1, horizon=horizon
+        )
         label = f"T={interval / units.HOUR:g}h t={t}"
-        for metric, observed, rate in (
-            ("uncorrectable", float(result.stats.uncorrectable), solution.ue_rate),
-            ("scrub_writes", float(result.stats.scrub_writes), solution.write_rate),
+        for metric, observed, per_line in (
+            ("uncorrectable", float(result.stats.uncorrectable), solution.expected_ue),
+            ("scrub_writes", float(result.stats.scrub_writes), solution.expected_writes),
         ):
-            expected = float(rate * horizon * num_lines)
+            expected = float(per_line * num_lines)
             low, high = _relative_band(expected)
             rows.append(
                 EquivalenceRow(

@@ -1,0 +1,75 @@
+"""Shared fixtures for the screening tests.
+
+One small three-lot fleet, sized so the surrogate classifies each lot
+differently under the standard count budget:
+
+* ``cool`` (300 K, 5 devices): predictive interval clears the budget -> pass;
+* ``hot`` (316 K, 2 devices): interval straddles it -> uncertain -> MC;
+* ``recalled`` (350 K, 1 device): interval violates it outright -> fail.
+
+Devices are 64 lines over a 1-day horizon with 2-hour threshold scrub
+(detector off - the surrogate's validated regime), so the escalated MC
+runs are milliseconds each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.fleet import FleetSpec, Lot, LotParameter
+from repro.fleet.report import FIT_HOURS
+from repro.screen import ScreenConstraints
+from repro.sim.config import SimulationConfig
+
+#: The count budget the standard constraints encode (expected-UE scale).
+COUNT_BUDGET = 5.0
+
+
+def make_spec(seed: int = 2012, devices: int = 8, **overrides) -> FleetSpec:
+    base = dict(
+        name="screen-test",
+        devices=devices,
+        policy="threshold",
+        policy_kwargs={
+            "interval": 2 * units.HOUR,
+            "strength": 3,
+            "threshold": 2,
+            "with_detector": False,
+        },
+        base_config=SimulationConfig(
+            num_lines=64, region_size=64, horizon=units.DAY, seed=seed,
+            endurance=None,
+        ),
+        lots=(
+            Lot(name="cool", weight=5,
+                temperature_k=LotParameter(300.0, 0.0)),
+            Lot(name="hot", weight=2,
+                temperature_k=LotParameter(316.0, 0.0)),
+            Lot(name="recalled", weight=1,
+                temperature_k=LotParameter(350.0, 0.0)),
+        ),
+    )
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def make_constraints(spec: FleetSpec, budget: float = COUNT_BUDGET,
+                     **overrides) -> ScreenConstraints:
+    """FIT constraint equivalent to a per-device UE count budget."""
+    horizon_hours = spec.base_config.horizon / units.HOUR
+    base = dict(
+        fit_limit=budget * FIT_HOURS * spec.capacity_scale / horizon_hours,
+    )
+    base.update(overrides)
+    return ScreenConstraints(**base)
+
+
+@pytest.fixture(scope="module")
+def spec() -> FleetSpec:
+    return make_spec()
+
+
+@pytest.fixture(scope="module")
+def constraints(spec) -> ScreenConstraints:
+    return make_constraints(spec)

@@ -1,0 +1,145 @@
+"""Screened campaign execution and report composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import run_campaign
+from repro.fleet.report import FIT_HOURS
+from repro.screen import (
+    MC,
+    ScreenInvariantError,
+    compose_screened_report,
+    plan_screen,
+    run_screened_campaign,
+)
+
+from .conftest import make_constraints, make_spec
+
+
+@pytest.fixture(scope="module")
+def outcome(spec, constraints):
+    return run_screened_campaign(spec, constraints, jobs=1)
+
+
+class TestScreenedRun:
+    def test_only_escalated_devices_run_mc(self, spec, constraints, outcome):
+        assert outcome.finished
+        assert outcome.mc_devices == len(outcome.plan.escalated)
+        assert outcome.mc_outcome.executed == outcome.mc_devices
+        assert outcome.mc_outcome.total == outcome.mc_devices
+        assert outcome.report.mc_devices < spec.devices
+
+    def test_provenance_partitions_the_fleet(self, spec, outcome):
+        report = outcome.report
+        assert len(report.provenance) == spec.devices
+        mc_rows = [row for row in report.provenance if row["method"] == MC]
+        surrogate_rows = [
+            row for row in report.provenance if row["method"] != MC
+        ]
+        assert {row["index"] for row in mc_rows} == set(outcome.plan.escalated)
+        assert len(mc_rows) + len(surrogate_rows) == spec.devices
+        # MC rows carry observations, surrogate rows carry expectations.
+        assert all(row["observed_ue"] is not None for row in mc_rows)
+        assert all(row["observed_ue"] is None for row in surrogate_rows)
+        assert all(row["expected_ue"] is not None for row in surrogate_rows)
+
+    def test_fit_composes_surrogate_and_mc(self, spec, outcome):
+        report = outcome.report
+        expected_point = (
+            (report.surrogate_expected_ue + report.mc_uncorrectable)
+            / report.device_hours
+            * FIT_HOURS
+        )
+        assert report.fit == pytest.approx(expected_point)
+        assert report.fit_low <= report.fit <= report.fit_high
+        assert report.fit_scaled == pytest.approx(
+            report.fit * spec.capacity_scale
+        )
+        assert (
+            report.availability_low
+            <= report.availability
+            <= report.availability_high
+        )
+
+    def test_report_round_trips_to_dict(self, outcome):
+        data = outcome.report.to_dict()
+        assert data["devices"] == outcome.report.devices
+        assert data["mc_devices"] == outcome.report.mc_devices
+        assert len(data["provenance"]) == outcome.report.devices
+
+    def test_matches_full_mc_on_escalated_subset(self, spec, outcome):
+        # Subset MC records are bit-identical to the same devices in a
+        # full campaign: per-device seeding is index-based.
+        full = run_campaign(spec, jobs=1)
+        by_index = {r.index: r for r in full.records}
+        for record in outcome.mc_outcome.records:
+            ours = record.to_dict()
+            theirs = by_index[record.index].to_dict()
+            # Wall-clock is the one legitimately nondeterministic field.
+            ours.pop("runtime_seconds")
+            theirs.pop("runtime_seconds")
+            assert ours == theirs
+
+
+class TestDeterminism:
+    def test_independent_of_jobs(self, spec, constraints, outcome):
+        parallel = run_screened_campaign(spec, constraints, jobs=3)
+        assert parallel.report.to_dict() == outcome.report.to_dict()
+
+    def test_kill_resume_is_bit_identical(
+        self, spec, constraints, outcome, tmp_path
+    ):
+        journal = tmp_path / "screen.jsonl"
+        first = run_screened_campaign(
+            spec, constraints, checkpoint=journal, stop_after=1
+        )
+        assert not first.finished
+        assert first.report is None
+        assert first.mc_outcome.completed == 1
+        resumed = run_screened_campaign(
+            spec, constraints, checkpoint=journal, resume=True
+        )
+        assert resumed.finished
+        assert resumed.mc_outcome.executed == outcome.mc_devices - 1
+        assert resumed.report.to_dict() == outcome.report.to_dict()
+
+
+class TestZeroEscalation:
+    def test_all_surrogate_fleet_needs_no_mc(self, spec):
+        # A huge budget clears every lot: everything passes or fails
+        # analytically and the MC engine never spins up.
+        outcome = run_screened_campaign(
+            spec, make_constraints(spec, budget=1e6)
+        )
+        assert outcome.finished
+        assert outcome.mc_outcome is None
+        assert outcome.report.mc_devices == 0
+        assert outcome.report.mc_report is None
+        assert outcome.report.escalation_ratio == float("inf")
+        assert outcome.report.fit_low == outcome.report.fit_high
+
+
+class TestCompositionInvariants:
+    def test_rejects_wrong_spec(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        other = make_spec(seed=99)
+        with pytest.raises(ScreenInvariantError, match="different spec"):
+            compose_screened_report(other, plan, ())
+
+    def test_rejects_missing_mc_records(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        with pytest.raises(ScreenInvariantError, match="tile"):
+            compose_screened_report(spec, plan, ())
+
+    def test_rejects_surplus_records(self, spec, constraints, outcome):
+        plan = plan_screen(spec, constraints)
+        full = run_campaign(spec, jobs=1)
+        with pytest.raises(ScreenInvariantError):
+            compose_screened_report(spec, plan, full.records)
+
+    def test_rejects_duplicate_records(self, spec, constraints, outcome):
+        plan = plan_screen(spec, constraints)
+        records = tuple(outcome.mc_outcome.records)
+        with pytest.raises(ScreenInvariantError, match="duplicate"):
+            compose_screened_report(spec, plan, records + records[:1])

@@ -1,0 +1,202 @@
+"""Screening planner: constraints, regime escalation, classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.fleet import Lot, LotParameter
+from repro.params import EnduranceSpec
+from repro.screen import (
+    FAIL,
+    MC,
+    PASS,
+    SURROGATE,
+    UNCERTAIN,
+    ScreenConstraints,
+    ScreenDecision,
+    ScreenError,
+    ScreenInvariantError,
+    ScreenPlan,
+    plan_screen,
+    regime_reasons,
+)
+from repro.sim.config import SimulationConfig
+
+from .conftest import make_constraints, make_spec
+
+
+class TestConstraints:
+    def test_at_least_one_constraint_required(self):
+        with pytest.raises(ScreenError, match="at least one"):
+            ScreenConstraints()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fit_limit": 0.0},
+            {"fit_limit": -1.0},
+            {"min_availability": 0.0},
+            {"min_availability": 1.0},
+            {"fit_limit": 1.0, "confidence": 0.0},
+            {"fit_limit": 1.0, "confidence": 1.0},
+            {"fit_limit": 1.0, "availability_margin": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ScreenError):
+            ScreenConstraints(**kwargs)
+
+    def test_dict_round_trip(self):
+        constraints = ScreenConstraints(
+            fit_limit=1e9, min_availability=0.9,
+            confidence=0.9, availability_margin=0.05,
+        )
+        assert ScreenConstraints.from_dict(constraints.to_dict()) == constraints
+
+
+class TestRegimeReasons:
+    def test_validated_regime_is_empty(self, spec):
+        assert regime_reasons(spec, spec.device_spec(0)) == ()
+
+    def test_non_threshold_policy(self):
+        spec = make_spec(
+            policy="adaptive",
+            policy_kwargs={"interval": 2 * units.HOUR, "strength": 3},
+        )
+        reasons = regime_reasons(spec, spec.device_spec(0))
+        assert "regime:policy:adaptive" in reasons
+
+    def test_detector_default_escalates(self):
+        # threshold_scrub defaults its CRC detector *on*; the surrogate
+        # models unconditional decode, so the spec must opt out
+        # explicitly to stay in regime.
+        kwargs = {"interval": 2 * units.HOUR, "strength": 3, "threshold": 2}
+        spec = make_spec(policy_kwargs=kwargs)
+        reasons = regime_reasons(spec, spec.device_spec(0))
+        assert "regime:detector" in reasons
+
+    def test_demand_workload(self):
+        spec = make_spec(demand_write_rate=10.0)
+        assert "regime:demand_workload" in regime_reasons(spec, spec.device_spec(0))
+
+    def test_multi_region(self):
+        spec = make_spec(
+            base_config=SimulationConfig(
+                num_lines=64, region_size=16, horizon=units.DAY, seed=2012,
+                endurance=None,
+            )
+        )
+        assert "regime:multi_region" in regime_reasons(spec, spec.device_spec(0))
+
+    def test_wear_spares_refresh_retire(self):
+        config = SimulationConfig(
+            num_lines=64, region_size=64, horizon=units.DAY, seed=2012,
+            endurance=EnduranceSpec(mean_writes=1e6),
+            retire_hard_limit=4, read_refresh=True, spares_per_region=2,
+        )
+        spec = make_spec(base_config=config)
+        reasons = regime_reasons(spec, spec.device_spec(0))
+        for marker in (
+            "regime:endurance", "regime:retire_limit",
+            "regime:read_refresh", "regime:spares",
+        ):
+            assert marker in reasons
+
+    def test_out_of_regime_devices_escalate_without_surrogate_numbers(self):
+        spec = make_spec(demand_write_rate=10.0)
+        plan = plan_screen(spec, make_constraints(spec))
+        assert all(d.classification == UNCERTAIN for d in plan.decisions)
+        assert all(d.expected_ue is None for d in plan.decisions)
+        assert plan.mc_fraction == 1.0
+
+
+class TestClassification:
+    def test_lots_split_across_all_three_classes(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        by_lot = {}
+        for decision in plan.decisions:
+            by_lot.setdefault(decision.lot, set()).add(decision.classification)
+        assert by_lot == {
+            "cool": {PASS}, "hot": {UNCERTAIN}, "recalled": {FAIL},
+        }
+        assert plan.counts() == {PASS: 5, FAIL: 1, UNCERTAIN: 2}
+        assert plan.escalated == (5, 6)
+        assert plan.mc_fraction == pytest.approx(0.25)
+
+    def test_only_uncertain_devices_use_mc(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        for decision in plan.decisions:
+            expected = MC if decision.classification == UNCERTAIN else SURROGATE
+            assert decision.method == expected
+        assert set(plan.escalated) | set(plan.surrogate_indices) == set(
+            range(spec.devices)
+        )
+        assert not set(plan.escalated) & set(plan.surrogate_indices)
+
+    def test_uncertain_devices_carry_escalation_reason(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        for index in plan.escalated:
+            assert plan.decisions[index].reasons == ("fit_ci_overlap",)
+
+    def test_fail_beats_uncertain(self, spec):
+        # The recalled lot fails the FIT screen while its availability
+        # sits inside the escalation margin; fail wins - no MC is spent
+        # on a device whose verdict is already deterministic.
+        plan = plan_screen(
+            spec,
+            make_constraints(
+                spec, min_availability=0.01, availability_margin=0.5
+            ),
+        )
+        recalled = [d for d in plan.decisions if d.lot == "recalled"]
+        assert all(d.classification == FAIL for d in recalled)
+
+    def test_availability_margin_escalates(self, spec):
+        # cool lot p0 ~ 0.20: a floor at 0.20 +- 0.02 straddles it.
+        plan = plan_screen(
+            spec,
+            ScreenConstraints(min_availability=0.20, availability_margin=0.02),
+        )
+        cool = [d for d in plan.decisions if d.lot == "cool"]
+        assert all(d.classification == UNCERTAIN for d in cool)
+        assert all(d.reasons == ("availability_margin",) for d in cool)
+
+    def test_plan_is_deterministic(self, spec, constraints):
+        assert plan_screen(spec, constraints).to_dict() == plan_screen(
+            spec, constraints
+        ).to_dict()
+
+    def test_plan_round_trips_through_dict(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        assert ScreenPlan.from_dict(plan.to_dict()).to_dict() == plan.to_dict()
+
+    def test_surrogate_numbers_are_sane(self, spec, constraints):
+        plan = plan_screen(spec, constraints)
+        for decision in plan.decisions:
+            assert decision.expected_ue is not None
+            assert decision.expected_ue >= 0.0
+            assert decision.expected_writes > 0.0
+            assert 0.0 <= decision.no_ue_probability <= 1.0
+            assert decision.fit_scaled >= 0.0
+
+
+class TestPlanInvariants:
+    def test_decisions_must_cover_indices_in_order(self, constraints):
+        decision = ScreenDecision(index=1, lot="a", classification=PASS)
+        with pytest.raises(ScreenInvariantError, match="in order"):
+            ScreenPlan(
+                spec_hash="x", constraints=constraints, decisions=(decision,)
+            )
+
+    def test_gauges_published(self, spec, constraints):
+        from repro.obs.metrics import GLOBAL_REGISTRY
+
+        plan = plan_screen(spec, constraints)
+        assert GLOBAL_REGISTRY.gauge("screen_devices").value == spec.devices
+        assert GLOBAL_REGISTRY.gauge("screen_escalated").value == len(
+            plan.escalated
+        )
+        assert GLOBAL_REGISTRY.gauge("screen_mc_fraction").value == (
+            pytest.approx(plan.mc_fraction)
+        )

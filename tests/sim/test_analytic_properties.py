@@ -1,0 +1,145 @@
+"""Property tests for the analytic crossing-time machinery.
+
+``tests/sim/test_analytic.py`` pins example-based behavior; this module
+states the *laws* as hypothesis properties over the tabulated
+:class:`repro.sim.analytic.CrossingDistribution` (and the
+:class:`~repro.sim.analytic.AnalyticModel` interval solver built on it):
+
+* the mixture CDF is monotone, bounded, and respects its grid range;
+* ``quantile`` inverts ``cdf`` up to the tabulation grid (round-tripping
+  a CDF value through the inverse reproduces it exactly, flat segments
+  included);
+* ``sample_smallest`` rows are sorted order statistics whose empirical
+  law matches the mixture CDF (a KS-style check on the first order
+  statistic at an arbitrary probe time);
+* ``required_interval`` brackets its target: the returned interval
+  meets the failure budget and is maximal up to bisection tolerance.
+
+The hypothesis profile is pinned in ``tests/conftest.py`` (derandomized,
+no deadline), so these runs are deterministic and CI-safe.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.params import CellSpec
+from repro.sim.analytic import AnalyticModel, CrossingDistribution
+
+#: One module-scope tabulation: the properties quantify over inputs, not
+#: over cell specs, so the ~100 ms tabulation cost is paid once.
+DISTRIBUTION = CrossingDistribution(CellSpec())
+MODEL = AnalyticModel(DISTRIBUTION, cells_per_line=256)
+
+
+def times_strategy():
+    """Log-uniform times spanning the tabulation grid (and past its ends)."""
+    return st.floats(min_value=-3.0, max_value=13.0).map(lambda e: 10.0**e)
+
+
+class TestCdfLaws:
+    @given(exponents=st.lists(
+        st.floats(min_value=-3.0, max_value=13.0), min_size=2, max_size=8,
+    ))
+    def test_cdf_monotone_and_bounded(self, exponents):
+        times = np.sort(10.0 ** np.asarray(exponents))
+        values = DISTRIBUTION.cdf(times)
+        assert (np.diff(values) >= 0.0).all()
+        assert float(values[0]) >= 0.0
+        assert float(values[-1]) <= DISTRIBUTION.max_probability <= 1.0
+
+    @given(t=times_strategy())
+    def test_cdf_dominates_every_level(self, t):
+        # The mixture is the mean over levels, so it sits between the
+        # fastest- and slowest-crossing level CDFs.
+        per_level = [
+            float(DISTRIBUTION.level_cdf(level, t))
+            for level in range(DISTRIBUTION.spec.num_levels)
+        ]
+        mixture = float(DISTRIBUTION.cdf(t))
+        assert min(per_level) - 1e-12 <= mixture <= max(per_level) + 1e-12
+
+
+class TestQuantileInversion:
+    @given(t=times_strategy())
+    def test_cdf_value_round_trips_through_quantile(self, t):
+        u = float(DISTRIBUTION.cdf(t))
+        if not 0.0 < u < DISTRIBUTION.max_probability:
+            return  # outside the invertible range: quantile is inf/edge
+        t_back = float(DISTRIBUTION.quantile(np.array([u]))[0])
+        u_back = float(DISTRIBUTION.cdf(t_back))
+        # Grid-exact: interpolating back lands on the same CDF plateau.
+        assert u_back == pytest.approx(u, rel=1e-9, abs=1e-12)
+
+    @given(us=st.lists(
+        st.floats(min_value=1e-9, max_value=0.999), min_size=2, max_size=8,
+    ))
+    def test_quantile_monotone(self, us):
+        u = np.sort(np.asarray(us))
+        t = DISTRIBUTION.quantile(u)
+        finite = np.isfinite(t)
+        assert (np.diff(t[finite]) >= 0.0).all()
+        # Mass above the crossing probability maps to infinity, never to
+        # a finite fabricated time.
+        assert np.isinf(t[u >= DISTRIBUTION.max_probability]).all()
+
+
+class TestOrderStatisticsLaw:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        keep=st.integers(min_value=1, max_value=8),
+    )
+    def test_rows_are_sorted_order_statistics(self, seed, keep):
+        rng = np.random.default_rng(seed)
+        sample = DISTRIBUTION.sample_smallest(64, 256, keep, rng)
+        assert sample.shape == (64, keep)
+        finite = np.where(np.isfinite(sample), sample, np.inf)
+        assert (np.diff(finite, axis=1) >= 0.0).all()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        exponent=st.floats(min_value=3.0, max_value=6.0),
+    )
+    def test_first_order_statistic_matches_mixture_cdf(self, seed, exponent):
+        # KS-style: the empirical P(min <= T) must sit within the
+        # one-point Kolmogorov band of 1 - (1 - F(T))^C.
+        lines, cells = 1500, 64
+        t_probe = 10.0**exponent
+        rng = np.random.default_rng(seed)
+        sample = DISTRIBUTION.sample_smallest(lines, cells, 1, rng)
+        empirical = float((sample[:, 0] <= t_probe).mean())
+        F = float(DISTRIBUTION.cdf(t_probe))
+        theory = 1.0 - (1.0 - F) ** cells
+        # K_alpha / sqrt(n) with K ~ 1.95 (alpha ~ 1e-3), plus slack for
+        # the 50-example hypothesis budget.
+        assert abs(empirical - theory) <= 2.2 / math.sqrt(lines)
+
+
+class TestRequiredIntervalBracketing:
+    @given(
+        t_ecc=st.integers(min_value=1, max_value=6),
+        log_target=st.floats(min_value=-8.0, max_value=-0.5),
+    )
+    def test_interval_meets_and_saturates_the_budget(self, t_ecc, log_target):
+        target = 10.0**log_target
+        high = 1e10
+        interval = MODEL.required_interval(t_ecc, target, high=high)
+        # The returned interval always meets the budget...
+        assert MODEL.line_failure_probability(interval, t_ecc) <= target
+        if interval < high:
+            # ...and is maximal: 5% longer already violates it (geometric
+            # bisection terminates well below that slack).
+            assert (
+                MODEL.line_failure_probability(1.05 * interval, t_ecc) > target
+            )
+
+    @given(t_ecc=st.integers(min_value=1, max_value=6))
+    def test_looser_budget_allows_longer_interval(self, t_ecc):
+        tight = MODEL.required_interval(t_ecc, 1e-6)
+        loose = MODEL.required_interval(t_ecc, 1e-3)
+        assert loose >= tight

@@ -101,3 +101,96 @@ class TestAgainstMonteCarlo:
         assert mc_fraction == pytest.approx(
             solution.error_visit_fraction, rel=0.1
         )
+
+
+class TestFiniteHorizon:
+    def test_visit_count_includes_boundary_visit(self, model):
+        T = units.HOUR
+        assert model.finite_horizon(T, 4, 3, 3 * T).visits == 3
+        assert model.finite_horizon(T, 4, 3, 2.5 * T).visits == 2
+        # Sub-interval horizon: no visit ever happens.
+        short = model.finite_horizon(T, 4, 3, 0.5 * T)
+        assert short.visits == 0
+        assert short.expected_ue == 0.0
+        assert short.expected_writes == 0.0
+        assert short.no_ue_probability == 1.0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.finite_horizon(0.0, 4, 3, units.DAY)
+        with pytest.raises(ValueError):
+            model.finite_horizon(units.HOUR, 4, 3, 0.0)
+        with pytest.raises(ValueError):
+            model.finite_horizon(units.HOUR, 4, 5, units.DAY)
+
+    def test_long_horizon_recovers_steady_state_rates(self, model):
+        T = units.HOUR
+        steady = model.solve(T, t_ecc=4, threshold=3)
+        fh = model.finite_horizon(T, 4, 3, 120 * units.DAY)
+        assert fh.ue_rate == pytest.approx(steady.ue_rate, rel=0.02)
+        assert fh.write_rate == pytest.approx(steady.write_rate, rel=0.02)
+
+    def test_transient_shape(self, model):
+        # A fresh line needs a visit or two before it can accumulate more
+        # than ``threshold`` errors, so the very first visits see *fewer*
+        # writes and UEs than rate x horizon; once cycles start resolving
+        # the fast-early crossing CDF pushes the UE count *above* the
+        # steady-state approximation.  Both deviations are what
+        # ``finite_horizon`` corrects.
+        T = 2 * units.HOUR
+        steady = model.solve(T, t_ecc=3, threshold=2)
+        for visits in (1, 2, 3):
+            fh = model.finite_horizon(T, 3, 2, visits * T)
+            assert fh.expected_writes < steady.write_rate * visits * T
+        for visits in (3, 6, 12):
+            fh = model.finite_horizon(T, 3, 2, visits * T)
+            assert fh.expected_ue > steady.ue_rate * visits * T
+
+
+class TestFiniteHorizonAgainstMonteCarlo:
+    """Short-horizon regression: the corrected expectation is what the
+    engine produces, where the steady-state ``rate x horizon``
+    approximation is measurably off."""
+
+    def test_short_horizon_ue_counts(self, model):
+        interval = 2 * units.HOUR
+        horizon = units.DAY
+        config = SimulationConfig(
+            num_lines=8192, region_size=8192, horizon=horizon,
+            endurance=None,
+        )
+        result = run_experiment(
+            threshold_scrub(
+                interval, strength=3, threshold=2, with_detector=False
+            ),
+            config,
+        )
+        fh = model.finite_horizon(interval, 3, 2, horizon)
+        expected = fh.expected_ue * config.num_lines
+        # Pure-Poisson band around the exact expectation (the same width
+        # verify.equivalence enforces).
+        band = 4.0 / expected**0.5
+        assert abs(result.uncorrectable - expected) / expected < band
+
+    def test_short_horizon_write_counts_beat_steady_state(self, model):
+        interval = 4 * units.HOUR
+        horizon = units.DAY
+        config = SimulationConfig(
+            num_lines=8192, region_size=8192, horizon=horizon,
+            endurance=None,
+        )
+        result = run_experiment(
+            threshold_scrub(
+                interval, strength=4, threshold=3, with_detector=False
+            ),
+            config,
+        )
+        fh = model.finite_horizon(interval, 4, 3, horizon)
+        expected = fh.expected_writes * config.num_lines
+        band = 4.0 / expected**0.5
+        assert abs(result.scrub_writes - expected) / expected < band
+        # The uncorrected steady-state estimate misses by more than the
+        # band at this horizon - the correction is load-bearing.
+        steady = model.solve(interval, t_ecc=4, threshold=3)
+        approx = steady.write_rate * horizon * config.num_lines
+        assert abs(result.scrub_writes - approx) / approx > band

@@ -2,18 +2,20 @@
 
 The full analytic grid (3 intervals x 3 ECC strengths, 16384 lines) is
 the PR's acceptance bar and runs here in full - single-visit runs are
-cheap.  The renewal steady-state grid runs in quick mode; the full grid
-is exercised by ``repro verify`` in CI.
+cheap.  The renewal finite-horizon grid runs in quick mode; the full
+grid is exercised by ``repro verify`` in CI.
 """
 
 from __future__ import annotations
 
+import math
+
 from repro.verify.equivalence import (
     BATCH_REL_FLOOR,
     BATCH_REL_Z,
+    RENEWAL_REL_Z,
     EquivalenceReport,
     EquivalenceRow,
-    RENEWAL_REL_FLOOR,
     _batch_band,
     _relative_band,
     analytic_equivalence,
@@ -58,11 +60,22 @@ class TestRenewal:
         metrics = {row.metric for row in report.rows}
         assert metrics == {"uncorrectable", "scrub_writes"}
 
-    def test_relative_band_has_documented_floor(self):
-        low, high = _relative_band(1e9)  # sampling term negligible
-        assert low == 1e9 * (1 - RENEWAL_REL_FLOOR)
-        assert high == 1e9 * (1 + RENEWAL_REL_FLOOR)
+    def test_relative_band_is_pure_poisson_width(self):
+        # The finite-horizon correction removed the 12% transient floor:
+        # the band must be exactly z / sqrt(E) wide at *every* scale, with
+        # no silent fallback to a floor for large expectations.
+        for expected in (1e2, 1e4, 1e9):
+            rel = RENEWAL_REL_Z / math.sqrt(expected)
+            assert _relative_band(expected) == (
+                expected * (1 - rel),
+                expected * (1 + rel),
+            )
         assert _relative_band(0.0) == (0.0, 0.0)
+
+    def test_no_floor_constant_survives(self):
+        import repro.verify.equivalence as eq
+
+        assert not hasattr(eq, "RENEWAL_REL_FLOOR")
 
 
 class TestBatchVsScalar:
