@@ -1,0 +1,131 @@
+"""P5 (performance): surrogate-first provisioning search vs exhaustive MC.
+
+The acceptance demonstration for `repro.provision`: the bundled
+provisioning fleet (two lots, a nominal aisle and a hot fast-drift
+corner) swept over an 11-candidate grid - ten detector-less threshold
+configurations the renewal surrogate scores exactly, plus one `basic`
+(DRAM-style) candidate that is out of the surrogate's regime and must
+be Monte-Carlo'd either way.  The screened search must
+
+* recover the *identical* per-lot Pareto frontier (same candidate key
+  sets) as ground-truth exhaustive MC evaluation of the whole grid, and
+* spend at least 5x fewer MC device-runs doing it.
+
+Both searches run at ``jobs=4``; the provisioning report is
+deterministic for any jobs value, so the comparison is exact.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.fleet import FleetSpec
+from repro.obs import NULL_PROFILER
+from repro.provision import Candidate, CandidateSpace, ProvisionSearch
+
+SPEC_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "examples"
+    / "specs"
+    / "fleet_provision.json"
+)
+JOBS = 4
+MIN_MC_SAVINGS_RATIO = 5.0
+
+#: Ten in-regime threshold candidates the renewal surrogate scores
+#: exactly...
+SPACE = CandidateSpace(
+    policies=("threshold",),
+    intervals=(900.0, 1800.0, 3600.0, 7200.0, 14400.0),
+    strengths=(2, 4),
+    thresholds=(None,),
+)
+#: ...plus a single out-of-regime DRAM-style baseline that must be
+#: Monte-Carlo'd either way.
+EXTRAS = (Candidate(policy="basic", interval=3600.0),)
+
+
+def compute(profiler=NULL_PROFILER):
+    spec = FleetSpec.from_file(SPEC_PATH)
+
+    screened_started = time.perf_counter()
+    with profiler.span("p05.screened"):
+        screened = ProvisionSearch(
+            spec, SPACE, jobs=JOBS, extra_candidates=EXTRAS
+        ).run()
+    screened_wall = time.perf_counter() - screened_started
+
+    exhaustive_started = time.perf_counter()
+    with profiler.span("p05.exhaustive"):
+        exhaustive = ProvisionSearch(
+            spec, SPACE, jobs=JOBS, exhaustive=True, extra_candidates=EXTRAS
+        ).run()
+    exhaustive_wall = time.perf_counter() - exhaustive_started
+    return spec, screened, exhaustive, screened_wall, exhaustive_wall
+
+
+def test_p05_provision(benchmark, emit, bench_summary, bench_profiler):
+    spec, screened, exhaustive, screened_wall, exhaustive_wall = (
+        benchmark.pedantic(
+            compute, args=(bench_profiler,), rounds=1, iterations=1
+        )
+    )
+
+    # Ground truth spent one MC run per (candidate, device) pair.
+    candidates = len(SPACE.candidates()) + len(EXTRAS)
+    assert exhaustive.mc_device_runs == candidates * spec.devices
+
+    # Frontier identity: the screened search lands on exactly the same
+    # per-lot non-dominated candidate sets as exhaustive MC.
+    frontier_match = True
+    for lot_s, lot_e in zip(screened.lots, exhaustive.lots):
+        assert set(lot_s.frontier) == set(lot_e.frontier), (
+            f"lot {lot_s.lot}: screened frontier {lot_s.frontier} != "
+            f"exhaustive {lot_e.frontier}"
+        )
+
+    # MC savings: >=5x fewer device-runs (only the out-of-regime basic
+    # candidate escalates under the screened search).
+    savings = exhaustive.mc_device_runs / max(1, screened.mc_device_runs)
+    assert savings >= MIN_MC_SAVINGS_RATIO, (
+        f"screened search spent {screened.mc_device_runs} MC device-runs "
+        f"vs {exhaustive.mc_device_runs} exhaustive ({savings:.1f}x < "
+        f"{MIN_MC_SAVINGS_RATIO}x)"
+    )
+
+    speedup = exhaustive_wall / screened_wall if screened_wall > 0 else 0.0
+    bench_summary["p05_provision"] = {
+        "devices": spec.devices,
+        "lots": len(spec.lots),
+        "candidates": candidates,
+        "screened_mc_device_runs": screened.mc_device_runs,
+        "exhaustive_mc_device_runs": exhaustive.mc_device_runs,
+        "mc_savings_ratio": round(savings, 3),
+        "frontier_size": screened.frontier_size,
+        "frontier_match": frontier_match,
+        "jobs": JOBS,
+        "screened_wall_seconds": round(screened_wall, 4),
+        "exhaustive_wall_seconds": round(exhaustive_wall, 4),
+        "speedup": round(speedup, 3),
+        "recommended": screened.recommended,
+    }
+    emit(
+        "p05_provision",
+        "\n".join(
+            [
+                f"P5: per-lot provisioning search ({spec.devices} devices, "
+                f"{len(spec.lots)} lots, {candidates} candidates, "
+                f"jobs={JOBS})",
+                f"  screened search:  {screened_wall:8.2f}s  "
+                f"({screened.mc_device_runs} MC device-runs)",
+                f"  exhaustive MC:    {exhaustive_wall:8.2f}s  "
+                f"({exhaustive.mc_device_runs} MC device-runs)",
+                f"  MC savings:       {savings:8.1f}x fewer device-runs",
+                f"  wall speedup:     {speedup:8.2f}x",
+                f"  frontier:         {screened.frontier_size} points "
+                f"across {len(spec.lots)} lots, identical to exhaustive",
+                f"  recommendations:  {screened.recommended}",
+            ]
+        ),
+    )

@@ -21,6 +21,7 @@ telemetry (see :mod:`repro.obs`) without changing any simulated result.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -340,6 +341,80 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("root", help="campaign directory")
     repair.add_argument(
         "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+    )
+
+    provision_fleet = sub.add_parser(
+        "provision-fleet",
+        help="search per-lot scrub assignments: candidate grid in, "
+        "cost/energy/carbon Pareto frontiers and a recommended per-lot "
+        "spec out (see docs/provisioning.md)",
+    )
+    provision_fleet.add_argument(
+        "spec", help="JSON campaign spec (see docs/fleet.md)"
+    )
+    provision_fleet.add_argument(
+        "--policies", nargs="+", default=["threshold"],
+        help="candidate scrub policies (POLICY_FACTORIES names)",
+    )
+    provision_fleet.add_argument(
+        "--intervals", type=float, nargs="+",
+        default=[1800.0, 3600.0, 7200.0],
+        help="candidate scrub intervals, seconds",
+    )
+    provision_fleet.add_argument(
+        "--strengths", type=int, nargs="+", default=[2, 4],
+        help="candidate ECC correction strengths t",
+    )
+    provision_fleet.add_argument(
+        "--thresholds", type=int, nargs="+", default=None,
+        help="candidate write-back thresholds (default: per-strength auto)",
+    )
+    provision_fleet.add_argument(
+        "--with-detector", action="store_true",
+        help="keep the CRC detector on threshold candidates (forces MC)",
+    )
+    provision_fleet.add_argument(
+        "--fit-limit", type=float, default=None, metavar="FIT",
+        help="per-device capacity-scaled FIT budget; violating candidates "
+        "are infeasible and excluded from the frontier",
+    )
+    provision_fleet.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="Poisson predictive interval coverage for the FIT screen",
+    )
+    provision_fleet.add_argument(
+        "--exhaustive", action="store_true",
+        help="Monte-Carlo every candidate on every device (ground truth; "
+        "the default surrogate-first search is far cheaper)",
+    )
+    provision_fleet.add_argument(
+        "--dollars-per-gib", type=float, default=4.0,
+        help="raw array cost, $/GiB of stored bits",
+    )
+    provision_fleet.add_argument(
+        "--carbon-intensity", type=float, default=0.4, metavar="KG_PER_KWH",
+        help="grid carbon intensity, kgCO2e/kWh",
+    )
+    provision_fleet.add_argument(
+        "--embodied-carbon", type=float, default=0.03, metavar="KG_PER_GIB",
+        help="embodied manufacturing carbon, kgCO2e per raw GiB",
+    )
+    provision_fleet.add_argument(
+        "--amortization-years", type=float, default=5.0,
+        help="years the embodied carbon is amortized over",
+    )
+    provision_fleet.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full provisioning report as JSON",
+    )
+    provision_fleet.add_argument(
+        "--frontier-csv", metavar="PATH", default=None,
+        help="write every frontier point as CSV",
+    )
+    provision_fleet.add_argument(
+        "--assignments", metavar="PATH", default=None,
+        help="write the recommended per-lot fleet spec as JSON "
+        "(submittable via 'pcm-scrub fleet' / 'pcm-scrub submit')",
     )
     return parser
 
@@ -1154,6 +1229,102 @@ def cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_provision_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetSpec
+    from .provision import CandidateSpace, CostModel, ProvisionSearch
+
+    spec = FleetSpec.from_file(args.spec)
+    thresholds: tuple = (
+        (None,) if args.thresholds is None else tuple(args.thresholds)
+    )
+    space = CandidateSpace(
+        policies=tuple(args.policies),
+        intervals=tuple(args.intervals),
+        strengths=tuple(args.strengths),
+        thresholds=thresholds,
+        with_detector=args.with_detector,
+    )
+    cost_model = CostModel(
+        dollars_per_gib=args.dollars_per_gib,
+        carbon_intensity_kg_per_kwh=args.carbon_intensity,
+        embodied_kg_per_gib=args.embodied_carbon,
+        amortization_years=args.amortization_years,
+    )
+    report = ProvisionSearch(
+        spec,
+        space=space,
+        cost_model=cost_model,
+        fit_limit=args.fit_limit,
+        confidence=args.confidence,
+        jobs=_jobs(args),
+        exhaustive=args.exhaustive,
+    ).run()
+
+    candidates = report.candidates_evaluated
+    mc_runs = report.mc_device_runs
+    surrogate_runs = sum(
+        e.surrogate_devices for lot in report.lots for e in lot.evaluations
+    )
+    print(
+        format_table(
+            ["lots", "candidates", "surrogate device-evals",
+             "MC device-runs", "frontier points"],
+            [[len(report.lots), candidates, surrogate_runs, mc_runs,
+              report.frontier_size]],
+            title=f"Provisioning search for '{spec.name}'"
+            + (" (exhaustive MC)" if args.exhaustive else ""),
+        )
+    )
+    for lot in report.lots:
+        rows = []
+        for key in lot.frontier:
+            evaluation = lot.evaluation(key)
+            rows.append([
+                key + (" *" if key == lot.recommended else ""),
+                f"{evaluation.fit_scaled:.3g}",
+                units.format_energy(evaluation.energy_per_gib_j),
+                f"{evaluation.writes_per_device:.3g}",
+                f"${evaluation.dollars_per_gib:.3f}",
+                f"{evaluation.carbon_per_gib_kg:.3g}",
+                evaluation.method,
+            ])
+        print(
+            format_table(
+                ["candidate", "FIT", "energy/GiB", "writes/dev",
+                 "$/GiB", "kgCO2e/GiB", "method"],
+                rows,
+                title=f"Lot '{lot.lot}' Pareto frontier "
+                f"({lot.devices} devices; * = recommended)",
+            )
+        )
+        if lot.recommended is None:
+            print(
+                f"lot '{lot.lot}': no feasible candidate under "
+                f"--fit-limit {args.fit_limit:g}; keeping its current "
+                "assignment"
+            )
+
+    def _write(path_str: str, text: str, what: str) -> None:
+        path = Path(path_str)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {what} to {path}")
+
+    if args.json:
+        _write(args.json, report.to_json() + "\n", "provisioning report")
+    if args.frontier_csv:
+        _write(args.frontier_csv, report.frontier_csv(), "frontier CSV")
+    if args.assignments:
+        assignments = report.assignments_spec()
+        _write(
+            args.assignments,
+            json.dumps(assignments.to_dict(), indent=2, sort_keys=True) + "\n",
+            "recommended per-lot spec",
+        )
+    return 0
+
+
 COMMANDS = {
     "drift-curve": cmd_drift_curve,
     "compare": cmd_compare,
@@ -1170,6 +1341,7 @@ COMMANDS = {
     "status": cmd_status,
     "watch": cmd_watch,
     "repair": cmd_repair,
+    "provision-fleet": cmd_provision_fleet,
 }
 
 

@@ -196,7 +196,7 @@ class CampaignRunner:
             devices = [spec.device_spec(index) for index in batch]
             workload = spec.workload()
             specs = [
-                device.run_spec(spec.policy, spec.policy_kwargs, workload)
+                device.run_spec(*spec.policy_for(device.lot), workload)
                 for device in devices
             ]
             results = run_many(specs, jobs=self.jobs)

@@ -56,6 +56,27 @@ class FleetInvariantError(RuntimeError):
     """A fleet aggregate failed its internal cross-check."""
 
 
+def per_gib(value: float, gib: float, what: str) -> float:
+    """``value / gib`` with a guarded zero-capacity denominator.
+
+    Per-GiB metrics (energy/GiB, $/GiB, carbon/GiB) divide by simulated
+    or provisioned capacity.  A zero-device lot in a partial aggregate
+    legitimately has zero capacity *and* zero accumulated totals - that
+    reads as ``0.0`` per GiB.  Zero capacity with a *nonzero* total means
+    the aggregate is inconsistent (records without capacity to carry
+    them), so rather than a bare ``ZeroDivisionError`` deep in a report,
+    it raises :class:`FleetInvariantError` naming the metric.
+    """
+    if gib > 0:
+        return value / gib
+    if value == 0:
+        return 0.0
+    raise FleetInvariantError(
+        f"{what}: nonzero total {value!r} over zero GiB of capacity; "
+        "per-GiB metrics need a positive denominator"
+    )
+
+
 @dataclass(frozen=True)
 class DeviceRecord:
     """One completed device, as persisted in the checkpoint journal."""
@@ -158,6 +179,10 @@ class LotSummary:
     counts: dict[str, int]
     scrub_energy_j: float
     fit: float
+    #: Scrub energy per simulated GiB of this lot's devices (0.0 for an
+    #: empty lot in a partial aggregate; the provisioning cost model
+    #: prices lots off this figure).
+    energy_per_gib_j: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -166,6 +191,7 @@ class LotSummary:
             **self.counts,
             "scrub_energy_j": self.scrub_energy_j,
             "fit": self.fit,
+            "energy_per_gib_j": self.energy_per_gib_j,
         }
 
 
@@ -340,16 +366,22 @@ def _aggregate(
             )
         lot_counts = _sum_counts(members)
         lot_hours = len(members) * horizon_hours
+        lot_energy = _sum_energy(members)
         lot_rows.append(
             LotSummary(
                 name=lot.name,
                 devices=len(members),
                 counts=lot_counts,
-                scrub_energy_j=_sum_energy(members),
+                scrub_energy_j=lot_energy,
                 fit=(
                     lot_counts["uncorrectable"] / lot_hours * FIT_HOURS
                     if lot_hours > 0
                     else 0.0
+                ),
+                energy_per_gib_j=per_gib(
+                    lot_energy,
+                    len(members) * spec.simulated_gib_per_device,
+                    f"lot {lot.name!r} energy/GiB",
                 ),
             )
         )
@@ -416,8 +448,8 @@ def _aggregate(
         availability=availability,
         availability_low=availability_low,
         availability_high=availability_high,
-        energy_per_gib_j=(
-            scrub_energy / simulated_gib_total if simulated_gib_total > 0 else 0.0
+        energy_per_gib_j=per_gib(
+            scrub_energy, simulated_gib_total, "fleet energy/GiB"
         ),
         survival=survival,
         lots=tuple(lot_rows),

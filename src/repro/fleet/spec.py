@@ -117,6 +117,14 @@ class Lot:
     ``temperature_k``, when set, overrides the base configuration's
     operating temperature (rack-position spread); ``endurance_mean``,
     when set, replaces the base endurance spec's mean write count.
+
+    A lot may also carry its own scrub assignment - ``policy`` (a
+    :data:`repro.sim.parallel.POLICY_FACTORIES` name) and/or
+    ``policy_kwargs`` (ECC strength, interval, threshold overrides).
+    Both default to ``None``, meaning "inherit the fleet-wide policy";
+    the serialized form omits unset overrides, so specs written before
+    per-lot provisioning existed hash identically.  Resolution semantics
+    live in :meth:`FleetSpec.policy_for`.
     """
 
     name: str
@@ -125,12 +133,22 @@ class Lot:
     nu_sigma_scale: LotParameter = field(default_factory=lambda: _UNIT_SCALE)
     temperature_k: LotParameter | None = None
     endurance_mean: LotParameter | None = None
+    #: Per-lot scrub policy override (``None`` inherits the fleet's).
+    policy: str | None = None
+    #: Per-lot policy kwargs override; merged over the fleet kwargs when
+    #: the effective policy matches the fleet's, taken verbatim otherwise.
+    policy_kwargs: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("lot name must be non-empty")
         if self.weight <= 0:
             raise ValueError(f"lot {self.name!r}: weight must be positive")
+        if self.policy is not None and self.policy not in POLICY_FACTORIES:
+            raise ValueError(
+                f"lot {self.name!r}: unknown policy {self.policy!r}; "
+                f"available: {sorted(POLICY_FACTORIES)}"
+            )
 
     def to_dict(self) -> dict:
         out: dict = {
@@ -143,6 +161,12 @@ class Lot:
             out["temperature_k"] = self.temperature_k.to_dict()
         if self.endurance_mean is not None:
             out["endurance_mean"] = self.endurance_mean.to_dict()
+        # Omitted when unset: a pre-provisioning spec serializes (and
+        # therefore content-hashes) exactly as it always did.
+        if self.policy is not None:
+            out["policy"] = self.policy
+        if self.policy_kwargs is not None:
+            out["policy_kwargs"] = dict(self.policy_kwargs)
         return out
 
     @classmethod
@@ -159,6 +183,14 @@ class Lot:
             nu_sigma_scale=parameter("nu_sigma_scale", _UNIT_SCALE),
             temperature_k=parameter("temperature_k", None),
             endurance_mean=parameter("endurance_mean", None),
+            policy=(
+                None if data.get("policy") is None else str(data["policy"])
+            ),
+            policy_kwargs=(
+                None
+                if data.get("policy_kwargs") is None
+                else dict(data["policy_kwargs"])
+            ),
         )
 
 
@@ -270,6 +302,55 @@ class FleetSpec:
                 return lot
         raise AssertionError("unreachable: lot_counts sums to devices")
 
+    def lot_named(self, name: str) -> Lot:
+        """The lot with this name (device records carry lot names)."""
+        for lot in self.lots:
+            if lot.name == name:
+                return lot
+        raise KeyError(f"no lot named {name!r} in fleet {self.name!r}")
+
+    def lot_indices(self, name: str) -> tuple[int, ...]:
+        """Device indices apportioned to the named lot (block layout)."""
+        cumulative = 0
+        for lot, count in zip(self.lots, self.lot_counts()):
+            if lot.name == name:
+                return tuple(range(cumulative, cumulative + count))
+            cumulative += count
+        raise KeyError(f"no lot named {name!r} in fleet {self.name!r}")
+
+    # -- policy resolution ----------------------------------------------------
+
+    def policy_for(self, lot: Lot | str) -> tuple[str, dict]:
+        """The effective ``(policy, policy_kwargs)`` for a lot.
+
+        Resolution:
+
+        * no overrides - the fleet-wide assignment, unchanged;
+        * ``policy_kwargs`` only (or ``policy`` equal to the fleet's) -
+          the fleet kwargs with the lot's merged over them per key, so a
+          lot can override just ``interval`` or just ``strength``;
+        * a *different* ``policy`` - the lot's kwargs verbatim (fleet
+          kwargs are factory-specific and do not transfer across
+          factories; ``basic`` accepts only ``interval``).
+        """
+        if isinstance(lot, str):
+            lot = self.lot_named(lot)
+        policy = self.policy if lot.policy is None else lot.policy
+        if policy != self.policy:
+            kwargs = dict(lot.policy_kwargs or {})
+        else:
+            kwargs = dict(self.policy_kwargs)
+            kwargs.update(lot.policy_kwargs or {})
+        return policy, kwargs
+
+    @property
+    def has_lot_policies(self) -> bool:
+        """Whether any lot overrides the fleet-wide scrub assignment."""
+        return any(
+            lot.policy is not None or lot.policy_kwargs is not None
+            for lot in self.lots
+        )
+
     # -- device derivation ----------------------------------------------------
 
     def device_spec(self, index: int) -> DeviceSpec:
@@ -343,10 +424,14 @@ class FleetSpec:
         return uniform_rates(self.base_config.num_lines, self.demand_write_rate)
 
     def run_spec(self, index: int) -> RunSpec:
-        """The picklable work unit for device ``index``."""
-        return self.device_spec(index).run_spec(
-            self.policy, self.policy_kwargs, self.workload()
-        )
+        """The picklable work unit for device ``index``.
+
+        Uses the device's lot-effective policy (see :meth:`policy_for`);
+        fleets without per-lot overrides behave exactly as before.
+        """
+        device = self.device_spec(index)
+        policy, kwargs = self.policy_for(device.lot)
+        return device.run_spec(policy, kwargs, self.workload())
 
     # -- geometry helpers -----------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""Knee-point selection: one recommended candidate per frontier.
+
+A Pareto frontier answers "what are the defensible choices"; operators
+still need *one* assignment per lot.  The knee point is the frontier
+point closest (Euclidean) to the per-axis ideal after normalizing every
+axis to ``[0, 1]`` over the frontier's own range - the classic
+"utopia-distance" compromise.  Normalization makes the knee invariant
+to per-axis positive rescaling (joules vs millijoules, $ vs cents),
+matching the frontier's own invariance; a degenerate axis (all frontier
+points equal) contributes zero to every distance and so never breaks
+ties spuriously.
+
+Ties are broken by canonical point order ``(values, key)``, so the knee
+is deterministic for any input ordering and any ``--jobs`` fan-out.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .pareto import ParetoError, ParetoPoint, pareto_frontier
+
+
+def knee_point(
+    frontier: Sequence[ParetoPoint],
+    weights: Sequence[float] | None = None,
+) -> ParetoPoint:
+    """The utopia-distance knee of a non-dominated frontier.
+
+    ``weights`` (optional, one per axis, positive) stretch the
+    normalized axes before measuring distance - an operator who cares
+    twice as much about FIT as about energy passes ``(2, 1, ...)``.
+    Raises :class:`~repro.provision.pareto.ParetoError` on an empty
+    frontier or if ``frontier`` contains dominated points (callers pass
+    the output of :func:`~repro.provision.pareto.pareto_frontier`).
+    """
+    points = list(frontier)
+    if not points:
+        raise ParetoError("knee of an empty frontier is undefined")
+    if tuple(pareto_frontier(points)) != tuple(
+        sorted(points, key=lambda p: (p.values, p.key))
+    ):
+        raise ParetoError("knee_point expects a non-dominated frontier")
+    dims = len(points[0].values)
+    if weights is None:
+        weights = (1.0,) * dims
+    else:
+        weights = tuple(float(w) for w in weights)
+        if len(weights) != dims:
+            raise ParetoError(
+                f"got {len(weights)} weights for {dims} axes"
+            )
+        if any(w <= 0 or math.isnan(w) for w in weights):
+            raise ParetoError("knee weights must be positive")
+
+    lows = [min(p.values[d] for p in points) for d in range(dims)]
+    highs = [max(p.values[d] for p in points) for d in range(dims)]
+
+    def distance(point: ParetoPoint) -> float:
+        total = 0.0
+        for d in range(dims):
+            span = highs[d] - lows[d]
+            if span <= 0.0:
+                continue
+            normalized = (point.values[d] - lows[d]) / span
+            total += (weights[d] * normalized) ** 2
+        return math.sqrt(total)
+
+    return min(points, key=lambda p: (distance(p), p.values, p.key))

@@ -254,12 +254,15 @@ def regime_reasons(spec: FleetSpec, device: DeviceSpec) -> tuple[str, ...]:
 
     Empty means the finite-horizon renewal solution is exact for this
     device (idle, pure threshold rule without a detector, single region,
-    no wear/retire/refresh/spares).
+    no wear/retire/refresh/spares).  The policy checks run against the
+    device's *lot-effective* assignment, so a per-lot provisioned fleet
+    screens each lot under its own policy.
     """
     reasons = []
-    if spec.policy not in SURROGATE_POLICIES:
-        reasons.append(f"regime:policy:{spec.policy}")
-    elif spec.policy_kwargs.get("with_detector", True):
+    policy, policy_kwargs = spec.policy_for(device.lot)
+    if policy not in SURROGATE_POLICIES:
+        reasons.append(f"regime:policy:{policy}")
+    elif policy_kwargs.get("with_detector", True):
         # The CRC detector gates decode and can miss; the solver models
         # unconditional decode.  ``threshold_scrub`` defaults it on.
         reasons.append("regime:detector")
@@ -310,11 +313,6 @@ def plan_screen(spec: FleetSpec, constraints: ScreenConstraints) -> ScreenPlan:
         else constraints.fit_limit * horizon_hours / FIT_HOURS / spec.capacity_scale
     )
 
-    interval = float(spec.policy_kwargs.get("interval", 0.0))
-    strength = int(spec.policy_kwargs.get("strength", 4))
-    threshold = spec.policy_kwargs.get("threshold")
-    threshold = max(1, strength - 1) if threshold is None else int(threshold)
-
     decisions = []
     for index in range(spec.devices):
         device = spec.device_spec(index)
@@ -327,6 +325,14 @@ def plan_screen(spec: FleetSpec, constraints: ScreenConstraints) -> ScreenPlan:
                 )
             )
             continue
+
+        # The lot-effective threshold-policy parameters (per-lot
+        # provisioned fleets screen each lot under its own assignment).
+        _, policy_kwargs = spec.policy_for(device.lot)
+        interval = float(policy_kwargs.get("interval", 0.0))
+        strength = int(policy_kwargs.get("strength", 4))
+        threshold = policy_kwargs.get("threshold")
+        threshold = max(1, strength - 1) if threshold is None else int(threshold)
 
         model = RenewalModel(
             crossing_distribution_for(device.config),

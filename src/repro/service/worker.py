@@ -86,7 +86,7 @@ def run_shard(
         if index in done:
             continue
         device = spec.device_spec(index)
-        run_spec = device.run_spec(spec.policy, spec.policy_kwargs, workload)
+        run_spec = device.run_spec(*spec.policy_for(device.lot), workload)
         snapshot_path = campaign.snapshot_path(index)
         result = run_resumable(
             run_spec.build_policy(),

@@ -271,3 +271,51 @@ class TestAggregatePartial:
             aggregate_partial(spec, [record(1), record(1)])
         with pytest.raises(FleetInvariantError, match="outside"):
             aggregate_partial(spec, [record(7)])
+
+
+class TestPerGib:
+    def test_zero_capacity_zero_total_reads_as_zero(self):
+        from repro.fleet.report import per_gib
+
+        assert per_gib(0.0, 0.0, "test metric") == 0.0
+
+    def test_zero_capacity_nonzero_total_raises_invariant_error(self):
+        # Regression: this used to surface as a bare ZeroDivisionError
+        # deep inside report aggregation.
+        from repro.fleet.report import per_gib
+
+        with pytest.raises(FleetInvariantError, match="test metric"):
+            per_gib(1.5, 0.0, "test metric")
+
+    def test_positive_capacity_divides(self):
+        from repro.fleet.report import per_gib
+
+        assert per_gib(6.0, 3.0, "test metric") == pytest.approx(2.0)
+
+    def test_lot_summaries_carry_energy_per_gib(self):
+        spec = make_spec(
+            devices=4, lots=(Lot(name="a", weight=1), Lot(name="b", weight=1))
+        )
+        records = [
+            record(i, lot=("a" if i < 2 else "b"), energy=float(i))
+            for i in range(4)
+        ]
+        report = aggregate(spec, records)
+        for lot, expected_energy in zip(report.lots, (1.0, 5.0)):
+            gib = lot.devices * spec.simulated_gib_per_device
+            assert lot.energy_per_gib_j == pytest.approx(expected_energy / gib)
+            assert lot.to_dict()["energy_per_gib_j"] == lot.energy_per_gib_j
+
+    def test_empty_lot_in_partial_aggregate_reports_zero_per_gib(self):
+        # A mid-fill campaign can have a lot with no completed devices
+        # yet; its per-GiB energy is legitimately zero, not an error.
+        from repro.fleet import aggregate_partial
+
+        spec = make_spec(
+            devices=4, lots=(Lot(name="a", weight=1), Lot(name="b", weight=1))
+        )
+        a_only = [record(i, lot="a", energy=1.0) for i in range(2)]
+        report = aggregate_partial(spec, a_only)
+        by_name = {lot.name: lot for lot in report.lots}
+        assert by_name["b"].devices == 0
+        assert by_name["b"].energy_per_gib_j == 0.0

@@ -252,3 +252,91 @@ class TestGeometry:
             16.0 / spec.simulated_gib_per_device
         )
         assert spec.device_hours == pytest.approx(8 * 24.0)
+
+
+class TestLotPolicies:
+    def lot_spec(self, **lot_overrides) -> FleetSpec:
+        return make_spec(
+            lots=(
+                Lot(name="plain"),
+                Lot(name="tuned", **lot_overrides),
+            )
+        )
+
+    def test_inherit_by_default(self):
+        spec = self.lot_spec()
+        assert spec.policy_for("plain") == (spec.policy, spec.policy_kwargs)
+        assert spec.policy_for("tuned") == (spec.policy, spec.policy_kwargs)
+        assert not spec.has_lot_policies
+
+    def test_kwargs_merge_over_fleet_for_same_policy(self):
+        spec = self.lot_spec(policy_kwargs={"interval": 900.0})
+        policy, kwargs = spec.policy_for("tuned")
+        assert policy == spec.policy
+        assert kwargs["interval"] == 900.0
+        assert kwargs["strength"] == spec.policy_kwargs["strength"]
+        assert spec.has_lot_policies
+
+    def test_different_policy_takes_lot_kwargs_verbatim(self):
+        # Fleet kwargs are factory-specific (``basic`` takes only
+        # ``interval``), so they must not leak across factories.
+        spec = self.lot_spec(policy="basic", policy_kwargs={"interval": 600.0})
+        assert spec.policy_for("tuned") == ("basic", {"interval": 600.0})
+        assert spec.run_spec(spec.lot_indices("tuned")[0]).policy == "basic"
+
+    def test_run_spec_uses_lot_policy(self):
+        spec = self.lot_spec(policy_kwargs={"interval": 1234.0})
+        tuned_index = spec.lot_indices("tuned")[0]
+        plain_index = spec.lot_indices("plain")[0]
+        assert spec.run_spec(tuned_index).policy_kwargs["interval"] == 1234.0
+        assert spec.run_spec(plain_index).policy_kwargs["interval"] == (
+            spec.policy_kwargs["interval"]
+        )
+
+    def test_lot_indices_and_named(self):
+        spec = self.lot_spec()
+        assert spec.lot_named("tuned").name == "tuned"
+        indices = spec.lot_indices("tuned")
+        assert all(spec.device_spec(i).lot == "tuned" for i in indices)
+        with pytest.raises(KeyError):
+            spec.lot_named("nonesuch")
+        with pytest.raises(KeyError):
+            spec.lot_indices("nonesuch")
+
+    def test_unknown_lot_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Lot(name="x", policy="nonesuch")
+
+    def test_hash_backward_compatible_without_overrides(self):
+        # A spec whose lots carry no overrides must serialize (and hash)
+        # exactly as it did before per-lot provisioning existed: the new
+        # keys are omitted, not emitted as null.
+        spec = self.lot_spec()
+        for lot in spec.to_dict()["lots"]:
+            assert "policy" not in lot
+            assert "policy_kwargs" not in lot
+        pre_provisioning = json.loads(json.dumps(spec.to_dict()))
+        assert FleetSpec.from_dict(pre_provisioning).content_hash() == (
+            spec.content_hash()
+        )
+
+    def test_overrides_change_hash_and_round_trip(self):
+        plain = self.lot_spec()
+        tuned = self.lot_spec(
+            policy="threshold",
+            policy_kwargs={"interval": 900.0, "strength": 2, "threshold": 1},
+        )
+        assert tuned.content_hash() != plain.content_hash()
+        round_tripped = FleetSpec.from_dict(
+            json.loads(json.dumps(tuned.to_dict()))
+        )
+        assert round_tripped.content_hash() == tuned.content_hash()
+        assert round_tripped.policy_for("tuned") == tuned.policy_for("tuned")
+
+    def test_overrides_leave_device_sampling_alone(self):
+        plain = self.lot_spec()
+        tuned = self.lot_spec(policy="basic", policy_kwargs={"interval": 60.0})
+        for index in range(plain.devices):
+            assert plain.device_spec(index).config == (
+                tuned.device_spec(index).config
+            )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the provisioning tests.
+
+One deliberately tiny two-lot fleet (4 devices, 32 lines, 10-day
+horizon) whose base policy is in the surrogate's validated regime, so
+screened searches cost no MC at all and escalated/exhaustive searches
+run in milliseconds per device.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.fleet import FleetSpec, Lot, LotParameter
+from repro.provision import CandidateSpace
+from repro.sim.config import SimulationConfig
+
+
+def make_spec(seed: int = 2012, devices: int = 4, **overrides) -> FleetSpec:
+    base = dict(
+        name="provision-test",
+        devices=devices,
+        policy="threshold",
+        policy_kwargs={
+            "interval": 2 * units.HOUR,
+            "strength": 4,
+            "threshold": 3,
+            "with_detector": False,
+        },
+        base_config=SimulationConfig(
+            num_lines=32,
+            region_size=32,
+            horizon=10 * units.DAY,
+            seed=seed,
+            endurance=None,
+        ),
+        lots=(
+            Lot(
+                name="cool",
+                weight=1.0,
+                nu_mu_scale=LotParameter(mean=1.0, spread=0.03, low=0.0),
+            ),
+            Lot(
+                name="hot",
+                weight=1.0,
+                nu_mu_scale=LotParameter(mean=1.1, spread=0.05, low=0.0),
+                temperature_k=LotParameter(mean=310.0, spread=1.5, low=250.0),
+            ),
+        ),
+    )
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+def small_space(**overrides) -> CandidateSpace:
+    base = dict(
+        policies=("threshold",),
+        intervals=(1800.0, 7200.0),
+        strengths=(2, 4),
+        thresholds=(None,),
+    )
+    base.update(overrides)
+    return CandidateSpace(**base)

@@ -106,3 +106,114 @@ class TestStaleness:
         )
         path.write_text(json.dumps(remote.to_dict()))
         assert break_if_stale(path, timeout=1e9) is None
+
+
+class TestMultiHostSmoke:
+    """Two faked hostnames sharing one campaign directory.
+
+    The lease protocol's cross-host story, end to end: a remote peer's
+    *fresh* lease is respected no matter what its pid means locally
+    (remote liveness is judged by heartbeat age only), a remote peer's
+    *stale* lease is stolen, and a worker on a second host drains a
+    campaign a first-host worker died holding.
+    """
+
+    @staticmethod
+    def _set_host(monkeypatch, name: str) -> None:
+        from repro.service import leases
+
+        monkeypatch.setattr(leases.socket, "gethostname", lambda: name)
+
+    def test_claim_heartbeat_steal_across_hosts(self, tmp_path, monkeypatch):
+        path = tmp_path / "shard-0000.lease"
+
+        self._set_host(monkeypatch, "host-a")
+        lease_a = try_acquire(path, "worker-a")
+        assert lease_a is not None and lease_a.host == "host-a"
+
+        # host-b sees an exclusive claim it cannot take or break: the
+        # heartbeat is fresh, and host-a's pid (alive or dead *there*)
+        # must not be consulted here.
+        self._set_host(monkeypatch, "host-b")
+        assert try_acquire(path, "worker-b") is None
+        assert break_if_stale(path, timeout=60.0) is None
+
+        # A heartbeat refresh from host-a keeps the lease alive.
+        self._set_host(monkeypatch, "host-a")
+        refreshed = refresh(path, lease_a)
+        assert refreshed.heartbeat >= lease_a.heartbeat
+
+        # Once the heartbeat goes stale, host-b steals and takes over.
+        self._set_host(monkeypatch, "host-b")
+        time.sleep(0.05)
+        broken = break_if_stale(path, timeout=0.01)
+        assert broken is not None and broken.worker == "worker-a"
+        lease_b = try_acquire(path, "worker-b")
+        assert lease_b is not None and lease_b.host == "host-b"
+
+    def test_dead_pid_only_matters_on_its_own_host(self, tmp_path, monkeypatch):
+        path = tmp_path / "lease.json"
+        self._set_host(monkeypatch, "host-a")
+        lease = try_acquire(path, "worker-a")
+        dead = Lease(
+            worker="worker-a",
+            pid=2_000_000_000,  # no such pid anywhere
+            host="host-a",
+            acquired=lease.acquired,
+            heartbeat=lease.heartbeat,
+        )
+        path.write_text(json.dumps(dead.to_dict()))
+        # Same host: the dead pid makes the lease immediately stale.
+        assert break_if_stale(path, timeout=1e9) is not None
+        # Remote host: the same lease is fresh (heartbeat age only).
+        path.write_text(json.dumps(dead.to_dict()))
+        self._set_host(monkeypatch, "host-b")
+        assert break_if_stale(path, timeout=1e9) is None
+
+    def test_second_host_drains_a_dead_first_host_campaign(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import units
+        from repro.fleet import FleetSpec, run_campaign
+        from repro.service import run_worker, submit_campaign
+        from repro.service.jobs import load_campaign
+        from repro.sim.config import SimulationConfig
+
+        spec = FleetSpec(
+            name="two-host-smoke",
+            devices=4,
+            policy="threshold",
+            policy_kwargs={"interval": 4 * units.HOUR, "strength": 3,
+                           "threshold": 1},
+            base_config=SimulationConfig(
+                num_lines=64, region_size=64, horizon=units.DAY,
+                seed=2012, endurance=None,
+            ),
+        )
+        root = tmp_path / "campaign"
+        submit_campaign(spec, root, shards=2)
+        campaign = load_campaign(root)
+
+        # "host-a"'s worker claimed shard 0 and died mid-heartbeat: its
+        # lease file survives with an aging heartbeat and a pid that is
+        # meaningless on any other machine.
+        self._set_host(monkeypatch, "host-a")
+        first = campaign.shards[0]
+        stale = try_acquire(campaign.lease_path(first), "worker-a")
+        assert stale is not None
+
+        # "host-b" polls, respects the fresh lease, then steals it once
+        # the heartbeat exceeds the timeout and finishes everything.
+        self._set_host(monkeypatch, "host-b")
+        time.sleep(0.05)
+        outcome = run_worker(
+            root, worker_id="worker-b", lease_timeout=0.01,
+        )
+        assert outcome["devices_executed"] == spec.devices
+        assert sorted(outcome["shards"]) == [0, 1]
+
+        from repro.service import final_report
+
+        assert final_report(root).to_json() == (
+            run_campaign(spec, jobs=1).report.to_json()
+        )
