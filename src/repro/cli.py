@@ -119,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs", type=int, default=None,
-        help="worker processes for sweeps (default: CPU-count aware)",
+        help="worker processes for sweeps, campaigns, and surrogate "
+        "screening/provisioning (default: CPU-count aware)",
     )
     parser.add_argument(
         "--no-fast-forward", action="store_true",

@@ -9,7 +9,10 @@ Three pillars, all zero-overhead when disabled (the default):
 * **metrics + time series** (:mod:`repro.obs.metrics`,
   :mod:`repro.obs.sampler`) - a counters/gauges/histograms registry
   snapshotted every N simulated seconds, with a final sample exactly at
-  the horizon that matches the run's end-of-run aggregates;
+  the horizon that matches the run's end-of-run aggregates; process-wide
+  subsystem telemetry also lands in :data:`GLOBAL_REGISTRY` (the
+  distribution-cache and ``surrogate_memo`` counter groups, the
+  ``screen_*`` / ``provision_*`` / ``surrogate_batch_*`` gauges);
 * **profiling** (:mod:`repro.obs.profile`) - per-phase wall-time spans
   (tabulate / simulate / visit / demand / decode) collected into a report.
 

@@ -17,7 +17,11 @@ through the same exact renewal surrogate the screening planner uses
 (:mod:`repro.screen.planner`): for in-regime candidates (detector-less
 threshold policies on idle single-region devices) the surrogate gives
 the *exact* expectation of every axis at closed-form cost, so no MC is
-spent at all.  A device escalates to the real engine only when
+spent at all.  The whole grid is scored per lot in one call to the
+grid-batched kernel (:func:`repro.sim.renewal_batch.finite_horizon_batch`)
+- each device's crossing distribution is tabulated once and its
+propagation memoized across candidates.  A device escalates to the real
+engine only when
 
 * the candidate is out of the surrogate's validated regime (adaptive/
   combined/partial policies, detector-gated decode, demand traffic,
@@ -40,16 +44,19 @@ from __future__ import annotations
 
 import itertools
 import logging
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from ..fleet.campaign import CampaignRunner
 from ..fleet.report import FIT_HOURS, per_gib
-from ..fleet.spec import FleetSpec, Lot
+from ..fleet.spec import DeviceSpec, FleetSpec, Lot
 from ..obs.metrics import GLOBAL_REGISTRY
 from ..pcm.energy import OperationCosts
 from ..screen.planner import _poisson_predictive, regime_reasons
 from ..sim.parallel import POLICY_FACTORIES
-from ..sim.renewal import RenewalModel
+from ..sim.renewal import FiniteHorizonSolution, RenewalModel
+from ..sim.renewal_batch import RenewalTask, finite_horizon_batch
 from ..sim.runner import crossing_distribution_for
 from .cost import CostModel
 from .knee import knee_point
@@ -429,15 +436,6 @@ def variant_spec(
     return replace(spec, lots=lots)
 
 
-@dataclass(frozen=True)
-class _DeviceSurrogate:
-    """One device's exact surrogate evaluation under a candidate."""
-
-    expected_ue: float
-    expected_writes: float
-    energy_j: float
-
-
 class ProvisionSearch:
     """Sweep a candidate grid over every lot; see the module docstring.
 
@@ -467,6 +465,14 @@ class ProvisionSearch:
         Hand-picked :class:`Candidate` entries appended to the grid
         (deduplicated against it) - e.g. one DRAM-style ``basic``
         baseline without paying for it at every grid interval.
+    batch:
+        Evaluate each lot's whole candidate grid through the batched
+        renewal kernel (:func:`repro.sim.renewal_batch.finite_horizon_batch`,
+        the default).  ``batch=False`` keeps the per-pair scalar
+        :meth:`RenewalModel.finite_horizon` path as the reference oracle
+        (identical frontiers up to rounding noise); either way each
+        device's distribution is tabulated once per lot and reused
+        across every candidate.
     """
 
     def __init__(
@@ -479,6 +485,7 @@ class ProvisionSearch:
         jobs: int = 1,
         exhaustive: bool = False,
         extra_candidates: tuple = (),
+        batch: bool = True,
     ):
         if fit_limit is not None and fit_limit <= 0:
             raise ProvisionError("fit_limit must be positive (or None)")
@@ -491,6 +498,7 @@ class ProvisionSearch:
         self.confidence = confidence
         self.jobs = max(1, jobs)
         self.exhaustive = exhaustive
+        self.batch = batch
         self.extra_candidates = tuple(extra_candidates)
         for candidate in self.extra_candidates:
             if not isinstance(candidate, Candidate):
@@ -511,35 +519,63 @@ class ProvisionSearch:
         )
 
     def _evaluate_surrogate(
-        self, device_config, candidate: Candidate, costs: OperationCosts
-    ) -> _DeviceSurrogate:
-        """Exact expectations for one in-regime device under ``candidate``.
+        self,
+        candidates: list[Candidate],
+        variants: list[FleetSpec],
+        devices: list[DeviceSpec],
+        distributions: list,
+    ) -> tuple[dict[tuple[int, int], FiniteHorizonSolution], list[list[int]]]:
+        """Score one lot's whole candidate grid in a single batched call.
 
-        Energy is closed-form: a detector-less threshold policy reads
-        and decodes every line on every visit (deterministic), and only
-        the write-back count is stochastic, with exact expectation from
-        the renewal solution.
+        Returns ``(solutions, regime_escalated)``: ``solutions`` maps
+        every in-regime ``(candidate_pos, device_pos)`` pair to its exact
+        finite-horizon solution - one :func:`finite_horizon_batch` call
+        covering the full grid, with the lot's distributions (tabulated
+        once, threaded in by the caller) shared across candidates -
+        and ``regime_escalated`` lists, per candidate, the device
+        positions that must go to MC regardless of any budget check
+        (out of the surrogate's regime, or ``exhaustive``).  With
+        ``batch=False`` the same pairs are solved through per-pair scalar
+        :meth:`RenewalModel.finite_horizon` calls, one model per device.
         """
-        model = RenewalModel(
-            crossing_distribution_for(device_config),
-            device_config.cells_per_line,
-        )
-        solution = model.finite_horizon(
-            candidate.interval,
-            candidate.strength,
-            candidate.effective_threshold,
-            device_config.horizon,
-        )
-        num_lines = device_config.num_lines
-        energy = num_lines * (
-            solution.visits * (costs.read_energy + costs.decode_energy)
-            + solution.expected_writes * costs.write_energy
-        )
-        return _DeviceSurrogate(
-            expected_ue=solution.expected_ue * num_lines,
-            expected_writes=solution.expected_writes * num_lines,
-            energy_j=energy,
-        )
+        horizon = self.spec.base_config.horizon
+        tasks: list[RenewalTask] = []
+        owners: list[tuple[int, int]] = []
+        regime_escalated: list[list[int]] = []
+        for ci, (candidate, variant) in enumerate(zip(candidates, variants)):
+            escalated: list[int] = []
+            for pos, device in enumerate(devices):
+                if self.exhaustive or regime_reasons(variant, device):
+                    escalated.append(pos)
+                    continue
+                owners.append((ci, pos))
+                tasks.append(
+                    RenewalTask(
+                        distribution=distributions[pos],
+                        cells_per_line=device.config.cells_per_line,
+                        interval=candidate.interval,
+                        t_ecc=candidate.strength,
+                        threshold=candidate.effective_threshold,
+                    )
+                )
+            regime_escalated.append(escalated)
+        if self.batch:
+            solved = finite_horizon_batch(tasks, horizon)
+        else:
+            models: dict[int, RenewalModel] = {}
+            solved = []
+            for (_, pos), task in zip(owners, tasks):
+                model = models.get(pos)
+                if model is None:
+                    model = models[pos] = RenewalModel(
+                        task.distribution, task.cells_per_line
+                    )
+                solved.append(
+                    model.finite_horizon(
+                        task.interval, task.t_ecc, task.threshold, horizon
+                    )
+                )
+        return dict(zip(owners, solved)), regime_escalated
 
     # -- per-candidate evaluation ---------------------------------------------
 
@@ -547,10 +583,21 @@ class ProvisionSearch:
         self,
         lot: Lot,
         candidate: Candidate,
+        variant: FleetSpec,
         indices: tuple[int, ...],
+        devices: list[DeviceSpec],
+        regime_escalated: list[int],
+        solutions: dict[tuple[int, int], FiniteHorizonSolution],
+        ci: int,
     ) -> CandidateEvaluation:
+        """Compose one (lot, candidate) evaluation from batched solutions.
+
+        Energy is closed-form: a detector-less threshold policy reads
+        and decodes every line on every visit (deterministic), and only
+        the write-back count is stochastic, with exact expectation from
+        the renewal solution.
+        """
         spec = self.spec
-        variant = variant_spec(spec, lot.name, candidate)
         horizon = spec.base_config.horizon
         horizon_hours = horizon / 3600.0
         count_limit = (
@@ -560,28 +607,40 @@ class ProvisionSearch:
         )
 
         costs = self._surrogate_costs(candidate)
+        members = [pos for pos in range(len(devices)) if (ci, pos) in solutions]
+        straddle: set[int] = set()
+        if count_limit is not None and members:
+            lam = np.array(
+                [
+                    solutions[(ci, pos)].expected_ue
+                    * devices[pos].config.num_lines
+                    for pos in members
+                ]
+            )
+            lo, hi = _poisson_predictive(lam, self.confidence)
+            straddle = {
+                pos
+                for i, pos in enumerate(members)
+                # Straddles the budget: the expectation alone cannot
+                # settle feasibility for this device.
+                if lo[i] <= count_limit < hi[i]
+            }
+
+        regime_set = set(regime_escalated)
         escalated: list[int] = []
         total_ue = total_writes = total_energy = 0.0
-        for index in indices:
-            device = variant.device_spec(index)
-            if self.exhaustive or regime_reasons(variant, device):
+        for pos, index in enumerate(indices):
+            if pos in regime_set or pos in straddle:
                 escalated.append(index)
                 continue
-            surrogate = self._evaluate_surrogate(
-                device.config, candidate, costs
+            solution = solutions[(ci, pos)]
+            num_lines = devices[pos].config.num_lines
+            total_ue += solution.expected_ue * num_lines
+            total_writes += solution.expected_writes * num_lines
+            total_energy += num_lines * (
+                solution.visits * (costs.read_energy + costs.decode_energy)
+                + solution.expected_writes * costs.write_energy
             )
-            if count_limit is not None:
-                lo, hi = _poisson_predictive(
-                    surrogate.expected_ue, self.confidence
-                )
-                if lo <= count_limit < hi:
-                    # Straddles the budget: the expectation alone cannot
-                    # settle feasibility for this device.
-                    escalated.append(index)
-                    continue
-            total_ue += surrogate.expected_ue
-            total_writes += surrogate.expected_writes
-            total_energy += surrogate.energy_j
 
         if escalated:
             outcome = CampaignRunner(
@@ -665,9 +724,28 @@ class ProvisionSearch:
         escalated_candidates = 0
         for lot in self.spec.lots:
             indices = self.spec.lot_indices(lot.name)
-            evaluations = tuple(
-                self._evaluate_candidate(lot, candidate, indices)
+            # One device list and one tabulated distribution per device
+            # for the whole grid: candidate variants never change device
+            # physics (policy is not part of the sampled config), and
+            # holding the list pins the distributions past the runner
+            # LRU's reach while every candidate reuses them.
+            devices = [self.spec.device_spec(index) for index in indices]
+            distributions = [
+                crossing_distribution_for(device.config) for device in devices
+            ]
+            variants = [
+                variant_spec(self.spec, lot.name, candidate)
                 for candidate in candidates
+            ]
+            solutions, regime_escalated = self._evaluate_surrogate(
+                candidates, variants, devices, distributions
+            )
+            evaluations = tuple(
+                self._evaluate_candidate(
+                    lot, candidate, variants[ci], indices, devices,
+                    regime_escalated[ci], solutions, ci,
+                )
+                for ci, candidate in enumerate(candidates)
             )
             mc_device_runs += sum(e.mc_devices for e in evaluations)
             surrogate_candidates += sum(

@@ -53,8 +53,12 @@ def run_screened_campaign(
     resume: bool = False,
     stop_after: int | None = None,
 ) -> ScreenedOutcome:
-    """Screen the fleet, MC the uncertain subset, compose the report."""
-    plan = plan_screen(spec, constraints)
+    """Screen the fleet, MC the uncertain subset, compose the report.
+
+    ``jobs`` fans out both phases: the surrogate planning pass (chunked
+    ``plan_screen``, deterministic merge) and the MC escalation pool.
+    """
+    plan = plan_screen(spec, constraints, jobs=jobs)
     escalated = plan.escalated
     if not escalated:
         report = compose_screened_report(spec, plan, ())

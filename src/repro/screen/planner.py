@@ -24,7 +24,12 @@ Classification is a pure function of ``(spec, constraints)``: device
 parameters are drawn from ``default_rng([seed, index])`` exactly as the
 campaign runner draws them, so the plan is independent of shard layout,
 ``--jobs``, or resume boundaries - the property the deterministic-
-classification tests pin.
+classification tests pin.  In-regime devices are evaluated through the
+grid-batched kernel (:func:`repro.sim.renewal_batch.finite_horizon_batch`)
+- one call per lot-policy parameter group with vectorized Poisson
+predictive bounds - and ``jobs > 1`` fans contiguous device chunks over
+the process pool; ``batch=False`` keeps the per-device scalar path as
+the reference oracle.
 
 The *FIT* constraint is a per-device budget on the capacity-scaled FIT
 (the same scaling as :attr:`repro.fleet.report.FleetReport.fit_scaled`).
@@ -41,10 +46,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+from scipy.stats import poisson
+
 from ..fleet.report import FIT_HOURS
 from ..fleet.spec import DeviceSpec, FleetSpec
 from ..obs.metrics import GLOBAL_REGISTRY
+from ..sim.parallel import parallel_map
 from ..sim.renewal import RenewalModel
+from ..sim.renewal_batch import RenewalTask, finite_horizon_batch
 from ..sim.runner import crossing_distribution_for
 
 
@@ -284,24 +294,67 @@ def regime_reasons(spec: FleetSpec, device: DeviceSpec) -> tuple[str, ...]:
     return tuple(reasons)
 
 
-def _poisson_predictive(lam: float, confidence: float) -> tuple[int, int]:
-    """Central predictive interval on a Poisson(``lam``) realization."""
-    if lam <= 0.0:
-        return 0, 0
-    from scipy.stats import poisson
+def _poisson_predictive(lam, confidence: float):
+    """Central predictive interval(s) on Poisson(``lam``) realizations.
 
+    Scalar ``lam`` returns ``(int, int)``; an array returns a pair of
+    ``int64`` arrays with the same truncation semantics per element
+    (non-positive rates map to the degenerate ``(0, 0)`` interval).
+    """
     alpha = 1.0 - confidence
-    lo = int(poisson.ppf(alpha / 2.0, lam))
-    hi = int(poisson.ppf(1.0 - alpha / 2.0, lam))
-    return max(0, lo), max(0, hi)
+    rates = np.atleast_1d(np.asarray(lam, dtype=np.float64))
+    lo = np.zeros(rates.shape, dtype=np.int64)
+    hi = np.zeros(rates.shape, dtype=np.int64)
+    positive = rates > 0.0
+    if positive.any():
+        lo[positive] = np.maximum(
+            0, poisson.ppf(alpha / 2.0, rates[positive]).astype(np.int64)
+        )
+        hi[positive] = np.maximum(
+            0, poisson.ppf(1.0 - alpha / 2.0, rates[positive]).astype(np.int64)
+        )
+    if np.ndim(lam) == 0:
+        return int(lo[0]), int(hi[0])
+    return lo, hi
 
 
-def plan_screen(spec: FleetSpec, constraints: ScreenConstraints) -> ScreenPlan:
-    """Classify every device of ``spec`` against ``constraints``.
+def _chunk_bounds(devices: int, jobs: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` device ranges, floor-apportioned."""
+    chunks = max(1, min(jobs, devices))
+    base, extra = divmod(devices, chunks)
+    bounds = []
+    start = 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
 
-    Pure and deterministic: the result depends only on the spec and the
-    constraints.  Also publishes ``screen_*`` gauges into the process
-    metrics registry.
+
+def _plan_chunk(payload) -> list[ScreenDecision]:
+    """Worker entry for the ``jobs > 1`` fan-out (must stay picklable)."""
+    spec, constraints, start, stop, batch = payload
+    return _plan_decisions(spec, constraints, start, stop, batch)
+
+
+def _plan_decisions(
+    spec: FleetSpec,
+    constraints: ScreenConstraints,
+    start: int,
+    stop: int,
+    batch: bool,
+) -> list[ScreenDecision]:
+    """Classify the contiguous device range ``[start, stop)``.
+
+    In-regime devices are grouped by their lot-effective threshold-policy
+    point ``(interval, strength, threshold, cells_per_line)`` - one
+    batched kernel call per group, with the Poisson predictive bounds
+    vectorized over the group.  ``batch=False`` swaps the kernel for
+    per-device scalar :meth:`RenewalModel.finite_horizon` calls through
+    the *same* classification code, making it the reference oracle the
+    ``surrogate_batch`` equivalence law compares against.  Each device's
+    arithmetic is independent of its group-mates, so the decisions do not
+    depend on the chunking.
     """
     horizon = spec.base_config.horizon
     horizon_hours = horizon / 3600.0
@@ -313,19 +366,17 @@ def plan_screen(spec: FleetSpec, constraints: ScreenConstraints) -> ScreenPlan:
         else constraints.fit_limit * horizon_hours / FIT_HOURS / spec.capacity_scale
     )
 
-    decisions = []
-    for index in range(spec.devices):
+    by_index: dict[int, ScreenDecision] = {}
+    groups: dict[tuple[float, int, int, int], list[tuple[int, DeviceSpec]]] = {}
+    for index in range(start, stop):
         device = spec.device_spec(index)
         reasons = regime_reasons(spec, device)
         if reasons:
-            decisions.append(
-                ScreenDecision(
-                    index=index, lot=device.lot,
-                    classification=UNCERTAIN, reasons=reasons,
-                )
+            by_index[index] = ScreenDecision(
+                index=index, lot=device.lot,
+                classification=UNCERTAIN, reasons=reasons,
             )
             continue
-
         # The lot-effective threshold-policy parameters (per-lot
         # provisioned fleets screen each lot under its own assignment).
         _, policy_kwargs = spec.policy_for(device.lot)
@@ -333,56 +384,111 @@ def plan_screen(spec: FleetSpec, constraints: ScreenConstraints) -> ScreenPlan:
         strength = int(policy_kwargs.get("strength", 4))
         threshold = policy_kwargs.get("threshold")
         threshold = max(1, strength - 1) if threshold is None else int(threshold)
+        key = (interval, strength, threshold, device.config.cells_per_line)
+        groups.setdefault(key, []).append((index, device))
 
-        model = RenewalModel(
-            crossing_distribution_for(device.config),
-            device.config.cells_per_line,
-        )
-        solution = model.finite_horizon(interval, strength, threshold, horizon)
-        lam = solution.expected_ue * num_lines
-        expected_writes = solution.expected_writes * num_lines
-        no_ue = solution.no_ue_probability ** num_lines
+    for (interval, strength, threshold, cells), entries in groups.items():
+        distributions = [
+            crossing_distribution_for(device.config) for _, device in entries
+        ]
+        if batch:
+            solutions = finite_horizon_batch(
+                [
+                    RenewalTask(
+                        distribution=distribution,
+                        cells_per_line=cells,
+                        interval=interval,
+                        t_ecc=strength,
+                        threshold=threshold,
+                    )
+                    for distribution in distributions
+                ],
+                horizon,
+            )
+        else:
+            solutions = [
+                RenewalModel(distribution, cells).finite_horizon(
+                    interval, strength, threshold, horizon
+                )
+                for distribution in distributions
+            ]
+
+        lam = np.array([s.expected_ue for s in solutions]) * num_lines
+        writes = np.array([s.expected_writes for s in solutions]) * num_lines
+        no_ue = np.array([s.no_ue_probability ** num_lines for s in solutions])
         fit_scaled = lam / horizon_hours * FIT_HOURS * spec.capacity_scale
-
-        verdicts = []
-        escalation = []
         if count_limit is not None:
             lo, hi = _poisson_predictive(lam, constraints.confidence)
-            if hi <= count_limit:
-                verdicts.append(PASS)
-            elif lo > count_limit:
-                verdicts.append(FAIL)
-            else:
-                verdicts.append(UNCERTAIN)
-                escalation.append("fit_ci_overlap")
-        if constraints.min_availability is not None:
-            margin = constraints.availability_margin
-            if no_ue >= constraints.min_availability + margin:
-                verdicts.append(PASS)
-            elif no_ue < constraints.min_availability - margin:
-                verdicts.append(FAIL)
-            else:
-                verdicts.append(UNCERTAIN)
-                escalation.append("availability_margin")
 
-        if FAIL in verdicts:
-            classification, reasons = FAIL, ()
-        elif UNCERTAIN in verdicts:
-            classification, reasons = UNCERTAIN, tuple(escalation)
-        else:
-            classification, reasons = PASS, ()
-        decisions.append(
-            ScreenDecision(
+        for pos, (index, device) in enumerate(entries):
+            verdicts = []
+            escalation = []
+            if count_limit is not None:
+                if hi[pos] <= count_limit:
+                    verdicts.append(PASS)
+                elif lo[pos] > count_limit:
+                    verdicts.append(FAIL)
+                else:
+                    verdicts.append(UNCERTAIN)
+                    escalation.append("fit_ci_overlap")
+            if constraints.min_availability is not None:
+                margin = constraints.availability_margin
+                if no_ue[pos] >= constraints.min_availability + margin:
+                    verdicts.append(PASS)
+                elif no_ue[pos] < constraints.min_availability - margin:
+                    verdicts.append(FAIL)
+                else:
+                    verdicts.append(UNCERTAIN)
+                    escalation.append("availability_margin")
+
+            if FAIL in verdicts:
+                classification, reasons = FAIL, ()
+            elif UNCERTAIN in verdicts:
+                classification, reasons = UNCERTAIN, tuple(escalation)
+            else:
+                classification, reasons = PASS, ()
+            by_index[index] = ScreenDecision(
                 index=index,
                 lot=device.lot,
                 classification=classification,
                 reasons=reasons,
-                expected_ue=lam,
-                expected_writes=expected_writes,
-                no_ue_probability=no_ue,
-                fit_scaled=fit_scaled,
+                expected_ue=float(lam[pos]),
+                expected_writes=float(writes[pos]),
+                no_ue_probability=float(no_ue[pos]),
+                fit_scaled=float(fit_scaled[pos]),
             )
-        )
+    return [by_index[index] for index in range(start, stop)]
+
+
+def plan_screen(
+    spec: FleetSpec,
+    constraints: ScreenConstraints,
+    jobs: int = 1,
+    batch: bool = True,
+) -> ScreenPlan:
+    """Classify every device of ``spec`` against ``constraints``.
+
+    Pure and deterministic: the result depends only on the spec and the
+    constraints - not on ``jobs`` (contiguous chunks fan out over
+    :func:`repro.sim.parallel.parallel_map` and merge back in device
+    order) and not on ``batch`` beyond rounding noise (``batch=False``
+    replays the classification through per-device scalar renewal solves;
+    the ``surrogate_batch`` equivalence law pins the agreement).  Also
+    publishes ``screen_*`` gauges into the process metrics registry.
+    """
+    jobs = max(1, int(jobs))
+    if jobs > 1 and spec.devices > 1:
+        chunks = [
+            (spec, constraints, chunk_start, chunk_stop, batch)
+            for chunk_start, chunk_stop in _chunk_bounds(spec.devices, jobs)
+        ]
+        decisions = [
+            decision
+            for chunk in parallel_map(_plan_chunk, chunks, jobs=jobs)
+            for decision in chunk
+        ]
+    else:
+        decisions = _plan_decisions(spec, constraints, 0, spec.devices, batch)
 
     plan = ScreenPlan(
         spec_hash=spec.content_hash(),

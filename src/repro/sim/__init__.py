@@ -27,6 +27,8 @@ from .batch import BatchPopulationEngine
 from .config import SimulationConfig
 from .parallel import RunSpec, default_jobs, parallel_map, run_many
 from .population import LinePopulation, PopulationEngine
+from .renewal import FiniteHorizonSolution, RenewalModel, RenewalSolution
+from .renewal_batch import RenewalTask, clear_propagation_cache, finite_horizon_batch
 from .results import RunResult
 from .rng import RngStreams
 from .runner import (
@@ -42,9 +44,13 @@ __all__ = [
     "BatchPopulationEngine",
     "CrossingDistribution",
     "EngineSnapshot",
+    "FiniteHorizonSolution",
     "LinePopulation",
     "ObsConfig",
     "PopulationEngine",
+    "RenewalModel",
+    "RenewalSolution",
+    "RenewalTask",
     "RngStreams",
     "RunResult",
     "RunSpec",
@@ -52,8 +58,10 @@ __all__ = [
     "SnapshotError",
     "build_engine",
     "clear_distribution_cache",
+    "clear_propagation_cache",
     "default_jobs",
     "finalize_result",
+    "finite_horizon_batch",
     "parallel_map",
     "run_experiment",
     "run_many",

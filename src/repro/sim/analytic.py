@@ -174,6 +174,28 @@ class CrossingDistribution:
         u = 1.0 - np.cumprod(np.power(v, exponents), axis=1)
         return self.quantile(u)
 
+    # -- identity ---------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """Hash of the tabulated arrays this distribution evaluates from.
+
+        Two distributions with equal hashes produce bit-identical ``cdf``/
+        ``quantile`` answers, whatever model produced the tabulation - the
+        property the renewal propagation memo keys on
+        (:mod:`repro.sim.renewal_batch`).  Computed once and cached on the
+        instance (the arrays are never mutated after construction).
+        """
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(repr(self.grid.shape).encode())
+            digest.update(np.ascontiguousarray(self.grid).tobytes())
+            digest.update(repr(self.per_level_cdf.shape).encode())
+            digest.update(np.ascontiguousarray(self.per_level_cdf).tobytes())
+            cached = digest.hexdigest()
+            self._content_hash = cached
+        return cached
+
 
 # -- persistent tabulation cache ------------------------------------------------
 

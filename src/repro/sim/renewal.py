@@ -45,6 +45,58 @@ import numpy as np
 from .analytic import CrossingDistribution, _binomial_pmf
 
 
+def aligned_visits(horizon: float, interval: float) -> int:
+    """Aligned scrub visits within ``horizon``: ``|{k >= 1 : k*T <= horizon}|``.
+
+    Uses the engine's own float comparisons (a plain floor plus boundary
+    fix-ups) so visits landing exactly on the horizon are counted
+    identically by the simulation, the scalar solver, and the batched
+    kernel (:mod:`repro.sim.renewal_batch`).
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    visits = int(math.floor(horizon / interval))
+    while (visits + 1) * interval <= horizon:
+        visits += 1
+    while visits > 0 and visits * interval > horizon:
+        visits -= 1
+    return visits
+
+
+def finite_horizon_recursion(
+    u: list[float], w: list[float], visits: int
+) -> tuple[float, float, float]:
+    """Scalar reference for the discrete renewal recursion.
+
+    ``u`` / ``w`` hold the probabilities that a fresh cycle resolves in a
+    UE / write-back exactly at its ``m``-th visit (entry ``m - 1``), both
+    padded to at least ``visits`` entries.  Returns ``(expected_ue,
+    expected_writes, no_ue_probability)`` after ``visits`` aligned visits.
+    This pure-Python ``O(V^2)`` loop is the oracle the vectorized kernel
+    (:func:`repro.sim.renewal_batch.finite_horizon_batch`) is pinned
+    against by the ``surrogate_batch`` equivalence law.
+    """
+    n_ue = [0.0] * (visits + 1)
+    n_write = [0.0] * (visits + 1)
+    no_ue = [1.0] * (visits + 1)
+    for v in range(1, visits + 1):
+        total_ue = 0.0
+        total_write = 0.0
+        survive = 1.0
+        for m in range(1, v + 1):
+            um, wm = u[m - 1], w[m - 1]
+            tail = v - m
+            total_ue += um + (um + wm) * n_ue[tail]
+            total_write += wm + (um + wm) * n_write[tail]
+            survive += wm * no_ue[tail] - (um + wm)
+        n_ue[v] = total_ue
+        n_write[v] = total_write
+        no_ue[v] = min(1.0, max(0.0, survive))
+    return n_ue[visits], n_write[visits], no_ue[visits]
+
+
 @dataclass(frozen=True)
 class RenewalSolution:
     """Steady-state per-line rates for one (T, t, theta) configuration."""
@@ -256,17 +308,7 @@ class RenewalModel:
         of visits), and much cheaper than :meth:`solve` when cycles are
         long-lived.
         """
-        if horizon <= 0:
-            raise ValueError("horizon must be positive")
-        if interval <= 0:
-            raise ValueError("interval must be positive")
-        # Visits = |{k >= 1 : k * T <= horizon}| with the engine's own
-        # float comparison, so boundary visits are counted identically.
-        visits = int(math.floor(horizon / interval))
-        while (visits + 1) * interval <= horizon:
-            visits += 1
-        while visits > 0 and visits * interval > horizon:
-            visits -= 1
+        visits = aligned_visits(horizon, interval)
         if visits == 0:
             return FiniteHorizonSolution(
                 interval=interval, horizon=horizon, visits=0,
@@ -279,28 +321,12 @@ class RenewalModel:
         u = ue_by_visit + [0.0] * (visits - len(ue_by_visit))
         w = write_by_visit + [0.0] * (visits - len(write_by_visit))
 
-        n_ue = [0.0] * (visits + 1)
-        n_write = [0.0] * (visits + 1)
-        no_ue = [1.0] * (visits + 1)
-        for v in range(1, visits + 1):
-            total_ue = 0.0
-            total_write = 0.0
-            survive = 1.0
-            for m in range(1, v + 1):
-                um, wm = u[m - 1], w[m - 1]
-                tail = v - m
-                total_ue += um + (um + wm) * n_ue[tail]
-                total_write += wm + (um + wm) * n_write[tail]
-                survive += wm * no_ue[tail] - (um + wm)
-            n_ue[v] = total_ue
-            n_write[v] = total_write
-            no_ue[v] = min(1.0, max(0.0, survive))
-
+        expected_ue, expected_writes, no_ue = finite_horizon_recursion(u, w, visits)
         return FiniteHorizonSolution(
             interval=interval,
             horizon=horizon,
             visits=visits,
-            expected_ue=n_ue[visits],
-            expected_writes=n_write[visits],
-            no_ue_probability=no_ue[visits],
+            expected_ue=expected_ue,
+            expected_writes=expected_writes,
+            no_ue_probability=no_ue,
         )

@@ -1,0 +1,433 @@
+"""Grid-batched finite-horizon renewal evaluation.
+
+The scalar solver (:meth:`repro.sim.renewal.RenewalModel.finite_horizon`)
+answers one ``(distribution, T, t, theta, horizon)`` question at a time
+with a pure-Python ``O(V^2)`` recursion - microseconds per point, but a
+million-device screen or a lot x candidate provisioning grid asks the
+same question tens of thousands of times.  This module batches the two
+expensive stages across a whole task list:
+
+* **Propagation** - the per-cycle resolution vectors ``u_m`` / ``w_m``
+  (probability a fresh cycle ends in a UE / write-back exactly at visit
+  ``m``) are computed for many distributions at once: one ``(R, V)`` CDF
+  matrix, then the count-state transition loop runs over visits with the
+  tiny state/increment loops vectorized across rows.  Identical float
+  operations to :meth:`RenewalModel._propagate` per row, so results
+  agree to rounding noise (the ``surrogate_batch`` law pins <= 1e-9
+  relative).
+* **Recursion** - tasks sharing a visit grid (same ``V``, ``t``,
+  ``theta``, cells per line) are stacked into ``(R, V)`` arrays and the
+  renewal recursion runs as per-visit array ops: prefix sums for the
+  direct terms plus one reversed-slice dot product per visit for the
+  convolution terms.
+
+Propagations are memoized on ``(distribution content hash, interval,
+strength, threshold, visits, tolerance)`` through the same two-level
+chain as the distribution cache (:mod:`repro.sim.runner`): an in-process
+LRU in front of the optional on-disk cache (``~/.cache/repro``,
+``REPRO_CACHE_DIR`` / ``REPRO_NO_DISK_CACHE``).  Zero-spread lots - the
+common case in screening fleets - collapse to one propagation per
+(lot, policy) however many devices they hold.
+
+Consumers: :func:`repro.screen.planner.plan_screen` (one call per
+policy-parameter group) and :class:`repro.provision.search.ProvisionSearch`
+(one call per lot covering the whole candidate grid).  Batch telemetry
+lands in the process metrics registry as ``surrogate_batch_*`` gauges and
+the ``surrogate_memo`` counter group.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..obs.metrics import GLOBAL_REGISTRY
+from .analytic import CrossingDistribution, _log_comb, tabulation_cache_dir
+from .renewal import FiniteHorizonSolution, aligned_visits
+
+#: Bump when the persisted propagation layout changes; stale entries then
+#: miss on the key and degrade to recomputation, never to bad numbers.
+RENEWAL_MEMO_FORMAT = 1
+
+#: In-process propagation memo, LRU-bounded.  Entries are two ``(V,)``
+#: float arrays - a few KiB each - so the cap is generous: a provisioning
+#: sweep touches ``lots x candidates`` unique keys, a screening fleet one
+#: per (lot, policy).
+_PROPAGATION_CACHE: OrderedDict[str, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+_PROPAGATION_CACHE_MAX = 4096
+
+#: Where each propagation request was satisfied (process-lifetime tally):
+#: ``memory`` (LRU hit), ``disk`` (loaded a persisted propagation), or
+#: ``computed`` (ran the batched propagation).  Duplicate keys inside one
+#: batch call count once - they share a single propagation.
+SURROGATE_MEMO_COUNTERS = GLOBAL_REGISTRY.group(
+    "surrogate_memo", ("memory", "disk", "computed")
+)
+
+
+def clear_propagation_cache() -> None:
+    """Drop the in-process propagation memo and reset its counters.
+
+    The on-disk cache is untouched; tests wanting full cold starts should
+    also point ``REPRO_CACHE_DIR`` at a fresh directory or set
+    ``REPRO_NO_DISK_CACHE``.
+    """
+    _PROPAGATION_CACHE.clear()
+    SURROGATE_MEMO_COUNTERS.reset()
+
+
+@dataclass(frozen=True)
+class RenewalTask:
+    """One finite-horizon question: a device under a threshold policy."""
+
+    #: The device's crossing-time distribution.
+    distribution: CrossingDistribution
+    #: Cells per line (the binomial population size).
+    cells_per_line: int
+    #: Scrub interval (seconds).
+    interval: float
+    #: ECC correction strength ``t``.
+    t_ecc: int
+    #: Write-back threshold ``theta`` in ``[1, t_ecc]``.
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.cells_per_line <= 0:
+            raise ValueError("cells_per_line must be positive")
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 1 <= self.threshold <= self.t_ecc:
+            raise ValueError("need 1 <= threshold <= t_ecc")
+
+
+# -- the propagation memo --------------------------------------------------------
+
+
+def propagation_cache_key(task: RenewalTask, visits: int, tolerance: float) -> str:
+    """Content hash identifying one propagated ``(u, w)`` pair.
+
+    Everything the vectors depend on goes in: the tabulated distribution's
+    content hash, the policy point, the propagation length, and the
+    survival-mass tolerance.  Equal keys mean bit-identical vectors.
+    """
+    payload = "|".join(
+        [
+            f"v{RENEWAL_MEMO_FORMAT}",
+            task.distribution.content_hash(),
+            repr(float(task.interval)),
+            repr(int(task.t_ecc)),
+            repr(int(task.threshold)),
+            repr(int(task.cells_per_line)),
+            repr(int(visits)),
+            repr(float(tolerance)),
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _propagation_cache_path(key: str, directory: Path) -> Path:
+    return directory / f"renewal-{key}.npz"
+
+
+def _save_propagation(
+    key: str, u: np.ndarray, w: np.ndarray, directory: Path
+) -> Path | None:
+    """Persist one propagation; best-effort, atomic (see ``save_tabulation``)."""
+    path = _propagation_cache_path(key, directory)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, key=np.array(key), u=u, w=w)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    return path
+
+
+def _load_propagation(
+    key: str, visits: int, directory: Path
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Load one persisted propagation; ``None`` on any miss, never raises."""
+    path = _propagation_cache_path(key, directory)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if str(data["key"]) != key:
+                return None
+            u = np.asarray(data["u"], dtype=np.float64)
+            w = np.asarray(data["w"], dtype=np.float64)
+    except Exception:
+        return None
+    if u.shape != (visits,) or w.shape != (visits,):
+        return None
+    if not (np.isfinite(u).all() and np.isfinite(w).all()):
+        return None
+    if (u < 0).any() or (w < 0).any() or (u + w > 1.0 + 1e-12).any():
+        return None
+    return u, w
+
+
+def _memo_insert(key: str, value: tuple[np.ndarray, np.ndarray]) -> None:
+    _PROPAGATION_CACHE[key] = value
+    while len(_PROPAGATION_CACHE) > _PROPAGATION_CACHE_MAX:
+        _PROPAGATION_CACHE.popitem(last=False)
+
+
+# -- vectorized stages -----------------------------------------------------------
+
+
+def _binomial_pmf_batch(n: int, p: np.ndarray, max_k: int) -> np.ndarray:
+    """Binomial(``n``, ``p_r``) PMF rows for k = 0..max_k.
+
+    Vectorized twin of :func:`repro.sim.analytic._binomial_pmf`: same
+    log-space form, same degenerate ``p = 0`` / ``p = 1`` handling, one
+    row per entry of ``p``.
+    """
+    max_k = min(max_k, n)
+    ks = np.arange(max_k + 1)
+    out = np.zeros((p.size, max_k + 1))
+    interior = (p > 0.0) & (p < 1.0)
+    if interior.any():
+        pi = p[interior][:, None]
+        log_terms = (
+            _log_comb(n, ks)[None, :]
+            + ks[None, :] * np.log(pi)
+            + (n - ks)[None, :] * np.log1p(-pi)
+        )
+        out[interior] = np.exp(log_terms)
+    out[p <= 0.0, 0] = 1.0
+    if max_k == n:
+        out[p >= 1.0, n] = 1.0
+    return out
+
+
+def _propagate_batch(
+    distributions: Sequence[CrossingDistribution],
+    intervals: Sequence[float],
+    t_ecc: int,
+    threshold: int,
+    cells_per_line: int,
+    visits: int,
+    tolerance: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cycle resolution vectors for many rows at once.
+
+    Row ``r`` reproduces :meth:`RenewalModel._propagate` for
+    ``(distributions[r], intervals[r])`` under the shared ``(t, theta,
+    cells)`` point: the CDF is evaluated as one ``(R, V)`` matrix, the
+    visit loop stays in Python (each step depends on the last), and the
+    tiny state/increment loops run as width-``R`` array ops.  The scalar
+    solver's early break (surviving mass below ``tolerance``) becomes a
+    sticky per-row ``active`` mask, so frozen rows emit the same zero
+    tail the scalar path pads with.
+    """
+    rows = len(distributions)
+    steps = np.arange(1.0, visits + 1.0)
+    cdf = np.empty((rows, visits))
+    for r, distribution in enumerate(distributions):
+        cdf[r] = distribution.cdf(intervals[r] * steps)
+
+    u = np.zeros((rows, visits))
+    w = np.zeros((rows, visits))
+    survive = np.zeros((rows, threshold))
+    survive[:, 0] = 1.0
+    active = np.ones(rows, dtype=bool)
+    prev_f = np.zeros(rows)
+    for n in range(visits):
+        f = cdf[:, n]
+        denom = 1.0 - prev_f
+        safe = np.where(denom <= 0.0, 1.0, denom)
+        p_step = np.where(
+            denom <= 0.0, 0.0, np.minimum(1.0, (f - prev_f) / safe)
+        )
+        prev_f = f
+
+        active &= survive.sum(axis=1) > tolerance
+        if not active.any():
+            break
+
+        visit_ue = np.zeros(rows)
+        visit_write = np.zeros(rows)
+        next_survive = np.zeros_like(survive)
+        for k in range(threshold):
+            mass = survive[:, k]
+            pmf = _binomial_pmf_batch(cells_per_line - k, p_step, t_ecc - k)
+            for j in range(pmf.shape[1]):
+                total = k + j
+                share = mass * pmf[:, j]
+                if total < threshold:
+                    next_survive[:, total] += share
+                else:  # threshold <= total <= t_ecc: write-back
+                    visit_write += share
+            visit_ue += mass * np.maximum(0.0, 1.0 - pmf.sum(axis=1))
+        u[:, n] = np.where(active, visit_ue, 0.0)
+        w[:, n] = np.where(active, visit_write, 0.0)
+        survive = np.where(active[:, None], next_survive, survive)
+    return u, w
+
+
+def _recursion_batch(
+    u: np.ndarray, w: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The discrete renewal recursion over ``(R, V)`` resolution stacks.
+
+    Vectorized form of :func:`repro.sim.renewal.finite_horizon_recursion`:
+    the direct ``sum_m u_m`` terms are prefix sums, and the convolution
+    terms ``sum_m r_m * N(v - m)`` are one reversed-slice row-dot per
+    visit.  Returns the horizon-final ``(expected_ue, expected_writes,
+    no_ue_probability)`` per row.
+    """
+    rows, visits = u.shape
+    resolve = u + w
+    cum_u = np.cumsum(u, axis=1)
+    cum_w = np.cumsum(w, axis=1)
+    cum_r = np.cumsum(resolve, axis=1)
+    n_ue = np.zeros((rows, visits + 1))
+    n_write = np.zeros((rows, visits + 1))
+    no_ue = np.ones((rows, visits + 1))
+    for v in range(1, visits + 1):
+        # Column m - 1 of the reversed slice is N(v - m), m = 1..v.
+        tail = slice(v - 1, None, -1)
+        conv_ue = np.einsum("rm,rm->r", resolve[:, :v], n_ue[:, tail])
+        conv_write = np.einsum("rm,rm->r", resolve[:, :v], n_write[:, tail])
+        conv_q = np.einsum("rm,rm->r", w[:, :v], no_ue[:, tail])
+        n_ue[:, v] = cum_u[:, v - 1] + conv_ue
+        n_write[:, v] = cum_w[:, v - 1] + conv_write
+        no_ue[:, v] = np.clip(1.0 - cum_r[:, v - 1] + conv_q, 0.0, 1.0)
+    return n_ue[:, visits], n_write[:, visits], no_ue[:, visits]
+
+
+# -- the batched kernel ----------------------------------------------------------
+
+
+def finite_horizon_batch(
+    tasks: Iterable[RenewalTask],
+    horizon: float,
+    *,
+    max_visits: int = 20_000,
+    tolerance: float = 1e-12,
+    memo: bool = True,
+) -> list[FiniteHorizonSolution]:
+    """Solve every task's finite-horizon question in grid-sized batches.
+
+    Drop-in for per-task :meth:`RenewalModel.finite_horizon` calls (same
+    defaults, same :class:`FiniteHorizonSolution` rows, task order
+    preserved).  Tasks sharing a visit grid - equal ``(visits, t_ecc,
+    threshold, cells_per_line)`` - are stacked and evaluated together;
+    within a group, tasks with equal memo keys share one propagation.
+    Each row's arithmetic is independent of its group-mates, so results
+    do not depend on how a fleet is split across calls (or ``--jobs``
+    chunks).  ``memo=False`` bypasses the propagation memo entirely
+    (both layers) without changing any numbers.
+    """
+    tasks = list(tasks)
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if max_visits < 1:
+        raise ValueError("max_visits must be >= 1")
+
+    solutions: list[FiniteHorizonSolution | None] = [None] * len(tasks)
+    groups: dict[tuple[int, int, int, int], list[int]] = {}
+    for i, task in enumerate(tasks):
+        visits = aligned_visits(horizon, task.interval)
+        if visits == 0:
+            solutions[i] = FiniteHorizonSolution(
+                interval=task.interval, horizon=horizon, visits=0,
+                expected_ue=0.0, expected_writes=0.0, no_ue_probability=1.0,
+            )
+            continue
+        key = (visits, task.t_ecc, task.threshold, task.cells_per_line)
+        groups.setdefault(key, []).append(i)
+
+    propagated = 0
+    for (visits, t_ecc, threshold, cells), members in groups.items():
+        n_prop = min(max_visits, visits)
+        resolved: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(members)
+        #: memo key -> member positions still waiting on a propagation.
+        pending: OrderedDict[str, list[int]] = OrderedDict()
+        anonymous: list[int] = []
+        for pos, i in enumerate(members):
+            if not memo:
+                anonymous.append(pos)
+                continue
+            key = propagation_cache_key(tasks[i], n_prop, tolerance)
+            if key in pending:
+                pending[key].append(pos)
+                continue
+            cached = _PROPAGATION_CACHE.get(key)
+            if cached is not None:
+                SURROGATE_MEMO_COUNTERS["memory"] += 1
+                _PROPAGATION_CACHE.move_to_end(key)
+                resolved[pos] = cached
+                continue
+            directory = tabulation_cache_dir()
+            if directory is not None:
+                loaded = _load_propagation(key, n_prop, directory)
+                if loaded is not None:
+                    SURROGATE_MEMO_COUNTERS["disk"] += 1
+                    _memo_insert(key, loaded)
+                    resolved[pos] = loaded
+                    continue
+            pending[key] = [pos]
+
+        representatives = [positions[0] for positions in pending.values()]
+        representatives += anonymous
+        if representatives:
+            rep_tasks = [tasks[members[pos]] for pos in representatives]
+            u2d, w2d = _propagate_batch(
+                [task.distribution for task in rep_tasks],
+                [task.interval for task in rep_tasks],
+                t_ecc, threshold, cells, n_prop, tolerance,
+            )
+            propagated += len(representatives)
+            SURROGATE_MEMO_COUNTERS["computed"] += len(representatives)
+            directory = tabulation_cache_dir() if memo else None
+            for r, (key, positions) in enumerate(pending.items()):
+                value = (u2d[r].copy(), w2d[r].copy())
+                _memo_insert(key, value)
+                if directory is not None:
+                    _save_propagation(key, value[0], value[1], directory)
+                for pos in positions:
+                    resolved[pos] = value
+            for r, pos in enumerate(anonymous, start=len(pending)):
+                resolved[pos] = (u2d[r], w2d[r])
+
+        stacked_u = np.zeros((len(members), visits))
+        stacked_w = np.zeros((len(members), visits))
+        for pos in range(len(members)):
+            u_row, w_row = resolved[pos]
+            stacked_u[pos, : u_row.size] = u_row
+            stacked_w[pos, : w_row.size] = w_row
+        n_ue, n_write, no_ue = _recursion_batch(stacked_u, stacked_w)
+        for pos, i in enumerate(members):
+            solutions[i] = FiniteHorizonSolution(
+                interval=tasks[i].interval,
+                horizon=horizon,
+                visits=visits,
+                expected_ue=float(n_ue[pos]),
+                expected_writes=float(n_write[pos]),
+                no_ue_probability=float(no_ue[pos]),
+            )
+
+    GLOBAL_REGISTRY.gauge("surrogate_batch_tasks").set(len(tasks))
+    GLOBAL_REGISTRY.gauge("surrogate_batch_groups").set(len(groups))
+    GLOBAL_REGISTRY.gauge("surrogate_batch_propagations").set(propagated)
+    return solutions

@@ -32,6 +32,7 @@ _LAZY = {
     "analytic_equivalence": "equivalence",
     "renewal_equivalence": "equivalence",
     "run_equivalence": "equivalence",
+    "surrogate_equivalence": "equivalence",
     "MetamorphicReport": "metamorphic",
     "PropertyCase": "metamorphic",
     "PropertyResult": "metamorphic",

@@ -41,6 +41,7 @@ cache, and the stats ledger the invariant checker audits.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
@@ -73,6 +74,14 @@ BATCH_REL_FLOOR = 0.10
 #: is a z-sigma band on the difference of two independent Poisson-like
 #: counts of the same mean, in relative terms.
 BATCH_REL_Z = 4.0
+
+#: Relative tolerance for the batched renewal kernel against the scalar
+#: recursion.  Both paths perform the same float operations in the same
+#: order per device up to numpy-vs-libm transcendental rounding (log/exp
+#: differ by <= 1 ulp) and dot-product summation order, so the observed
+#: divergence is ~1e-15; 1e-9 leaves six orders of headroom while still
+#: failing loudly on any real algorithmic drift.
+SURROGATE_REL_TOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -378,6 +387,171 @@ def batch_equivalence(
     return EquivalenceReport(rows=tuple(rows))
 
 
+def _relative_gap(a: float, b: float) -> float:
+    """|a - b| relative to the reference magnitude (absolute near zero)."""
+    scale = max(abs(b), 1.0e-300)
+    return abs(a - b) / scale if abs(b) > 1e-30 else abs(a - b)
+
+
+def surrogate_equivalence(
+    seed: int = 2012,
+    jobs: int = 1,
+    quick: bool = False,
+) -> EquivalenceReport:
+    """Batched renewal kernel vs the scalar recursion oracle.
+
+    Two layers, no Monte Carlo in either:
+
+    * **Kernel grid** - :func:`repro.sim.renewal_batch.finite_horizon_batch`
+      against per-point :meth:`RenewalModel.finite_horizon` over an
+      (interval, strength) x temperature grid, all points in one batched
+      call so grouping, memo dedup, and zero-padding are exercised.  Each
+      expectation must agree within :data:`SURROGATE_REL_TOL` relative.
+    * **Fleet screen** - :func:`repro.screen.planner.plan_screen` with
+      ``batch=True`` (and the ``jobs`` fan-out) against ``batch=False``
+      on an in-regime three-lot fleet: classifications must match
+      *exactly* (zero mismatches), surrogate expectations within the same
+      tolerance.
+
+    The expectation of every row is 0 observed divergence with the band
+    ``[0, tol]`` (``[0, 0]`` for the classification row), so the rows
+    render in the standard equivalence table.
+    """
+    from ..fleet.spec import Lot, LotParameter
+    from ..screen.planner import ScreenConstraints, plan_screen
+    from ..sim.config import SimulationConfig
+    from ..sim.renewal_batch import RenewalTask, finite_horizon_batch
+    from ..fleet.report import FIT_HOURS
+    from ..fleet.spec import FleetSpec
+
+    metrics = ("expected_ue", "expected_writes", "no_ue_probability")
+
+    # -- kernel grid ---------------------------------------------------------
+    horizon = (3 if quick else 7) * units.DAY
+    points = [(2 * units.HOUR, 3), (4 * units.HOUR, 4)]
+    temperatures = [300.0, 330.0] if quick else [300.0, 330.0, 350.0]
+    config = SimulationConfig(num_lines=64, region_size=64, horizon=horizon,
+                              seed=seed, endurance=None)
+    grid = []
+    for temperature_k in temperatures:
+        point_config = dataclasses.replace(config, temperature_k=temperature_k)
+        distribution = crossing_distribution_for(point_config)
+        for interval, t in points:
+            grid.append((temperature_k, interval, t, distribution))
+    tasks = [
+        RenewalTask(
+            distribution=distribution,
+            cells_per_line=config.cells_per_line,
+            interval=interval,
+            t_ecc=t,
+            threshold=t - 1,
+        )
+        for _, interval, t, distribution in grid
+    ]
+    batched = finite_horizon_batch(tasks, horizon)
+    rows = []
+    worst: dict[str, float] = {metric: 0.0 for metric in metrics}
+    for (temperature_k, interval, t, distribution), batch_solution in zip(
+        grid, batched
+    ):
+        scalar_solution = RenewalModel(
+            distribution, config.cells_per_line
+        ).finite_horizon(interval, t_ecc=t, threshold=t - 1, horizon=horizon)
+        if batch_solution.visits != scalar_solution.visits:
+            worst = {metric: float("inf") for metric in metrics}
+            break
+        for metric in metrics:
+            worst[metric] = max(
+                worst[metric],
+                _relative_gap(
+                    getattr(batch_solution, metric),
+                    getattr(scalar_solution, metric),
+                ),
+            )
+    for metric in metrics:
+        rows.append(
+            EquivalenceRow(
+                check="surrogate_batch",
+                label=f"kernel {len(tasks)}pt",
+                metric=metric,
+                observed=worst[metric],
+                expected=0.0,
+                low=0.0,
+                high=SURROGATE_REL_TOL,
+                passed=bool(worst[metric] <= SURROGATE_REL_TOL),
+            )
+        )
+
+    # -- fleet screen --------------------------------------------------------
+    spec = FleetSpec(
+        name="surrogate-equivalence",
+        devices=8 if quick else 16,
+        policy="threshold",
+        policy_kwargs={
+            "interval": 2 * units.HOUR,
+            "strength": 3,
+            "threshold": 2,
+            "with_detector": False,
+        },
+        base_config=SimulationConfig(
+            num_lines=64, region_size=64, horizon=units.DAY, seed=seed,
+            endurance=None,
+        ),
+        lots=(
+            Lot(name="cool", weight=5, temperature_k=LotParameter(300.0, 0.0)),
+            Lot(name="hot", weight=2, temperature_k=LotParameter(316.0, 0.0)),
+            Lot(name="recalled", weight=1,
+                temperature_k=LotParameter(350.0, 0.0)),
+        ),
+    )
+    horizon_hours = spec.base_config.horizon / units.HOUR
+    constraints = ScreenConstraints(
+        fit_limit=5.0 * FIT_HOURS * spec.capacity_scale / horizon_hours,
+    )
+    plan_batch = plan_screen(spec, constraints, jobs=jobs)
+    plan_scalar = plan_screen(spec, constraints, batch=False)
+    mismatches = sum(
+        1
+        for a, b in zip(plan_batch.decisions, plan_scalar.decisions)
+        if a.classification != b.classification or a.reasons != b.reasons
+    )
+    rows.append(
+        EquivalenceRow(
+            check="surrogate_batch",
+            label=f"screen {spec.devices}dev",
+            metric="classification_mismatches",
+            observed=float(mismatches),
+            expected=0.0,
+            low=0.0,
+            high=0.0,
+            passed=bool(mismatches == 0),
+        )
+    )
+    screen_worst = {metric: 0.0 for metric in metrics}
+    for a, b in zip(plan_batch.decisions, plan_scalar.decisions):
+        if a.expected_ue is None or b.expected_ue is None:
+            continue
+        for metric in metrics:
+            screen_worst[metric] = max(
+                screen_worst[metric],
+                _relative_gap(getattr(a, metric), getattr(b, metric)),
+            )
+    for metric in metrics:
+        rows.append(
+            EquivalenceRow(
+                check="surrogate_batch",
+                label=f"screen {spec.devices}dev",
+                metric=metric,
+                observed=screen_worst[metric],
+                expected=0.0,
+                low=0.0,
+                high=SURROGATE_REL_TOL,
+                passed=bool(screen_worst[metric] <= SURROGATE_REL_TOL),
+            )
+        )
+    return EquivalenceReport(rows=tuple(rows))
+
+
 def run_equivalence(
     seed: int = 2012, jobs: int = 1, quick: bool = False
 ) -> EquivalenceReport:
@@ -385,4 +559,7 @@ def run_equivalence(
     analytic = analytic_equivalence(seed=seed, jobs=jobs, quick=quick)
     renewal = renewal_equivalence(seed=seed, jobs=jobs, quick=quick)
     batch = batch_equivalence(seed=seed, jobs=jobs, quick=quick)
-    return EquivalenceReport(rows=analytic.rows + renewal.rows + batch.rows)
+    surrogate = surrogate_equivalence(seed=seed, jobs=jobs, quick=quick)
+    return EquivalenceReport(
+        rows=analytic.rows + renewal.rows + batch.rows + surrogate.rows
+    )

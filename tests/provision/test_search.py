@@ -11,7 +11,6 @@ from repro.obs.metrics import GLOBAL_REGISTRY
 from repro.provision import (
     Candidate,
     CandidateSpace,
-    CostModel,
     ProvisionError,
     ProvisionReport,
     ProvisionSearch,
@@ -196,6 +195,32 @@ class TestSearchResults:
         )
         for lot_s, lot_e in zip(screened.lots, exhaustive.lots):
             assert set(lot_s.frontier) == set(lot_e.frontier)
+
+    def test_batch_matches_scalar_oracle(self):
+        # The batched surrogate kernel is a pure optimization: the
+        # per-device scalar recursion (batch=False) must land on the
+        # same frontiers and recommendations, with evaluation numbers
+        # agreeing to the surrogate_batch tolerance.
+        spec = make_spec()
+        space = small_space()
+        batched = ProvisionSearch(spec, space).run()
+        scalar = ProvisionSearch(spec, space, batch=False).run()
+        assert batched.mc_device_runs == scalar.mc_device_runs == 0
+        for lot_b, lot_s in zip(batched.lots, scalar.lots):
+            assert lot_b.frontier == lot_s.frontier
+            assert lot_b.recommended == lot_s.recommended
+            for eval_b, eval_s in zip(lot_b.evaluations, lot_s.evaluations):
+                assert eval_b.candidate == eval_s.candidate
+                assert eval_b.method == eval_s.method
+                assert eval_b.expected_ue == pytest.approx(
+                    eval_s.expected_ue, rel=1e-9
+                )
+                assert eval_b.expected_writes == pytest.approx(
+                    eval_s.expected_writes, rel=1e-9
+                )
+                assert eval_b.scrub_energy_j == pytest.approx(
+                    eval_s.scrub_energy_j, rel=1e-9
+                )
 
     def test_jobs_do_not_change_the_report(self):
         spec = make_spec()

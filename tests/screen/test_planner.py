@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro import units
-from repro.fleet import Lot, LotParameter
 from repro.params import EnduranceSpec
 from repro.screen import (
     FAIL,
@@ -200,3 +199,63 @@ class TestPlanInvariants:
         assert GLOBAL_REGISTRY.gauge("screen_mc_fraction").value == (
             pytest.approx(plan.mc_fraction)
         )
+
+
+class TestBatchScalarEquivalence:
+    """The batched kernel path is a pure optimization of the scalar oracle.
+
+    ``plan_screen(..., batch=False)`` routes every device through the
+    original per-device :class:`RenewalModel` recursion; classifications
+    must match the batched default exactly (the ``surrogate_batch``
+    verify law additionally bounds the numeric gap at 1e-9).
+    """
+
+    @staticmethod
+    def _classifications(plan):
+        return [
+            (d.index, d.lot, d.classification, d.reasons)
+            for d in plan.decisions
+        ]
+
+    def test_batch_matches_scalar_oracle_exactly(self, spec, constraints):
+        batched = plan_screen(spec, constraints)
+        scalar = plan_screen(spec, constraints, batch=False)
+        assert self._classifications(batched) == self._classifications(scalar)
+        assert batched.escalated == scalar.escalated
+        for a, b in zip(batched.decisions, scalar.decisions):
+            if a.expected_ue is None:
+                assert b.expected_ue is None
+                continue
+            assert a.expected_ue == pytest.approx(b.expected_ue, rel=1e-9)
+            assert a.expected_writes == pytest.approx(
+                b.expected_writes, rel=1e-9
+            )
+            assert a.no_ue_probability == pytest.approx(
+                b.no_ue_probability, rel=1e-9
+            )
+
+    @pytest.mark.parametrize("name", ["fleet_screen", "fleet_smoke"])
+    def test_bundled_fleet_specs_pin_classifications(self, name):
+        from pathlib import Path
+
+        from repro.fleet import FleetSpec
+        from repro.fleet.report import FIT_HOURS
+
+        path = (
+            Path(__file__).resolve().parents[2]
+            / "examples" / "specs" / f"{name}.json"
+        )
+        spec = FleetSpec.from_file(path)
+        horizon_hours = spec.base_config.horizon / units.HOUR
+        constraints = ScreenConstraints(
+            fit_limit=4.0 * FIT_HOURS * spec.capacity_scale / horizon_hours
+        )
+        batched = plan_screen(spec, constraints)
+        scalar = plan_screen(spec, constraints, batch=False)
+        assert self._classifications(batched) == self._classifications(scalar)
+        assert batched.escalated == scalar.escalated
+
+    def test_jobs_do_not_change_the_plan(self, spec, constraints):
+        serial = plan_screen(spec, constraints)
+        fanned = plan_screen(spec, constraints, jobs=2)
+        assert fanned.to_dict() == serial.to_dict()

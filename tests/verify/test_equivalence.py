@@ -14,6 +14,7 @@ from repro.verify.equivalence import (
     BATCH_REL_FLOOR,
     BATCH_REL_Z,
     RENEWAL_REL_Z,
+    SURROGATE_REL_TOL,
     EquivalenceReport,
     EquivalenceRow,
     _batch_band,
@@ -23,6 +24,7 @@ from repro.verify.equivalence import (
     batch_equivalence,
     renewal_equivalence,
     renewal_grid,
+    surrogate_equivalence,
 )
 
 
@@ -104,6 +106,35 @@ class TestBatchVsScalar:
             expected * (1 - rel),
             expected * (1 + rel),
         )
+
+
+class TestSurrogateBatch:
+    def test_quick_law_passes_kernel_and_screen(self):
+        report = surrogate_equivalence(jobs=2, quick=True)
+        assert report.passed, [row.to_dict() for row in report.failures]
+        assert {row.check for row in report.rows} == {"surrogate_batch"}
+        metrics = {row.metric for row in report.rows}
+        assert metrics == {
+            "expected_ue",
+            "expected_writes",
+            "no_ue_probability",
+            "classification_mismatches",
+        }
+        # The mismatch row is exact-match (zero-width band at zero).
+        mismatch = next(
+            row for row in report.rows
+            if row.metric == "classification_mismatches"
+        )
+        assert (mismatch.low, mismatch.high) == (0.0, 0.0)
+        assert mismatch.observed == 0.0
+        # Relative-gap rows sit far inside the documented tolerance.
+        for row in report.rows:
+            if row.metric != "classification_mismatches":
+                assert row.high == SURROGATE_REL_TOL
+                assert row.observed < SURROGATE_REL_TOL
+
+    def test_tolerance_is_documented_constant(self):
+        assert SURROGATE_REL_TOL == 1e-9
 
 
 class TestReport:
